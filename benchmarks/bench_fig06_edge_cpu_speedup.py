@@ -1,0 +1,19 @@
+"""Figure 6 — EdgeNN speedups over the three edge CPUs.
+
+Paper result: average speedups of 3.97x (Jetson CPU), 3.12x (Dimensity
+8100), 8.80x (Raspberry Pi 4).
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig06_edge_cpu_speedups(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig06_edge_cpu_speedups)
+    record_artifact("fig06", fmt.format_fig06(result))
+    # Regression guards on the reproduced shape.
+    assert 2.5 <= result.mean_jetson_cpu <= 5.5
+    assert 2.0 <= result.mean_mobile_cpu <= 4.5
+    assert 6.0 <= result.mean_raspberry_pi <= 12.0

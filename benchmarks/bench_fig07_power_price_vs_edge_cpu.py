@@ -1,0 +1,22 @@
+"""Figure 7 — performance/power and performance/price vs the Raspberry Pi.
+
+Paper result: power-efficiency geomean 29.14x (but see EXPERIMENTS.md —
+that figure is inconsistent with the paper's own Fig 6 + power readings);
+cost-effectiveness geomean 0.61 / arithmetic mean 0.94 (the Pi wins).
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig07_efficiency_vs_edge_cpu(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig07_efficiency_vs_edge_cpu)
+    record_artifact(
+        "fig07",
+        fmt.format_efficiency(result, "Fig 7",
+                              "paper: power geomean 29.14x, price geomean 0.61"),
+    )
+    assert result.geomean_power > 2.0       # far more power-efficient
+    assert result.geomean_price < 1.0       # the Pi is more cost-effective

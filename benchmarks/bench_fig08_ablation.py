@@ -1,0 +1,20 @@
+"""Figure 8 — ablation: zero-copy alone, hybrid execution alone, EdgeNN.
+
+Paper result: averages of 9.93% (memory management), 10.76% (hybrid
+execution), 22.02% (EdgeNN); per-network totals from 16.29% (VGG) to
+27.22% (AlexNet).
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig08_ablation(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig08_ablation)
+    record_artifact("fig08", fmt.format_fig08(result))
+    assert 5.0 <= result.mean_memory <= 15.0
+    assert result.mean_edgenn > 15.0
+    alexnet = next(r for r in result.rows if r.network == "alexnet")
+    assert 18.0 <= alexnet.edgenn_improvement_pct <= 35.0

@@ -1,0 +1,19 @@
+"""Figure 9 — memory-copy time share of the original programs.
+
+Paper result: averages 11.46% on the integrated device vs 23.34% on the
+discrete platform, "even reaching 36%".
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig09_memcpy_share(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig09_memcpy_share)
+    record_artifact("fig09", fmt.format_fig09(result))
+    assert 7.0 <= result.mean_integrated <= 16.0
+    assert 15.0 <= result.mean_discrete <= 30.0
+    assert result.mean_discrete > result.mean_integrated
+    assert result.max_discrete >= 30.0

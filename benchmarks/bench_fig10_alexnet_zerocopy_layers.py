@@ -1,0 +1,26 @@
+"""Figure 10 — AlexNet per-layer kernel time with and without zero-copy.
+
+Paper result: pooling kernels get *slower* under zero-copy (coherent-path
+access penalty); compute-bound convolutions barely change.
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig10_alexnet_zero_copy_layers(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig10_alexnet_zero_copy_layers)
+    record_artifact(
+        "fig10",
+        fmt.format_layer_times(
+            result, "Fig 10 — AlexNet layer kernel times, zero-copy off vs on"
+        ),
+    )
+    pools = result.rows_of_class("pool")
+    assert pools
+    for row in pools:
+        assert row.with_ms > row.without_ms       # pools slow down
+    for row in result.rows_of_class("conv"):
+        assert abs(row.improvement_pct) < 8.0     # convs barely move

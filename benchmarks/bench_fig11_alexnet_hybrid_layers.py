@@ -1,0 +1,48 @@
+"""Figure 11 — AlexNet per-layer times with hybrid execution.
+
+Paper result: the fully connected layers improve by ~31.71% without and
+~53.80% with zero-copy; the convolutional layers do not improve.
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+from repro.eval.metrics import arithmetic_mean
+
+from conftest import run_once
+
+
+def test_fig11_with_zero_copy(benchmark, record_artifact):
+    result = run_once(
+        benchmark, lambda: ex.fig11_alexnet_hybrid_layers(zero_copy=True)
+    )
+    record_artifact(
+        "fig11_zero_copy",
+        fmt.format_layer_times(
+            result, "Fig 11 — AlexNet layers with hybrid execution (zero-copy)"
+        ),
+    )
+    fc = [r.improvement_pct for r in result.rows_of_class("dense")]
+    assert 40.0 <= arithmetic_mean(fc) <= 70.0
+    for row in result.rows_of_class("conv"):
+        assert row.improvement_pct <= 3.0
+
+
+def test_fig11_without_zero_copy(benchmark, record_artifact):
+    result = run_once(
+        benchmark, lambda: ex.fig11_alexnet_hybrid_layers(zero_copy=False)
+    )
+    record_artifact(
+        "fig11_no_zero_copy",
+        fmt.format_layer_times(
+            result,
+            "Fig 11 — AlexNet layers with hybrid execution (no zero-copy)",
+        ),
+    )
+    with_zc = ex.fig11_alexnet_hybrid_layers(zero_copy=True)
+    fc_without = arithmetic_mean(
+        [r.improvement_pct for r in result.rows_of_class("dense")]
+    )
+    fc_with = arithmetic_mean(
+        [r.improvement_pct for r in with_zc.rows_of_class("dense")]
+    )
+    assert fc_with > fc_without   # zero-copy amplifies the fc gains

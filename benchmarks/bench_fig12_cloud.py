@@ -1,0 +1,22 @@
+"""Figure 12 — EdgeNN vs cloud offload (400 KB input, ~1 MB/s uplink,
+~100 ms cloud latency, RTX 2080 Ti server).
+
+Paper result: EdgeNN wins on average (20.28%); compute-heavy VGG is the
+one benchmark where the cloud's discrete GPU wins.
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig12_cloud_comparison(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig12_cloud_comparison)
+    record_artifact("fig12", fmt.format_fig12(result))
+    vgg = next(r for r in result.rows if r.network == "vgg16")
+    assert not vgg.edgenn_wins
+    for row in result.rows:
+        if row.network != "vgg16":
+            assert row.edgenn_wins
+    assert result.mean_improvement > 0

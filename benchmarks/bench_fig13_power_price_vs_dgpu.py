@@ -1,0 +1,21 @@
+"""Figure 13 — performance/power and performance/price vs the RTX 2080 Ti.
+
+Paper result: 5.70x higher energy efficiency and 1.25x higher
+cost-effectiveness on average.
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_fig13_efficiency_vs_discrete_gpu(benchmark, record_artifact):
+    result = run_once(benchmark, ex.fig13_efficiency_vs_discrete_gpu)
+    record_artifact(
+        "fig13",
+        fmt.format_efficiency(result, "Fig 13",
+                              "paper: power 5.70x, price 1.25x"),
+    )
+    assert result.geomean_power > 3.0
+    assert 0.9 <= result.geomean_price <= 2.0

@@ -1,0 +1,19 @@
+"""Section V-B2 — utilization and power observations during EdgeNN runs.
+
+Paper result: Jetson averages 75% CPU / 62% GPU utilization; measured
+draws include 5.5 W (ResNet, 72%/42%) and 7.9 W (SqueezeNet, 100%/100%).
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_sec5b2_utilization_and_power(benchmark, record_artifact):
+    result = run_once(benchmark, ex.sec5b2_utilization)
+    record_artifact("sec5b2", fmt.format_sec5b2(result))
+    assert result.mean_cpu_util >= 50.0
+    assert result.mean_gpu_util >= 50.0
+    for row in result.rows:
+        assert 4.0 <= row.power_w <= 8.0

@@ -1,0 +1,22 @@
+"""Section V-F — comparison with the inter-kernel-only co-running
+state of the art (FineStream-style, the paper's ref [96]).
+
+Paper result: inter-kernel-only co-running yields +8.27% on SqueezeNet and
+no improvement on the other five networks — only the benchmarks with
+independent DAG parts can benefit without intra-kernel splitting.
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_sec5f_interkernel_only(benchmark, record_artifact):
+    result = run_once(benchmark, ex.sec5f_interkernel_only)
+    record_artifact("sec5f", fmt.format_sec5f(result))
+    assert result.row("squeezenet").interkernel_improvement_pct >= 3.0
+    for name in ("fcnn", "lenet", "alexnet", "vgg16"):
+        assert abs(result.row(name).interkernel_improvement_pct) < 1.0
+    for row in result.rows:
+        assert row.edgenn_improvement_pct >= row.interkernel_improvement_pct - 0.5

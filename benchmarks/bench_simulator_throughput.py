@@ -1,0 +1,45 @@
+"""Simulator throughput — how fast the library itself runs.
+
+Not a paper artifact: these are the true pytest-benchmark timings of one
+simulated inference (executor pass) and one full tuning cycle, the costs a
+downstream user of this library pays.
+"""
+
+import pytest
+
+from repro.baselines import run_gpu_only
+from repro.core.engine import EdgeNN
+from repro.core.executor import HybridExecutor
+from repro.hardware.device import Device
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.nn.models import build
+
+
+@pytest.mark.parametrize("network", ["lenet", "alexnet", "squeezenet",
+                                     "resnet18"])
+def test_simulated_inference_speed(benchmark, network):
+    engine = EdgeNN(network)
+    engine.tune()  # plan once; the benchmark times pure execution
+
+    result = benchmark(engine.run)
+    assert result.total_s > 0
+
+
+@pytest.mark.parametrize("network", ["lenet", "squeezenet"])
+def test_tuning_cycle_speed(benchmark, network):
+    def tune_fresh():
+        return EdgeNN(network).tune()
+
+    result = benchmark(tune_fresh)
+    assert result.final_report.total_s > 0
+
+
+def test_baseline_simulation_speed(benchmark):
+    net = build("vgg16")
+    device = Device(JETSON_AGX_XAVIER)
+
+    def run():
+        return run_gpu_only(net, device)
+
+    result = benchmark(run)
+    assert result.total_s > 0

@@ -1,0 +1,22 @@
+"""Table I — per-class improvement of hybrid execution with zero-copy.
+
+Paper result: LeNet conv 4.95/36.25/20.60 (min/max/avg %), fc
+31.56/41.24/36.40; AlexNet conv all 0, fc 48.43/58.32/53.81; VGG conv
+0/19.15/4.12, fc 16.07/43.09/31.43.
+"""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+from conftest import run_once
+
+
+def test_table1_layer_improvements(benchmark, record_artifact):
+    result = run_once(benchmark, ex.table1_layer_improvements)
+    record_artifact("table1", fmt.format_table1(result))
+    # The table's signature shapes:
+    assert result.cell("alexnet", "conv").max_pct <= 3.0      # conv = 0
+    assert 40.0 <= result.cell("alexnet", "dense").avg_pct <= 70.0
+    assert result.cell("lenet", "conv").max_pct >= 10.0       # small convs win
+    assert result.cell("vgg16", "conv").avg_pct <= 8.0
+    assert result.cell("lenet", "dense").avg_pct >= 25.0

@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables/figures: it times the
+experiment computation once (memoized sub-results cleared first so the
+timing is the real cost) and writes the rendered rows to
+``benchmarks/out/<artifact>.txt`` — the files EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval import experiments
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_cache():
+    """One shared memoization cache for the whole benchmark session —
+    the first bench that needs a report pays for it, later ones reuse it
+    (mirroring how the experiments compose)."""
+    experiments.clear_cache()
+    yield
+
+
+@pytest.fixture
+def record_artifact():
+    """Write one regenerated artifact to benchmarks/out/ and echo it."""
+
+    def _record(artifact_id: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{artifact_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are deterministic; repeated
+    rounds would only re-read the memoization cache)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Deployment planner: pick a configuration for an SLO and a battery.
+
+Run with:  python examples/deployment_planner.py
+
+Combines three of the library's extensions to answer a realistic
+provisioning question: *"I need SqueezeNet classifications within 250 ms
+per frame on a battery-powered Jetson — what should I configure?"*
+
+The planner sweeps inference datatype x Jetson power mode, keeps the
+configurations that meet the SLO, and ranks them by energy per frame.
+"""
+
+from repro.core.engine import EdgeNN, EdgeNNConfig
+from repro.hardware.variants import JETSON_POWER_MODES, jetson_power_mode
+from repro.nn.precision import Precision
+
+NETWORK = "squeezenet"
+SLO_MS = 250.0
+BATTERY_WH = 40.0
+
+
+def main() -> None:
+    print(f"=== Deployment planner: {NETWORK}, SLO {SLO_MS:.0f} ms ===\n")
+    rows = []
+    for mode in sorted(JETSON_POWER_MODES,
+                       key=lambda m: JETSON_POWER_MODES[m][3]):
+        for precision in Precision:
+            engine = EdgeNN(
+                NETWORK,
+                jetson_power_mode(mode),
+                EdgeNNConfig(precision=precision),
+            )
+            report = engine.run()
+            rows.append((mode, precision.value, report.total_s,
+                         report.energy.average_power_w,
+                         report.energy.energy_j))
+
+    print(f"{'mode':<6}{'dtype':<7}{'latency_ms':>12}{'power_W':>9}"
+          f"{'J/frame':>9}{'meets SLO':>11}")
+    feasible = []
+    for mode, dtype, latency, power, energy in rows:
+        ok = latency * 1e3 <= SLO_MS
+        if ok:
+            feasible.append((energy, mode, dtype, latency, power))
+        print(f"{mode:<6}{dtype:<7}{latency * 1e3:>12.2f}{power:>9.2f}"
+              f"{energy:>9.3f}{'yes' if ok else 'no':>11}")
+
+    if not feasible:
+        print("\nno configuration meets the SLO")
+        return
+    energy, mode, dtype, latency, power = min(feasible)
+    frames = BATTERY_WH * 3600.0 / energy
+    print(f"\nrecommendation: {mode} power mode at {dtype} "
+          f"({latency * 1e3:.1f} ms/frame, {power:.2f} W)")
+    print(f"a {BATTERY_WH:.0f} Wh battery sustains ~{frames:,.0f} frames "
+          f"({frames * latency / 3600:.1f} h of continuous inference)")
+
+
+if __name__ == "__main__":
+    main()

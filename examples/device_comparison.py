@@ -1,0 +1,77 @@
+"""Device comparison: where should an edge workload run?
+
+Run with:  python examples/device_comparison.py
+
+Sweeps all six paper benchmarks across the four evaluated platforms
+(EdgeNN on the integrated Jetson, three edge CPUs, the discrete 2080 Ti,
+and cloud offload) and prints latency / power / energy-efficiency /
+cost-efficiency — a compact reproduction of the decisions behind
+Figs 6, 7, 12, and 13.
+"""
+
+from repro.baselines import run_cloud, run_cpu_only, run_gpu_only
+from repro.eval import metrics
+from repro.eval.experiments import edgenn_report
+from repro.eval.formatting import render_table
+from repro.hardware import (
+    DIMENSITY_8100,
+    JETSON_AGX_XAVIER,
+    RASPBERRY_PI_4,
+    RTX_2080TI_HOST,
+)
+from repro.nn.models import benchmark_names
+
+
+def main() -> None:
+    rows = []
+    for net in benchmark_names():
+        edgenn = edgenn_report(net)
+        rows.append((
+            net,
+            edgenn.total_s * 1e3,
+            run_cpu_only(net, JETSON_AGX_XAVIER).total_s * 1e3,
+            run_cpu_only(net, DIMENSITY_8100).total_s * 1e3,
+            run_cpu_only(net, RASPBERRY_PI_4).total_s * 1e3,
+            run_gpu_only(net, RTX_2080TI_HOST).total_s * 1e3,
+            run_cloud(net).total_s * 1e3,
+        ))
+    print(render_table(
+        ["network", "edgenn", "jetson-cpu", "phone-cpu", "rpi4",
+         "2080ti", "cloud"],
+        rows,
+        title="End-to-end latency per inference (ms)",
+    ))
+
+    print()
+    eff_rows = []
+    for net in benchmark_names():
+        edgenn = edgenn_report(net)
+        dgpu = run_gpu_only(net, RTX_2080TI_HOST)
+        rpi = run_cpu_only(net, RASPBERRY_PI_4)
+        eff_rows.append((
+            net,
+            edgenn.energy.energy_j,
+            metrics.performance_per_power_ratio(
+                edgenn.total_s, edgenn.energy.average_power_w,
+                dgpu.total_s, dgpu.energy.average_power_w,
+            ),
+            metrics.performance_per_price_ratio(
+                edgenn.total_s, JETSON_AGX_XAVIER.price_usd,
+                rpi.total_s, RASPBERRY_PI_4.price_usd,
+            ),
+        ))
+    print(render_table(
+        ["network", "edgenn J/inf", "perf/W vs 2080Ti", "perf/$ vs rpi4"],
+        eff_rows,
+        title="Efficiency (higher ratio = EdgeNN better)",
+    ))
+
+    print("\ntakeaways (matching the paper's conclusions):")
+    print(" * the integrated device beats every edge CPU on latency;")
+    print(" * it beats the discrete GPU on energy efficiency by a wide margin;")
+    print(" * the Raspberry Pi remains the cost-effectiveness champion;")
+    print(" * only compute-monsters like VGG justify shipping frames to the cloud.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Multi-model edge deployment: detector + classifier on one device.
+
+Run with:  python examples/multi_model_camera.py
+
+A common AIoT pattern runs several models per frame (e.g. a light
+keyword/trigger network alongside a heavy scene classifier).  This example
+co-runs LeNet (trigger) and AlexNet (classifier) on one Jetson and
+compares three deployment strategies:
+
+1. sequential      — run the two models back to back;
+2. naive co-run    — both tuned plans share the device; the tiny trigger
+                     starves behind the classifier's non-preemptive kernels;
+3. complementary   — pin the trigger to the CPU: it rides along for free
+                     while the GPU serves the classifier.
+"""
+
+from repro.baselines import cpu_only_plan
+from repro.core.engine import EdgeNN
+from repro.core.multitenant import concurrent_edgenn, run_concurrent
+from repro.hardware import JETSON_AGX_XAVIER
+from repro.nn.models import build
+
+TRIGGER, CLASSIFIER = "lenet", "alexnet"
+
+
+def describe(label: str, report) -> None:
+    trigger = min(report.tenants, key=lambda t: t.solo_s)
+    classifier = max(report.tenants, key=lambda t: t.solo_s)
+    print(f"{label}")
+    print(f"  makespan            : {report.makespan_s * 1e3:8.2f} ms "
+          f"(sequential would be {report.sequential_s * 1e3:.2f} ms)")
+    print(f"  trigger latency     : {trigger.completion_s * 1e3:8.2f} ms "
+          f"({trigger.slowdown:.2f}x its solo time)")
+    print(f"  classifier latency  : {classifier.completion_s * 1e3:8.2f} ms "
+          f"({classifier.slowdown:.2f}x its solo time)")
+    print(f"  average power       : {report.energy.average_power_w:8.2f} W\n")
+
+
+def main() -> None:
+    print(f"=== {TRIGGER} (trigger) + {CLASSIFIER} (classifier) "
+          f"on {JETSON_AGX_XAVIER.name} ===\n")
+
+    naive = concurrent_edgenn([TRIGGER, CLASSIFIER])
+    describe("naive co-run (both tuned plans):", naive)
+
+    trigger_net = build(TRIGGER)
+    trigger_plan = cpu_only_plan(trigger_net, JETSON_AGX_XAVIER)
+    classifier_engine = EdgeNN(CLASSIFIER)
+    complementary = run_concurrent(
+        JETSON_AGX_XAVIER,
+        [(trigger_net, trigger_plan),
+         (classifier_engine.graph, classifier_engine.plan)],
+    )
+    describe("complementary placement (trigger pinned to CPU):", complementary)
+
+    naive_trigger = min(naive.tenants, key=lambda t: t.solo_s)
+    comp_trigger = min(complementary.tenants, key=lambda t: t.solo_s)
+    print("takeaway: without placement awareness the trigger's latency "
+          f"explodes {naive_trigger.slowdown:.0f}x behind the classifier's "
+          "non-preemptive kernels; pinning it to the otherwise-idle CPU "
+          f"restores it to {comp_trigger.slowdown:.2f}x solo latency — the "
+          "same resource-complementarity reasoning EdgeNN applies within a "
+          "single network.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""EdgeNN reproduction: efficient neural network inference for CPU-GPU
+integrated edge devices (Zhang et al., ICDE 2023).
+
+Public API highlights::
+
+    from repro import EdgeNN, EdgeNNConfig
+    from repro.hardware import JETSON_AGX_XAVIER, RASPBERRY_PI_4
+    from repro.nn.models import build_alexnet
+    from repro.baselines import run_gpu_only, run_cpu_only, run_cloud
+    from repro.eval import experiments
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from .core import (
+    AdaptiveTuner,
+    EdgeNN,
+    EdgeNNConfig,
+    ExecutionPlan,
+    HybridExecutor,
+    InferenceReport,
+    MemoryPolicy,
+    TunerConfig,
+    TuningObjective,
+    TuningResult,
+)
+from .nn.precision import Precision
+from .hardware import (
+    DEVICE_CATALOG,
+    DIMENSITY_8100,
+    JETSON_AGX_XAVIER,
+    RASPBERRY_PI_4,
+    RTX_2080TI_HOST,
+    Device,
+    DeviceSpec,
+)
+from .nn.graph import NetworkGraph
+from .nn.models import (
+    benchmark_names,
+    build,
+    build_alexnet,
+    build_fcnn,
+    build_lenet,
+    build_resnet18,
+    build_squeezenet,
+    build_vgg16,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveTuner",
+    "DEVICE_CATALOG",
+    "DIMENSITY_8100",
+    "Device",
+    "DeviceSpec",
+    "EdgeNN",
+    "EdgeNNConfig",
+    "ExecutionPlan",
+    "HybridExecutor",
+    "InferenceReport",
+    "JETSON_AGX_XAVIER",
+    "MemoryPolicy",
+    "NetworkGraph",
+    "Precision",
+    "RASPBERRY_PI_4",
+    "RTX_2080TI_HOST",
+    "TunerConfig",
+    "TuningObjective",
+    "TuningResult",
+    "benchmark_names",
+    "build",
+    "build_alexnet",
+    "build_fcnn",
+    "build_lenet",
+    "build_resnet18",
+    "build_squeezenet",
+    "build_vgg16",
+]

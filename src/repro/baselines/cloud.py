@@ -1,0 +1,71 @@
+"""Cloud-offload inference — the §V-D comparison.
+
+The paper's model: upload a compressed input image over the measured edge
+uplink, wait for the cloud (queueing/scheduling latency), and compute on a
+discrete-GPU server:
+
+    t_total = v_in / b  +  t_cloud  +  t_compute(discrete GPU)
+
+with v_in ≈ 400 KB, b ≈ 1 MB/s and t_cloud ≈ 100 ms measured on Alibaba
+Cloud.  ``computing_only`` exposes just the discrete-GPU compute time —
+the "on-cloud (computing only)" bars of Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import SpecError
+from ..hardware import calibration as cal
+from ..hardware.device import Device
+from ..hardware.specs import RTX_2080TI_HOST, DeviceSpec
+from ..nn.graph import NetworkGraph
+from .gpu_only import run_gpu_only
+
+
+@dataclass(frozen=True)
+class CloudModel:
+    """Network + cloud-side latency parameters (paper defaults)."""
+
+    input_bytes: float = cal.CLOUD_INPUT_BYTES
+    bandwidth: float = cal.CLOUD_BANDWIDTH
+    cloud_latency_s: float = cal.CLOUD_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0 or self.bandwidth <= 0 or self.cloud_latency_s < 0:
+            raise SpecError("invalid cloud model parameters")
+
+    @property
+    def transmission_s(self) -> float:
+        """Paper's t_net = v_in / b."""
+        return self.input_bytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class CloudResult:
+    """Breakdown of one cloud-offloaded inference."""
+
+    network: str
+    computing_s: float
+    transmission_s: float
+    cloud_latency_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.computing_s + self.transmission_s + self.cloud_latency_s
+
+
+def run_cloud(
+    network: Union[str, NetworkGraph],
+    server: Union[Device, DeviceSpec] = RTX_2080TI_HOST,
+    model: CloudModel = CloudModel(),
+) -> CloudResult:
+    """Simulate offloading one inference to a discrete-GPU cloud server."""
+    report = run_gpu_only(network, server)
+    return CloudResult(
+        network=report.network,
+        computing_s=report.total_s,
+        transmission_s=model.transmission_s,
+        cloud_latency_s=model.cloud_latency_s,
+    )

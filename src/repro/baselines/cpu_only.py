@@ -1,0 +1,41 @@
+"""CPU-only inference — the edge-CPU baselines of Fig 6 / Fig 7.
+
+Runs every layer on the device's CPU with plain host memory (no copies,
+no GPU).  Used for the Jetson CPU, the Raspberry Pi 4, and the Dimensity
+8100 phone processor.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.executor import HybridExecutor
+from ..core.memory_manager import MemoryPolicy, plan_allocations
+from ..core.plan import ExecutionPlan, cpu_layer
+from ..core.report import InferenceReport
+from ..hardware.device import Device
+from ..hardware.specs import DeviceSpec
+from ..nn.graph import NetworkGraph
+from ..nn.models import build as build_model
+
+
+def cpu_only_plan(graph: NetworkGraph, device: DeviceSpec) -> ExecutionPlan:
+    """All layers on the CPU; buffers are plain host memory (REGULAR with
+    no device side ever touched, hence no transfers)."""
+    plan = ExecutionPlan(graph.name)
+    for name in graph.topo_order():
+        plan.set_layer(cpu_layer(name))
+    plan_allocations(graph, plan, device, MemoryPolicy.ALL_REGULAR)
+    return plan
+
+
+def run_cpu_only(
+    network: Union[str, NetworkGraph],
+    device: Union[Device, DeviceSpec],
+) -> InferenceReport:
+    """Simulate CPU-only inference on any device's CPU."""
+    graph = build_model(network) if isinstance(network, str) else network
+    dev = device if isinstance(device, Device) else Device(device)
+    plan = cpu_only_plan(graph, dev.spec)
+    executor = HybridExecutor(graph, dev, plan)
+    return executor.run()

@@ -1,0 +1,40 @@
+"""Inter-kernel-only co-running — the state-of-the-art comparator of §V-F.
+
+Models the FineStream-style approach [96]: it uses the shared memory of
+the integrated architecture (zero-copy) and assigns *whole kernels* to
+processors, but "supports only inter-kernel co-running" — no intra-kernel
+splits.  The paper finds it helps only the networks with independent DAG
+parts (SqueezeNet ~8%, nothing elsewhere).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.executor import HybridExecutor
+from ..core.memory_manager import MemoryPolicy
+from ..core.report import InferenceReport
+from ..core.tuner import AdaptiveTuner, TunerConfig
+from ..hardware.device import Device
+from ..hardware.specs import DeviceSpec
+from ..nn.graph import NetworkGraph
+from ..nn.models import build as build_model
+
+
+def run_interkernel_only(
+    network: Union[str, NetworkGraph],
+    device: Union[Device, DeviceSpec],
+) -> InferenceReport:
+    """Simulate inter-kernel-only hybrid execution (branch assignment with
+    zero-copy memory, but no layer splitting)."""
+    graph = build_model(network) if isinstance(network, str) else network
+    dev = device if isinstance(device, Device) else Device(device)
+    config = TunerConfig(
+        use_intra_kernel=False,
+        use_inter_kernel=True,
+        memory_policy=MemoryPolicy.SEMANTIC,
+    )
+    tuner = AdaptiveTuner(graph, dev, config)
+    result = tuner.tune()
+    executor = HybridExecutor(graph, dev, result.plan)
+    return executor.run()

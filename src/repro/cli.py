@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro devices                      # catalog + variants
+    python -m repro networks                     # benchmark suite
+    python -m repro run alexnet                  # tune + run one network
+    python -m repro run alexnet --no-hybrid      # ablation arms
+    python -m repro compare lenet                # vs every baseline
+    python -m repro experiments                  # regenerate all artifacts
+    python -m repro experiments fig06 fig09      # a subset
+    python -m repro export results/              # CSV+JSON for plotting
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import units
+from .baselines import run_cloud, run_cpu_only, run_gpu_only
+from .core.engine import EdgeNN, EdgeNNConfig
+from .core.tuner import TuningObjective
+from .nn.precision import Precision
+from .errors import ReproError
+from .hardware.specs import (
+    DEVICE_CATALOG,
+    DIMENSITY_8100,
+    JETSON_AGX_XAVIER,
+    RASPBERRY_PI_4,
+    RTX_2080TI_HOST,
+)
+from .hardware.variants import VARIANT_CATALOG
+from .nn.models import MODEL_BUILDERS, benchmark_names, build
+
+
+def _all_devices():
+    catalog = dict(DEVICE_CATALOG)
+    catalog.update(VARIANT_CATALOG)
+    return catalog
+
+
+def cmd_devices(_args) -> int:
+    print(f"{'name':<24}{'type':<14}{'price':>8}  notes")
+    for name, spec in _all_devices().items():
+        if spec.is_integrated:
+            kind = "integrated"
+        elif spec.has_gpu:
+            kind = "discrete"
+        else:
+            kind = "cpu-only"
+        bw = spec.memory.bandwidth / units.GB
+        print(f"{name:<24}{kind:<14}{spec.price_usd:>7.0f}$  "
+              f"{spec.cpu.cores}C CPU"
+              + (f" + {spec.gpu.cores}-core GPU" if spec.has_gpu else "")
+              + f", {bw:.0f} GB/s DRAM")
+    return 0
+
+
+def cmd_networks(_args) -> int:
+    print(f"{'network':<14}{'layers':>7}{'GFLOPs':>9}{'params(MB)':>12}  suite")
+    for name in MODEL_BUILDERS:
+        net = build(name)
+        suite = "paper" if name in benchmark_names() else "extension"
+        print(f"{name:<14}{len(net):>7}{net.total_flops() / 1e9:>9.2f}"
+              f"{net.total_param_bytes() / 1e6:>12.1f}  {suite}")
+    return 0
+
+
+def _config_from(args) -> EdgeNNConfig:
+    return EdgeNNConfig(
+        use_memory_management=not args.no_memory,
+        use_hybrid_execution=not args.no_hybrid,
+        objective=TuningObjective(args.objective),
+        precision=Precision(getattr(args, "precision", "fp32")),
+        batch_size=getattr(args, "batch", 1),
+    )
+
+
+def _device_from(args):
+    name = getattr(args, "device", None) or JETSON_AGX_XAVIER.name
+    catalog = _all_devices()
+    if name not in catalog:
+        raise ReproError(
+            f"unknown device {name!r}; see `python -m repro devices`"
+        )
+    return catalog[name]
+
+
+def cmd_run(args) -> int:
+    engine = EdgeNN(args.network, _device_from(args), _config_from(args))
+    tuning = engine.tune()
+    report = engine.run()
+    print(f"network   : {args.network} on {engine.device.name}")
+    print(f"latency   : {report.total_s * 1e3:.3f} ms")
+    print(f"copy share: {report.copy_share:.1%}")
+    print(f"power     : {report.energy.average_power_w:.2f} W "
+          f"({report.energy.energy_j:.3f} J/inference)")
+    print(f"plan      : {engine.plan.describe()}")
+    print(f"tuning    : converged after {tuning.converged_after} rounds")
+    if args.trace:
+        with open(args.trace, "w") as f:
+            f.write(report.trace.to_chrome_trace())
+        print(f"trace     : {args.trace}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    network = args.network
+    engine = EdgeNN(network, config=_config_from(args))
+    edgenn = engine.run()
+    rows = [
+        ("edgenn (jetson)", edgenn.total_s, edgenn.energy.average_power_w),
+    ]
+    gpu = run_gpu_only(network, JETSON_AGX_XAVIER)
+    rows.append(("gpu-only (jetson)", gpu.total_s, gpu.energy.average_power_w))
+    for label, spec in (
+        ("cpu-only (jetson)", JETSON_AGX_XAVIER),
+        ("cpu-only (phone)", DIMENSITY_8100),
+        ("cpu-only (rpi4)", RASPBERRY_PI_4),
+    ):
+        r = run_cpu_only(network, spec)
+        rows.append((label, r.total_s, r.energy.average_power_w))
+    dgpu = run_gpu_only(network, RTX_2080TI_HOST)
+    rows.append(("2080ti (direct)", dgpu.total_s, dgpu.energy.average_power_w))
+    cloud = run_cloud(network)
+    rows.append(("cloud (total)", cloud.total_s, float("nan")))
+    print(f"{'method':<20}{'latency_ms':>12}{'power_W':>10}{'vs edgenn':>11}")
+    for label, seconds, power in rows:
+        rel = seconds / edgenn.total_s
+        print(f"{label:<20}{seconds * 1e3:>12.3f}{power:>10.2f}{rel:>10.2f}x")
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    from .eval.breakdown import format_breakdown, split_candidates
+
+    device = _device_from(args)
+    print(format_breakdown(args.network, device))
+    candidates = split_candidates(args.network, device)
+    if candidates:
+        print(f"\nsplit candidates (t_cpu/t_gpu <= 3): {', '.join(candidates)}")
+    else:
+        print("\nno split candidates at this scale")
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from .hardware.advisor import choose_power_mode
+
+    rec = choose_power_mode(args.network, args.slo_ms / 1e3)
+    print(rec.describe())
+    return 0 if rec.feasible else 1
+
+
+def cmd_experiments(args) -> int:
+    from .eval import experiments as ex
+    from .eval import formatting as fmt
+
+    sections = {
+        "fig06": lambda: fmt.format_fig06(ex.fig06_edge_cpu_speedups()),
+        "fig07": lambda: fmt.format_efficiency(
+            ex.fig07_efficiency_vs_edge_cpu(), "Fig 7",
+            "paper: power geomean 29.14x, price geomean 0.61"),
+        "fig08": lambda: fmt.format_fig08(ex.fig08_ablation()),
+        "fig09": lambda: fmt.format_fig09(ex.fig09_memcpy_share()),
+        "fig10": lambda: fmt.format_layer_times(
+            ex.fig10_alexnet_zero_copy_layers(),
+            "Fig 10 — AlexNet layers, zero-copy off vs on"),
+        "fig11": lambda: fmt.format_layer_times(
+            ex.fig11_alexnet_hybrid_layers(),
+            "Fig 11 — AlexNet layers with hybrid execution"),
+        "table1": lambda: fmt.format_table1(ex.table1_layer_improvements()),
+        "fig12": lambda: fmt.format_fig12(ex.fig12_cloud_comparison()),
+        "fig13": lambda: fmt.format_efficiency(
+            ex.fig13_efficiency_vs_discrete_gpu(), "Fig 13",
+            "paper: power 5.70x, price 1.25x"),
+        "sec5f": lambda: fmt.format_sec5f(ex.sec5f_interkernel_only()),
+        "sec5b2": lambda: fmt.format_sec5b2(ex.sec5b2_utilization()),
+    }
+    requested = args.ids or list(sections)
+    unknown = [i for i in requested if i not in sections]
+    if unknown:
+        raise ReproError(f"unknown experiment ids {unknown}; "
+                         f"available: {sorted(sections)}")
+    for artifact_id in requested:
+        print(sections[artifact_id]())
+        print()
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .eval.export import write_all
+
+    written = write_all(args.directory)
+    print(f"wrote {len(written)} artifacts (csv+json) to {args.directory}:")
+    for artifact_id in written:
+        print(f"  {artifact_id}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EdgeNN reproduction (ICDE 2023): efficient NN "
+                    "inference for CPU-GPU integrated edge devices.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list simulated platforms").set_defaults(
+        func=cmd_devices
+    )
+    sub.add_parser("networks", help="list benchmark networks").set_defaults(
+        func=cmd_networks
+    )
+
+    def add_engine_flags(p):
+        p.add_argument("--no-memory", action="store_true",
+                       help="disable semantic-aware memory management")
+        p.add_argument("--no-hybrid", action="store_true",
+                       help="disable CPU-GPU hybrid execution")
+        p.add_argument("--objective", default="latency",
+                       choices=[o.value for o in TuningObjective],
+                       help="tuning objective (default: latency)")
+        p.add_argument("--precision", default="fp32",
+                       choices=[p_.value for p_ in Precision],
+                       help="inference datatype (default: fp32)")
+        p.add_argument("--batch", type=int, default=1,
+                       help="frames per inference (default: 1)")
+
+    run = sub.add_parser("run", help="tune and run one network")
+    run.add_argument("network", choices=list(MODEL_BUILDERS))
+    run.add_argument("--device", default=None,
+                     help="integrated device name (default jetson)")
+    run.add_argument("--trace", default=None,
+                     help="write a Chrome trace of the schedule here")
+    add_engine_flags(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="compare against all baselines")
+    compare.add_argument("network", choices=list(MODEL_BUILDERS))
+    add_engine_flags(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    breakdown = sub.add_parser(
+        "breakdown", help="roofline boundness analysis of one network"
+    )
+    breakdown.add_argument("network", choices=list(MODEL_BUILDERS))
+    breakdown.add_argument("--device", default=None)
+    breakdown.set_defaults(func=cmd_breakdown)
+
+    advise = sub.add_parser(
+        "advise", help="lowest Jetson power mode meeting a latency SLO"
+    )
+    advise.add_argument("network", choices=list(MODEL_BUILDERS))
+    advise.add_argument("--slo-ms", type=float, required=True,
+                        help="latency target in milliseconds")
+    advise.set_defaults(func=cmd_advise)
+
+    exp = sub.add_parser("experiments",
+                         help="regenerate the paper's tables/figures")
+    exp.add_argument("ids", nargs="*", help="artifact ids (default: all)")
+    exp.set_defaults(func=cmd_experiments)
+
+    export = sub.add_parser("export", help="dump experiment CSV/JSON")
+    export.add_argument("directory")
+    export.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""The EdgeNN engine: the library's primary public API.
+
+Ties the three designs together exactly as Figure 3 describes: the
+fine-grained adaptive tuner derives sub-task assignments and memory usage
+strategies, the semantic-aware memory manager allocates buffers, and the
+hybrid executor co-runs the CPU and the GPU under that plan.
+
+Typical use::
+
+    from repro import EdgeNN
+    engine = EdgeNN("alexnet")           # Jetson AGX Xavier by default
+    report = engine.run()                # tunes on first use
+    print(report.total_s, report.copy_share)
+    probs = engine.infer(image)          # numeric forward pass (NumPy)
+
+Feature flags in :class:`EdgeNNConfig` disable individual designs for the
+paper's ablation (Fig 8): memory management only, hybrid execution only,
+or the full system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from ..hardware.device import Device
+from ..hardware.specs import JETSON_AGX_XAVIER, DeviceSpec
+from ..nn.graph import NetworkGraph
+from ..nn.models import build as build_model
+from ..nn.precision import Precision
+from .executor import HybridExecutor
+from .memory_manager import MemoryPolicy
+from .plan import ExecutionPlan
+from .report import InferenceReport
+from .tuner import AdaptiveTuner, TunerConfig, TuningObjective, TuningResult
+
+
+@dataclass(frozen=True)
+class EdgeNNConfig:
+    """Feature flags and tuning knobs.
+
+    The three ablation points of Fig 8 map to:
+
+    * original program      — ``use_memory_management=False,
+      use_hybrid_execution=False`` (equivalently, the gpu_only baseline);
+    * "memory management"   — ``use_hybrid_execution=False``;
+    * "CPU-GPU hybrid execution" — ``use_memory_management=False``;
+    * "EdgeNN"              — both on (the default).
+    """
+
+    use_memory_management: bool = True
+    use_hybrid_execution: bool = True
+    use_inter_kernel: bool = True   # sub-flag of hybrid execution
+    use_intra_kernel: bool = True   # sub-flag of hybrid execution
+    max_feedback_rounds: int = 6
+    improvement_threshold: float = 0.01
+    #: what to optimize: latency (the paper), energy, or energy-delay.
+    objective: TuningObjective = TuningObjective.LATENCY
+    #: inference datatype (performance model only; numerics stay float32).
+    precision: Precision = Precision.FP32
+    #: frames per simulated inference (weights amortize across the batch).
+    batch_size: int = 1
+
+    def memory_policy(self) -> MemoryPolicy:
+        if self.use_memory_management:
+            return MemoryPolicy.SEMANTIC
+        return MemoryPolicy.ALL_REGULAR
+
+    def tuner_config(self) -> TunerConfig:
+        return TunerConfig(
+            use_intra_kernel=self.use_hybrid_execution and self.use_intra_kernel,
+            use_inter_kernel=self.use_hybrid_execution and self.use_inter_kernel,
+            memory_policy=self.memory_policy(),
+            max_feedback_rounds=self.max_feedback_rounds,
+            improvement_threshold=self.improvement_threshold,
+            objective=self.objective,
+            precision=self.precision,
+            batch_size=self.batch_size,
+        )
+
+
+class EdgeNN:
+    """Efficient neural-network inference on a CPU-GPU integrated device."""
+
+    def __init__(
+        self,
+        network: Union[str, NetworkGraph],
+        device: Union[Device, DeviceSpec, None] = None,
+        config: Optional[EdgeNNConfig] = None,
+    ) -> None:
+        self.graph = build_model(network) if isinstance(network, str) else network
+        if device is None:
+            device = JETSON_AGX_XAVIER
+        self.device = device if isinstance(device, Device) else Device(device)
+        if not self.device.spec.is_integrated:
+            raise ReproError(
+                f"EdgeNN requires a CPU-GPU integrated device; "
+                f"{self.device.name!r} is not (use the baselines for it)"
+            )
+        self.config = config or EdgeNNConfig()
+        self._tuning: Optional[TuningResult] = None
+        self._params = None
+
+    # -- tuning & simulated execution ----------------------------------------
+
+    def tune(self, force: bool = False) -> TuningResult:
+        """Run the adaptive tuning cycle (cached after the first call)."""
+        if self._tuning is None or force:
+            tuner = AdaptiveTuner(self.graph, self.device, self.config.tuner_config())
+            self._tuning = tuner.tune()
+        return self._tuning
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The tuned execution plan."""
+        return self.tune().plan
+
+    def run(self) -> InferenceReport:
+        """Simulate one inference under the tuned plan."""
+        executor = HybridExecutor(
+            self.graph, self.device, self.plan,
+            precision=self.config.precision,
+            batch_size=self.config.batch_size,
+        )
+        return executor.run()
+
+    # -- numerics ---------------------------------------------------------------
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Numerically execute the network on ``x`` (NumPy reference path).
+
+        Independent of the timing simulation: the placement of a layer on
+        CPU or GPU never changes its mathematical result.
+        """
+        if self._params is None:
+            self._params = self.graph.materialize_params()
+        return self.graph.forward(x, self._params)
+
+    def summary(self) -> str:
+        """Engine + plan description for logs."""
+        lines = [
+            f"EdgeNN({self.graph.name} on {self.device.name})",
+            self.plan.describe(),
+        ]
+        tuning = self.tune()
+        lines.append(
+            f"tuned in {tuning.converged_after} feedback rounds; "
+            f"final latency {tuning.final_report.total_s * 1e3:.3f} ms"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Semantic-aware memory management (§IV-B).
+
+Chooses one of the two memory usage mechanisms per buffer:
+
+* zero-copy (``cudaMallocManaged``) for read-only parameters, inputs, and
+  single-writer activations — eliminating explicit h2d/d2h copies;
+* regular allocation (``cudaMalloc`` + ``cudaMemcpy``) for outputs that the
+  CPU and GPU co-write in one step, where zero-copy's consistency cost
+  would dwarf an explicit merge.
+
+On non-integrated devices (discrete GPU) managed memory brings no benefit
+(the paper: PCIe makes unified memory migration at least as expensive as
+explicit copies), so everything stays REGULAR there regardless of policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..hardware.memory import AllocKind
+from ..hardware.specs import DeviceSpec
+from ..nn.graph import NetworkGraph
+from .plan import ExecutionPlan
+from .semantics import BufferRole, classify_buffers
+
+
+class MemoryPolicy(enum.Enum):
+    """Which allocation policy to apply (for ablation, Fig 8)."""
+
+    ALL_REGULAR = "all_regular"       # the original programs' behaviour
+    ALL_MANAGED = "all_managed"       # naive zero-copy everywhere
+    SEMANTIC = "semantic"             # EdgeNN: choose by data semantics
+
+
+def plan_allocations(
+    graph: NetworkGraph,
+    plan: ExecutionPlan,
+    device: DeviceSpec,
+    policy: MemoryPolicy = MemoryPolicy.SEMANTIC,
+) -> Dict[str, AllocKind]:
+    """Decide the allocation kind of every buffer and record it in ``plan``.
+
+    Returns the mapping (also stored in ``plan.alloc``).
+    """
+    roles = classify_buffers(graph, plan)
+    alloc: Dict[str, AllocKind] = {}
+    managed_possible = device.is_integrated
+    for buffer_name, role in roles.items():
+        if not managed_possible or policy is MemoryPolicy.ALL_REGULAR:
+            alloc[buffer_name] = AllocKind.REGULAR
+        elif policy is MemoryPolicy.ALL_MANAGED:
+            alloc[buffer_name] = AllocKind.MANAGED
+        else:  # SEMANTIC
+            if role is BufferRole.COWRITTEN_OUTPUT:
+                alloc[buffer_name] = AllocKind.REGULAR
+            else:
+                alloc[buffer_name] = AllocKind.MANAGED
+    plan.alloc = alloc
+    return alloc

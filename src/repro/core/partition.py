@@ -1,0 +1,89 @@
+"""Intra-kernel CPU/GPU partitioning — the paper's Equations 1-4 (§IV-D).
+
+For one layer in the chain part of the DAG, the CPU computes a fraction
+``p_cpu`` of the output and the GPU the rest:
+
+* Eq. 1 — collaboration time is the max of the two sides
+  ``t_co = max(t_cpu * p_cpu, t_gpu * (1 - p_cpu))``.
+* Eq. 2 — the CPU's slice of the output must be merged into the device
+  copy: ``t_data = p_cpu * v_o / s``.
+* Eq. 3 — total ``t_total = t_co + t_data``.
+* Eq. 4 — the optimum: ``p_op = 0`` when ``v_o / s >= t_gpu`` (the merge
+  copy would cost more than the GPU time it saves), otherwise the balance
+  point ``t_gpu / (t_cpu + t_gpu)``.
+
+These formulas are the *analytic seed*; the adaptive tuner then corrects
+``p`` from measured feedback (contention and fixed overheads are not in the
+formulas — exactly why the paper makes the tuner adaptive).
+"""
+
+from __future__ import annotations
+
+from ..errors import TuningError
+
+
+def _check_inputs(t_cpu: float, t_gpu: float, p_cpu: float | None = None) -> None:
+    if t_cpu < 0 or t_gpu < 0:
+        raise TuningError(f"negative layer times: t_cpu={t_cpu}, t_gpu={t_gpu}")
+    if p_cpu is not None and not 0.0 <= p_cpu <= 1.0:
+        raise TuningError(f"p_cpu out of [0, 1]: {p_cpu}")
+
+
+def collaboration_time(t_cpu: float, t_gpu: float, p_cpu: float) -> float:
+    """Paper Eq. 1: co-run compute time at CPU share ``p_cpu``."""
+    _check_inputs(t_cpu, t_gpu, p_cpu)
+    return max(t_cpu * p_cpu, t_gpu * (1.0 - p_cpu))
+
+
+def data_transfer_time(p_cpu: float, out_bytes: float, copy_rate: float) -> float:
+    """Paper Eq. 2: merge-copy time of the CPU's output slice."""
+    if out_bytes < 0:
+        raise TuningError(f"negative output volume: {out_bytes}")
+    if copy_rate <= 0:
+        raise TuningError(f"copy rate must be positive: {copy_rate}")
+    if not 0.0 <= p_cpu <= 1.0:
+        raise TuningError(f"p_cpu out of [0, 1]: {p_cpu}")
+    return p_cpu * out_bytes / copy_rate
+
+
+def total_time(
+    t_cpu: float, t_gpu: float, p_cpu: float, out_bytes: float, copy_rate: float
+) -> float:
+    """Paper Eq. 3: collaboration plus merge time."""
+    return collaboration_time(t_cpu, t_gpu, p_cpu) + data_transfer_time(
+        p_cpu, out_bytes, copy_rate
+    )
+
+
+def balance_point(t_cpu: float, t_gpu: float) -> float:
+    """The ``p`` equalizing both sides: ``t_gpu / (t_cpu + t_gpu)``."""
+    _check_inputs(t_cpu, t_gpu)
+    if t_cpu + t_gpu == 0:
+        return 0.0
+    return t_gpu / (t_cpu + t_gpu)
+
+
+def optimal_cpu_fraction(
+    t_cpu: float,
+    t_gpu: float,
+    out_bytes: float,
+    copy_rate: float,
+    *,
+    merge_free: bool = False,
+) -> float:
+    """Paper Eq. 4: the analytically optimal CPU share.
+
+    ``merge_free=True`` models the case where the output handoff costs
+    nothing (managed single-writer buffers); the optimum is then always the
+    balance point.
+    """
+    _check_inputs(t_cpu, t_gpu)
+    if copy_rate <= 0:
+        raise TuningError(f"copy rate must be positive: {copy_rate}")
+    if t_cpu == 0 and t_gpu == 0:
+        return 0.0
+    if merge_free:
+        return balance_point(t_cpu, t_gpu)
+    if out_bytes / copy_rate >= t_gpu:
+        return 0.0
+    return balance_point(t_cpu, t_gpu)

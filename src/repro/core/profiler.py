@@ -1,0 +1,105 @@
+"""Per-layer performance statistics (the tuner's measurement store).
+
+The paper's workflow: "the performance statistics are recorded to guide the
+tuning approach" (§IV-A).  The tuner only ever sees *measured* times from
+executed runs — never the simulator's internals — so the same tuning logic
+would run unchanged against real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TuningError
+
+
+@dataclass
+class SplitSample:
+    """One measured execution of a split layer."""
+
+    cpu_fraction: float
+    wall_s: float
+    cpu_side_s: float
+    gpu_side_s: float
+
+
+@dataclass
+class LayerProfile:
+    """Accumulated measurements for one layer."""
+
+    name: str
+    cpu_s: Optional[float] = None     # whole layer on CPU (EWMA)
+    gpu_s: Optional[float] = None     # whole layer on GPU (EWMA)
+    split_history: List[SplitSample] = field(default_factory=list)
+
+    def best_known_wall(self) -> Optional[float]:
+        """Fastest observed execution of this layer under any placement."""
+        candidates = [t for t in (self.cpu_s, self.gpu_s) if t is not None]
+        candidates.extend(s.wall_s for s in self.split_history)
+        return min(candidates) if candidates else None
+
+
+class ProfileStore:
+    """EWMA measurement store keyed by layer name."""
+
+    def __init__(self, ewma_alpha: float = 0.5) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise TuningError(f"ewma alpha out of (0, 1]: {ewma_alpha}")
+        self._alpha = ewma_alpha
+        self._profiles: Dict[str, LayerProfile] = {}
+
+    def profile(self, layer: str) -> LayerProfile:
+        return self._profiles.setdefault(layer, LayerProfile(layer))
+
+    def __contains__(self, layer: str) -> bool:
+        return layer in self._profiles
+
+    def record_cpu(self, layer: str, wall_s: float) -> None:
+        self._record_scalar(layer, "cpu_s", wall_s)
+
+    def record_gpu(self, layer: str, wall_s: float) -> None:
+        self._record_scalar(layer, "gpu_s", wall_s)
+
+    def record_split(
+        self, layer: str, cpu_fraction: float, wall_s: float,
+        cpu_side_s: float, gpu_side_s: float,
+    ) -> None:
+        if wall_s < 0:
+            raise TuningError(f"negative measurement for {layer}")
+        self.profile(layer).split_history.append(
+            SplitSample(cpu_fraction, wall_s, cpu_side_s, gpu_side_s)
+        )
+
+    def cpu_time(self, layer: str) -> float:
+        """Measured whole-layer CPU time; raises if never profiled."""
+        return self._require(layer, "cpu_s")
+
+    def gpu_time(self, layer: str) -> float:
+        """Measured whole-layer GPU time; raises if never profiled."""
+        return self._require(layer, "gpu_s")
+
+    def has_both(self, layer: str) -> bool:
+        p = self._profiles.get(layer)
+        return p is not None and p.cpu_s is not None and p.gpu_s is not None
+
+    def latest_split(self, layer: str) -> Optional[SplitSample]:
+        p = self._profiles.get(layer)
+        if p is None or not p.split_history:
+            return None
+        return p.split_history[-1]
+
+    def _record_scalar(self, layer: str, attr: str, wall_s: float) -> None:
+        if wall_s < 0:
+            raise TuningError(f"negative measurement for {layer}")
+        profile = self.profile(layer)
+        old = getattr(profile, attr)
+        new = wall_s if old is None else self._alpha * wall_s + (1 - self._alpha) * old
+        setattr(profile, attr, new)
+
+    def _require(self, layer: str, attr: str) -> float:
+        p = self._profiles.get(layer)
+        value = getattr(p, attr) if p is not None else None
+        if value is None:
+            raise TuningError(f"layer {layer!r} has no {attr} profile yet")
+        return value

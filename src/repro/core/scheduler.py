@@ -1,0 +1,155 @@
+"""Inter-kernel assignment for the non-chain DAG parts (§IV-D).
+
+For a fork-join region (fire modules, residual blocks) the tuner must map
+each independent branch chain to one processor.  Following the paper's
+example for Figure 5, the scheduler enumerates assignment strategies and
+predicts each one's total time:
+
+    t(assignment) = max(sum of CPU-assigned branch times,
+                        sum of GPU-assigned branch times)
+                    + handoff cost of CPU-produced branch outputs
+
+The handoff term is ``v / s`` per CPU branch when its output lives in a
+REGULAR buffer (explicit copy before the join), and 0 under zero-copy —
+which is why hybrid execution composes with the semantic memory manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import PlanError
+from ..hardware.specs import ProcessorKind
+from ..nn.graph import BranchSegment, NetworkGraph
+from .profiler import ProfileStore
+
+
+@dataclass(frozen=True)
+class BranchCosts:
+    """Measured cost of one branch chain on each processor."""
+
+    layers: Tuple[str, ...]
+    cpu_s: float
+    gpu_s: float
+    out_bytes: float   # bytes the branch hands to the join layer
+
+
+@dataclass(frozen=True)
+class BranchAssignment:
+    """Chosen processor per branch (indexed like ``segment.branches``)."""
+
+    processors: Tuple[ProcessorKind, ...]
+    predicted_s: float
+
+    def processor_for(self, branch_index: int) -> ProcessorKind:
+        return self.processors[branch_index]
+
+    @property
+    def uses_cpu(self) -> bool:
+        return ProcessorKind.CPU in self.processors
+
+
+def branch_costs(
+    graph: NetworkGraph, segment: BranchSegment, profiles: ProfileStore
+) -> List[BranchCosts]:
+    """Sum the profiled per-layer times of each branch of ``segment``."""
+    costs = []
+    for branch in segment.branches:
+        cpu_s = 0.0
+        gpu_s = 0.0
+        out_bytes = 0.0
+        for layer in branch:
+            if graph.node(layer).layer.is_noop:
+                continue
+            cpu_s += profiles.cpu_time(layer)
+            gpu_s += profiles.gpu_time(layer)
+        if branch:
+            out_bytes = float(graph.out_bytes(branch[-1]))
+        costs.append(
+            BranchCosts(layers=tuple(branch), cpu_s=cpu_s, gpu_s=gpu_s,
+                        out_bytes=out_bytes)
+        )
+    return costs
+
+
+def predict_assignment_time(
+    costs: Sequence[BranchCosts],
+    processors: Sequence[ProcessorKind],
+    copy_rate: float,
+    *,
+    handoff_free: bool = False,
+) -> float:
+    """Predicted region time of one assignment (the paper's strategy cost)."""
+    if len(costs) != len(processors):
+        raise PlanError("one processor required per branch")
+    if copy_rate <= 0:
+        raise PlanError(f"copy rate must be positive: {copy_rate}")
+    cpu_total = sum(
+        c.cpu_s for c, p in zip(costs, processors) if p is ProcessorKind.CPU
+    )
+    gpu_total = sum(
+        c.gpu_s for c, p in zip(costs, processors) if p is ProcessorKind.GPU
+    )
+    handoff = 0.0
+    if not handoff_free:
+        handoff = sum(
+            c.out_bytes / copy_rate
+            for c, p in zip(costs, processors)
+            if p is ProcessorKind.CPU and c.layers
+        )
+    return max(cpu_total, gpu_total) + handoff
+
+
+def choose_assignment(
+    costs: Sequence[BranchCosts],
+    copy_rate: float,
+    *,
+    handoff_free: bool = False,
+    allow_cpu: bool = True,
+) -> BranchAssignment:
+    """Enumerate all CPU/GPU branch assignments and pick the fastest.
+
+    Empty branches (identity shortcuts) are pinned to the GPU — they cost
+    nothing and moving them is meaningless.  With ``allow_cpu=False`` the
+    result is the all-GPU baseline (used by ablations).
+    """
+    n = len(costs)
+    if n == 0:
+        raise PlanError("cannot assign an empty branch segment")
+    choices_per_branch: List[Tuple[ProcessorKind, ...]] = []
+    for c in costs:
+        if not c.layers or not allow_cpu:
+            choices_per_branch.append((ProcessorKind.GPU,))
+        else:
+            choices_per_branch.append((ProcessorKind.GPU, ProcessorKind.CPU))
+    best: BranchAssignment | None = None
+    for combo in itertools.product(*choices_per_branch):
+        predicted = predict_assignment_time(
+            costs, combo, copy_rate, handoff_free=handoff_free
+        )
+        if best is None or predicted < best.predicted_s:
+            best = BranchAssignment(processors=tuple(combo), predicted_s=predicted)
+    assert best is not None
+    return best
+
+
+def assignments_for_graph(
+    graph: NetworkGraph,
+    profiles: ProfileStore,
+    copy_rate: float,
+    *,
+    handoff_free: bool = False,
+    allow_cpu: bool = True,
+) -> Dict[str, BranchAssignment]:
+    """Choose an assignment for every branch segment; keyed by join layer."""
+    result: Dict[str, BranchAssignment] = {}
+    for segment in graph.segments():
+        if isinstance(segment, BranchSegment):
+            costs = branch_costs(graph, segment, profiles)
+            result[segment.join] = choose_assignment(
+                costs, copy_rate,
+                handoff_free=handoff_free, allow_cpu=allow_cpu,
+            )
+    return result

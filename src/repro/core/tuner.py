@@ -1,0 +1,341 @@
+"""Fine-grained adaptive inference tuning (§IV-D).
+
+The tuner follows the paper's workflow:
+
+1. **Profile** — run the whole network once per processor ("first use the
+   CPU and the GPU to calculate the whole layer separately and record their
+   execution time").
+2. **Analytic seed** — for every chain layer pick the CPU share from Eq. 4;
+   for every branch segment enumerate assignments (scheduler) and pick the
+   fastest predicted strategy.
+3. **Adaptive feedback** — execute the plan, compare measured per-layer
+   times against the profiles, rebalance split fractions from the measured
+   side times, and demote splits that do not beat GPU-only execution
+   ("applies different strategies each time and discovers the optimal
+   partitioning strategy ... according to the performance feedback").
+
+The equations ignore fixed partition overheads and DRAM contention; the
+feedback loop is what corrects for them — this is the paper's argument for
+being adaptive rather than purely analytic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TuningError
+from ..hardware.device import Device
+from ..hardware.specs import ProcessorKind
+from ..nn.graph import BranchSegment, ChainSegment, NetworkGraph
+from . import partition
+from .executor import HybridExecutor
+from .memory_manager import MemoryPolicy, plan_allocations
+from .plan import (
+    Assignment,
+    ExecutionPlan,
+    LayerPlan,
+    cpu_layer,
+    gpu_layer,
+    split_layer,
+)
+from ..nn.precision import Precision
+from .profiler import ProfileStore
+from .report import InferenceReport
+from .scheduler import assignments_for_graph
+
+
+class TuningObjective(enum.Enum):
+    """What the tuner optimizes when keeping the best measured plan.
+
+    The paper tunes for latency; ENERGY and EDP (energy-delay product) are
+    extensions for battery-constrained deployments (§V-G motivates energy
+    as a first-class concern for AIoT).
+    """
+
+    LATENCY = "latency"
+    ENERGY = "energy"
+    EDP = "edp"
+
+    def score(self, report: InferenceReport) -> float:
+        if self is TuningObjective.LATENCY:
+            return report.total_s
+        if self is TuningObjective.ENERGY:
+            return report.energy.energy_j
+        return report.total_s * report.energy.energy_j
+
+
+@dataclass(frozen=True)
+class TunerConfig:
+    """Knobs of the adaptive tuner (defaults follow the paper's spirit)."""
+
+    use_intra_kernel: bool = True     # split chain layers (Eq. 1-4)
+    use_inter_kernel: bool = True     # assign DAG branches across processors
+    memory_policy: MemoryPolicy = MemoryPolicy.SEMANTIC
+    objective: TuningObjective = TuningObjective.LATENCY
+    precision: Precision = Precision.FP32
+    batch_size: int = 1
+    max_feedback_rounds: int = 6
+    #: a split/CPU placement must beat GPU-only by this margin to survive.
+    improvement_threshold: float = 0.01
+    #: converged when no assignment changes and fractions move less than this.
+    convergence_tol: float = 0.02
+    #: never split a layer shorter than this (overheads would dominate).
+    min_split_layer_s: float = 100e-6
+
+
+@dataclass
+class TuningResult:
+    """Final plan plus the per-round measurement history."""
+
+    plan: ExecutionPlan
+    rounds: List[InferenceReport] = field(default_factory=list)
+    converged_after: int = 0
+
+    @property
+    def final_report(self) -> InferenceReport:
+        if not self.rounds:
+            raise TuningError("tuner produced no measurement rounds")
+        return self.rounds[-1]
+
+
+class AdaptiveTuner:
+    """Derives an execution plan for one network on one integrated device."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        device: Device,
+        config: Optional[TunerConfig] = None,
+    ) -> None:
+        if not device.has_gpu:
+            raise TuningError(
+                f"EdgeNN targets CPU-GPU devices; {device.name!r} has no GPU"
+            )
+        self._graph = graph
+        self._device = device
+        self._config = config or TunerConfig()
+        self.profiles = ProfileStore()
+        self._branch_layers = {
+            name
+            for segment in graph.segments()
+            if isinstance(segment, BranchSegment)
+            for branch in segment.branches
+            for name in branch
+        }
+
+    # -- profiling ---------------------------------------------------------------
+
+    def _profile_pass(self, proc: ProcessorKind) -> InferenceReport:
+        """Run the whole network on one processor and record per-layer times."""
+        plan = ExecutionPlan(self._graph.name)
+        make = cpu_layer if proc is ProcessorKind.CPU else gpu_layer
+        for name in self._graph.topo_order():
+            plan.set_layer(make(name))
+        plan_allocations(self._graph, plan, self._device.spec,
+                         self._config.memory_policy)
+        report = self._executor_for(plan).run()
+        for lr in report.layers:
+            if proc is ProcessorKind.CPU:
+                self.profiles.record_cpu(lr.name, lr.kernel_cpu_s)
+            else:
+                self.profiles.record_gpu(lr.name, lr.kernel_gpu_s)
+        return report
+
+    def _executor_for(self, plan: ExecutionPlan) -> HybridExecutor:
+        """Executor with memory behaviour matching the policy: without the
+        semantic memory manager the runtime inherits the original
+        programs' host-staging of REGULAR activations."""
+        return HybridExecutor(
+            self._graph, self._device, plan,
+            host_staging=self._config.memory_policy is MemoryPolicy.ALL_REGULAR,
+            precision=self._config.precision,
+            batch_size=self._config.batch_size,
+        )
+
+    # -- plan construction -----------------------------------------------------------
+
+    def _chain_layer_plan(self, name: str) -> LayerPlan:
+        """Placement of one chain layer from the profiles (Eq. 4 + the
+        whole-layer-on-CPU option)."""
+        node = self._graph.node(name)
+        cfg = self._config
+        if (
+            not cfg.use_intra_kernel
+            or node.layer.is_noop
+            or not node.layer.partitionable
+        ):
+            return gpu_layer(name)
+        t_cpu = self.profiles.cpu_time(name)
+        t_gpu = self.profiles.gpu_time(name)
+        if t_gpu < cfg.min_split_layer_s:
+            # Too small: launch/merge overheads exceed any possible gain,
+            # except when the CPU alone wins outright (cheap launch).
+            if t_cpu < t_gpu * (1.0 - cfg.improvement_threshold):
+                return cpu_layer(name)
+            return gpu_layer(name)
+        out_bytes = float(self._graph.out_bytes(name))
+        s = self._device.copy_rate()
+        merge_free = False  # split outputs are always REGULAR + merged
+        handoff_free = cfg.memory_policy is not MemoryPolicy.ALL_REGULAR
+        p_op = partition.optimal_cpu_fraction(
+            t_cpu, t_gpu, out_bytes, s, merge_free=merge_free
+        )
+        candidates: List[Tuple[float, float]] = [(0.0, t_gpu)]
+        if 0.0 < p_op < 1.0:
+            candidates.append(
+                (p_op, partition.total_time(t_cpu, t_gpu, p_op, out_bytes, s))
+            )
+        cpu_total = t_cpu + (0.0 if handoff_free else out_bytes / s)
+        candidates.append((1.0, cpu_total))
+        best_p, best_t = min(candidates, key=lambda c: c[1])
+        if best_t >= t_gpu * (1.0 - cfg.improvement_threshold):
+            return gpu_layer(name)
+        return split_layer(name, best_p)
+
+    def build_initial_plan(self) -> ExecutionPlan:
+        """The analytic seed plan from the current profiles."""
+        cfg = self._config
+        plan = ExecutionPlan(self._graph.name)
+        branch_assignments = {}
+        if cfg.use_inter_kernel:
+            branch_assignments = assignments_for_graph(
+                self._graph, self.profiles, self._device.copy_rate(),
+                handoff_free=cfg.memory_policy is not MemoryPolicy.ALL_REGULAR,
+            )
+        for segment in self._graph.segments():
+            if isinstance(segment, ChainSegment):
+                for name in segment.layers:
+                    plan.set_layer(self._chain_layer_plan(name))
+            else:
+                self._plan_branch_segment(plan, segment, branch_assignments)
+        plan_allocations(self._graph, plan, self._device.spec, cfg.memory_policy)
+        return plan
+
+    def _plan_branch_segment(
+        self,
+        plan: ExecutionPlan,
+        segment: BranchSegment,
+        branch_assignments: Dict[str, object],
+    ) -> None:
+        assignment = branch_assignments.get(segment.join)
+        for i, branch in enumerate(segment.branches):
+            proc = (
+                assignment.processor_for(i)
+                if assignment is not None
+                else ProcessorKind.GPU
+            )
+            make = cpu_layer if proc is ProcessorKind.CPU else gpu_layer
+            for name in branch:
+                plan.set_layer(make(name))
+
+    # -- feedback --------------------------------------------------------------------
+
+    def _apply_feedback(
+        self, plan: ExecutionPlan, report: InferenceReport
+    ) -> Tuple[ExecutionPlan, float]:
+        """One adaptation round: rebalance splits, demote losers.
+
+        Returns the updated plan and the largest fraction change."""
+        cfg = self._config
+        new_plan = ExecutionPlan(self._graph.name, dict(plan.layers))
+        max_delta = 0.0
+        for lr in report.layers:
+            if lr.name in self._branch_layers:
+                # Branch layers were placed by the inter-kernel scheduler:
+                # one branch runs on the CPU *in parallel* with the other on
+                # the GPU, so "slower than GPU-alone" is not a regression.
+                continue
+            old = plan.layer_plan(lr.name)
+            if old.assignment is Assignment.SPLIT:
+                updated = self._rebalance_split(lr.name, old, lr)
+            elif old.assignment is Assignment.CPU:
+                updated = self._review_cpu_layer(lr.name, lr)
+            else:
+                continue
+            if updated.assignment is not old.assignment:
+                max_delta = 1.0
+            else:
+                max_delta = max(
+                    max_delta, abs(updated.cpu_fraction - old.cpu_fraction)
+                )
+            new_plan.set_layer(updated)
+        plan_allocations(self._graph, new_plan, self._device.spec,
+                         cfg.memory_policy)
+        return new_plan, max_delta
+
+    def _rebalance_split(self, name: str, old: LayerPlan, lr) -> LayerPlan:
+        cfg = self._config
+        t_gpu_solo = self.profiles.gpu_time(name)
+        t_cpu_solo = self.profiles.cpu_time(name)
+        measured_now = lr.attributed_s
+        best_solo = min(t_gpu_solo, t_cpu_solo)
+        if measured_now >= best_solo * (1.0 - cfg.improvement_threshold):
+            # The split does not beat running the layer whole on the better
+            # processor — measurements outrank any extrapolation here (the
+            # co-run slowdowns and fixed overheads the equations ignore).
+            return self._better_solo(name, t_cpu_solo, t_gpu_solo)
+        p = old.cpu_fraction
+        # Measured per-unit rates under real co-run conditions.
+        unit_cpu = lr.kernel_cpu_s / p
+        unit_gpu = lr.kernel_gpu_s / (1.0 - p)
+        out_bytes = float(self._graph.out_bytes(name))
+        s = self._device.copy_rate()
+        p_new = partition.optimal_cpu_fraction(unit_cpu, unit_gpu, out_bytes, s)
+        # Extreme rebalances mean one side is a sliver whose per-unit rate
+        # extrapolates badly (GPU occupancy is non-linear); run whole instead.
+        if p_new <= 0.05 or p_new >= 0.95:
+            return self._better_solo(name, t_cpu_solo, t_gpu_solo)
+        self.profiles.record_split(
+            name, p, lr.attributed_s, lr.kernel_cpu_s, lr.kernel_gpu_s
+        )
+        return split_layer(name, p_new)
+
+    def _better_solo(self, name: str, t_cpu: float, t_gpu: float) -> LayerPlan:
+        """Whole-layer placement on whichever processor is faster (CPU must
+        clear the improvement threshold to displace the GPU)."""
+        if t_cpu < t_gpu * (1.0 - self._config.improvement_threshold):
+            return cpu_layer(name)
+        return gpu_layer(name)
+
+    def _review_cpu_layer(self, name: str, lr) -> LayerPlan:
+        t_gpu_solo = self.profiles.gpu_time(name)
+        if lr.attributed_s >= t_gpu_solo * (1.0 - self._config.improvement_threshold):
+            return gpu_layer(name)
+        return cpu_layer(name)
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def tune(self) -> TuningResult:
+        """Full tuning cycle: profile → seed plan → feedback to convergence.
+
+        The result keeps the *best measured* plan across rounds, not the
+        last one — "the fine-grained adaptive inference tuning approach
+        applies different strategies each time and discovers the optimal
+        partitioning strategy" (§IV-D).
+        """
+        cfg = self._config
+        gpu_report = self._profile_pass(ProcessorKind.GPU)
+        self._profile_pass(ProcessorKind.CPU)
+        plan = self.build_initial_plan()
+        result = TuningResult(plan=plan, rounds=[gpu_report])
+        best_plan, best_score = plan, float("inf")
+        for round_idx in range(1, cfg.max_feedback_rounds + 1):
+            report = self._executor_for(plan).run()
+            result.rounds.append(report)
+            score = cfg.objective.score(report)
+            if score < best_score:
+                best_plan, best_score = plan, score
+            new_plan, max_delta = self._apply_feedback(plan, report)
+            plan = new_plan
+            result.converged_after = round_idx
+            if max_delta < cfg.convergence_tol:
+                break
+        # One measurement of the final adapted plan so it can compete.
+        final_report = self._executor_for(plan).run()
+        result.rounds.append(final_report)
+        if cfg.objective.score(final_report) < best_score:
+            best_plan = plan
+        result.plan = best_plan
+        return result

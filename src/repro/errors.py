@@ -1,0 +1,44 @@
+"""Exception hierarchy for the EdgeNN reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one clause while still discriminating precise
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(ReproError):
+    """A hardware specification is invalid or inconsistent."""
+
+
+class MemoryModelError(ReproError):
+    """Illegal buffer state transition or allocation request."""
+
+
+class AllocationError(MemoryModelError):
+    """A buffer allocation exceeded device capacity or was malformed."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible for the requested layer or graph edge."""
+
+
+class GraphError(ReproError):
+    """The network graph is malformed (cycles, dangling inputs, bad names)."""
+
+
+class PlanError(ReproError):
+    """An execution plan is inconsistent with the network or device."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event timeline was driven into an invalid state."""
+
+
+class TuningError(ReproError):
+    """The adaptive tuner received invalid measurements or configuration."""

@@ -1,0 +1,6 @@
+"""Evaluation harness: metrics, per-figure experiments, formatting,
+export, and sensitivity analysis."""
+
+from . import breakdown, experiments, export, formatting, metrics, sensitivity
+
+__all__ = ["breakdown", "experiments", "export", "formatting", "metrics", "sensitivity"]

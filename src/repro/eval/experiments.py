@@ -1,0 +1,636 @@
+"""One function per table/figure of the paper's evaluation (Section V).
+
+Every function returns structured row objects plus the paper's aggregate,
+so benchmarks, tests, and EXPERIMENTS.md all read from the same source.
+Reports are memoized per (network, configuration) within the process —
+tuning is deterministic, so repeated calls are pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..baselines import (
+    CloudResult,
+    run_cloud,
+    run_cpu_only,
+    run_gpu_only,
+    run_interkernel_only,
+)
+from ..core.engine import EdgeNN, EdgeNNConfig
+from ..core.memory_manager import MemoryPolicy
+from ..core.report import InferenceReport
+from ..hardware.specs import (
+    DIMENSITY_8100,
+    JETSON_AGX_XAVIER,
+    RASPBERRY_PI_4,
+    RTX_2080TI_HOST,
+    DeviceSpec,
+)
+from ..nn.models import benchmark_names
+from . import metrics
+
+#: Default benchmark suite (paper order).
+NETWORKS: Tuple[str, ...] = tuple(benchmark_names())
+
+_report_cache: Dict[Tuple, object] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized reports (tests use this for isolation)."""
+    _report_cache.clear()
+
+
+def _cached(key: Tuple, compute) -> object:
+    if key not in _report_cache:
+        _report_cache[key] = compute()
+    return _report_cache[key]
+
+
+def edgenn_report(
+    network: str,
+    *,
+    use_memory_management: bool = True,
+    use_hybrid_execution: bool = True,
+) -> InferenceReport:
+    """Tuned EdgeNN run on the Jetson (memoized)."""
+    key = ("edgenn", network, use_memory_management, use_hybrid_execution)
+
+    def compute() -> InferenceReport:
+        config = EdgeNNConfig(
+            use_memory_management=use_memory_management,
+            use_hybrid_execution=use_hybrid_execution,
+        )
+        return EdgeNN(network, config=config).run()
+
+    return _cached(key, compute)
+
+
+def gpu_only_report(
+    network: str,
+    device: DeviceSpec = JETSON_AGX_XAVIER,
+    *,
+    managed: bool = False,
+) -> InferenceReport:
+    """Original-program run (memoized)."""
+    key = ("gpu_only", network, device.name, managed)
+    policy = MemoryPolicy.ALL_MANAGED if managed else MemoryPolicy.ALL_REGULAR
+
+    def compute() -> InferenceReport:
+        return run_gpu_only(network, device, policy=policy)
+
+    return _cached(key, compute)
+
+
+def cpu_only_report(network: str, device: DeviceSpec) -> InferenceReport:
+    """Edge-CPU run (memoized)."""
+    key = ("cpu_only", network, device.name)
+    return _cached(key, lambda: run_cpu_only(network, device))
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — speedups over edge CPUs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    network: str
+    edgenn_ms: float
+    jetson_cpu_speedup: float
+    mobile_cpu_speedup: float
+    raspberry_pi_speedup: float
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    rows: Tuple[Fig6Row, ...]
+
+    @property
+    def mean_jetson_cpu(self) -> float:
+        return metrics.arithmetic_mean([r.jetson_cpu_speedup for r in self.rows])
+
+    @property
+    def mean_mobile_cpu(self) -> float:
+        return metrics.arithmetic_mean([r.mobile_cpu_speedup for r in self.rows])
+
+    @property
+    def mean_raspberry_pi(self) -> float:
+        return metrics.arithmetic_mean([r.raspberry_pi_speedup for r in self.rows])
+
+
+def fig06_edge_cpu_speedups(networks: Sequence[str] = NETWORKS) -> Fig6Result:
+    """Fig 6: EdgeNN on the integrated device vs inference on three edge
+    CPUs (paper averages: 3.97x Jetson CPU, 3.12x phone, 8.80x RPi)."""
+    rows = []
+    for net in networks:
+        edgenn = edgenn_report(net)
+        rows.append(
+            Fig6Row(
+                network=net,
+                edgenn_ms=edgenn.total_s * 1e3,
+                jetson_cpu_speedup=metrics.speedup(
+                    cpu_only_report(net, JETSON_AGX_XAVIER).total_s, edgenn.total_s
+                ),
+                mobile_cpu_speedup=metrics.speedup(
+                    cpu_only_report(net, DIMENSITY_8100).total_s, edgenn.total_s
+                ),
+                raspberry_pi_speedup=metrics.speedup(
+                    cpu_only_report(net, RASPBERRY_PI_4).total_s, edgenn.total_s
+                ),
+            )
+        )
+    return Fig6Result(tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — power/price efficiency vs the edge CPU (Raspberry Pi)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    network: str
+    power_ratio: float    # Eq. 5
+    price_ratio: float    # Eq. 6
+
+
+@dataclass(frozen=True)
+class EfficiencyResult:
+    rows: Tuple[EfficiencyRow, ...]
+    comparison: str
+
+    @property
+    def geomean_power(self) -> float:
+        return metrics.geometric_mean([r.power_ratio for r in self.rows])
+
+    @property
+    def geomean_price(self) -> float:
+        return metrics.geometric_mean([r.price_ratio for r in self.rows])
+
+    @property
+    def mean_price(self) -> float:
+        return metrics.arithmetic_mean([r.price_ratio for r in self.rows])
+
+
+def _efficiency_vs(
+    other_report, other_spec: DeviceSpec, comparison: str,
+    networks: Sequence[str],
+) -> EfficiencyResult:
+    rows = []
+    for net in networks:
+        ours = edgenn_report(net)
+        theirs = other_report(net)
+        rows.append(
+            EfficiencyRow(
+                network=net,
+                power_ratio=metrics.performance_per_power_ratio(
+                    ours.total_s, ours.energy.average_power_w,
+                    theirs.total_s, theirs.energy.average_power_w,
+                ),
+                price_ratio=metrics.performance_per_price_ratio(
+                    ours.total_s, JETSON_AGX_XAVIER.price_usd,
+                    theirs.total_s, other_spec.price_usd,
+                ),
+            )
+        )
+    return EfficiencyResult(tuple(rows), comparison)
+
+
+def fig07_efficiency_vs_edge_cpu(
+    networks: Sequence[str] = NETWORKS,
+) -> EfficiencyResult:
+    """Fig 7: EdgeNN vs Raspberry Pi (paper: power geomean 29.14x; price
+    arithmetic mean 0.94, geomean 0.61 — the Pi wins on cost)."""
+    return _efficiency_vs(
+        lambda net: cpu_only_report(net, RASPBERRY_PI_4),
+        RASPBERRY_PI_4, "raspberry-pi-4", networks,
+    )
+
+
+def fig13_efficiency_vs_discrete_gpu(
+    networks: Sequence[str] = NETWORKS,
+) -> EfficiencyResult:
+    """Fig 13: EdgeNN vs RTX 2080 Ti (paper: power 5.70x, price 1.25x)."""
+    return _efficiency_vs(
+        lambda net: gpu_only_report(net, RTX_2080TI_HOST),
+        RTX_2080TI_HOST, "rtx-2080ti-host", networks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — ablation of the EdgeNN designs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    network: str
+    baseline_ms: float
+    memory_improvement_pct: float    # zero-copy only
+    hybrid_improvement_pct: float    # hybrid execution only
+    edgenn_improvement_pct: float    # both
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    rows: Tuple[Fig8Row, ...]
+
+    def _mean(self, attr: str) -> float:
+        return metrics.arithmetic_mean([getattr(r, attr) for r in self.rows])
+
+    @property
+    def mean_memory(self) -> float:
+        return self._mean("memory_improvement_pct")
+
+    @property
+    def mean_hybrid(self) -> float:
+        return self._mean("hybrid_improvement_pct")
+
+    @property
+    def mean_edgenn(self) -> float:
+        return self._mean("edgenn_improvement_pct")
+
+
+def fig08_ablation(networks: Sequence[str] = NETWORKS) -> Fig8Result:
+    """Fig 8: improvement of each design over the original GPU program
+    (paper averages: memory 9.93%, hybrid 10.76%, EdgeNN 22.02%)."""
+    rows = []
+    for net in networks:
+        base = gpu_only_report(net).total_s
+        memory = edgenn_report(net, use_hybrid_execution=False).total_s
+        hybrid = edgenn_report(net, use_memory_management=False).total_s
+        full = edgenn_report(net).total_s
+        rows.append(
+            Fig8Row(
+                network=net,
+                baseline_ms=base * 1e3,
+                memory_improvement_pct=metrics.improvement_pct(base, memory),
+                hybrid_improvement_pct=metrics.improvement_pct(base, hybrid),
+                edgenn_improvement_pct=metrics.improvement_pct(base, full),
+            )
+        )
+    return Fig8Result(tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — memory-copy time share, integrated vs discrete
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    network: str
+    integrated_share_pct: float
+    discrete_share_pct: float
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    rows: Tuple[Fig9Row, ...]
+
+    @property
+    def mean_integrated(self) -> float:
+        return metrics.arithmetic_mean([r.integrated_share_pct for r in self.rows])
+
+    @property
+    def mean_discrete(self) -> float:
+        return metrics.arithmetic_mean([r.discrete_share_pct for r in self.rows])
+
+    @property
+    def max_discrete(self) -> float:
+        return max(r.discrete_share_pct for r in self.rows)
+
+
+def fig09_memcpy_share(networks: Sequence[str] = NETWORKS) -> Fig9Result:
+    """Fig 9: CPU<->GPU copy time share of the original programs (paper
+    averages: 11.46% integrated, 23.34% discrete; max 36% discrete)."""
+    rows = []
+    for net in networks:
+        integrated = gpu_only_report(net, JETSON_AGX_XAVIER)
+        discrete = gpu_only_report(net, RTX_2080TI_HOST)
+        rows.append(
+            Fig9Row(
+                network=net,
+                integrated_share_pct=integrated.copy_share * 100.0,
+                discrete_share_pct=discrete.copy_share * 100.0,
+            )
+        )
+    return Fig9Result(tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 & 11 — AlexNet per-layer behaviour
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerTimeRow:
+    layer: str
+    kernel_class: str
+    without_ms: float
+    with_ms: float
+
+    @property
+    def improvement_pct(self) -> float:
+        return metrics.improvement_pct(self.without_ms, self.with_ms)
+
+
+@dataclass(frozen=True)
+class LayerTimesResult:
+    network: str
+    description: str
+    rows: Tuple[LayerTimeRow, ...]
+
+    def rows_of_class(self, kernel_class: str) -> List[LayerTimeRow]:
+        return [r for r in self.rows if r.kernel_class == kernel_class]
+
+
+#: Layer classes shown in the paper's Figs 10/11 (conv / pool / fc bars).
+_FIGURE_LAYER_CLASSES = ("conv", "pool", "dense")
+
+
+def _significant_layers(report: InferenceReport, threshold: float = 0.0002):
+    """Layers shown in the per-layer figures: the conv/pool/fc kernels
+    above a small time-share floor (the paper omits layers "whose time
+    proportions are less than 1%"; our time distribution is more
+    conv/fc-heavy, so the floor is proportionally lower to keep the same
+    set of bars visible)."""
+    total = sum(lr.attributed_s for lr in report.layers)
+    if total <= 0:
+        return []
+    return [
+        lr for lr in report.layers
+        if lr.kernel_class in _FIGURE_LAYER_CLASSES
+        and lr.attributed_s / total >= threshold
+    ]
+
+
+def fig10_alexnet_zero_copy_layers() -> LayerTimesResult:
+    """Fig 10: AlexNet layer times with and without zero-copy.
+
+    Shape to reproduce: fc layers get much faster (their h2d weight copies
+    vanish); pooling layers get *slower* (pure streaming kernels pay the
+    managed-access bandwidth penalty)."""
+    without = gpu_only_report("alexnet", managed=False)
+    with_zc = gpu_only_report("alexnet", managed=True)
+    rows = []
+    for lr in _significant_layers(without):
+        zc = with_zc.layer(lr.name)
+        rows.append(
+            LayerTimeRow(
+                layer=lr.name, kernel_class=lr.kernel_class,
+                # Kernel-only times: the paper brackets kernels with timer
+                # events; the staging memcpys land outside the brackets.
+                without_ms=lr.kernel_s * 1e3, with_ms=zc.kernel_s * 1e3,
+            )
+        )
+    return LayerTimesResult(
+        network="alexnet",
+        description="per-layer time without vs with zero-copy",
+        rows=tuple(rows),
+    )
+
+
+def fig11_alexnet_hybrid_layers(*, zero_copy: bool = True) -> LayerTimesResult:
+    """Fig 11: AlexNet layer times with hybrid execution.
+
+    Shape: fc layers improve strongly (avg ~31.7% without / ~53.8% with
+    zero-copy in the paper); conv layers do not improve."""
+    if zero_copy:
+        without = gpu_only_report("alexnet", managed=True)
+        with_hybrid = edgenn_report("alexnet")
+    else:
+        without = gpu_only_report("alexnet", managed=False)
+        with_hybrid = edgenn_report("alexnet", use_memory_management=False)
+    rows = []
+    for lr in _significant_layers(without):
+        hy = with_hybrid.layer(lr.name)
+        rows.append(
+            LayerTimeRow(
+                layer=lr.name, kernel_class=lr.kernel_class,
+                without_ms=lr.attributed_s * 1e3, with_ms=hy.attributed_s * 1e3,
+            )
+        )
+    return LayerTimesResult(
+        network="alexnet",
+        description=f"per-layer time with hybrid execution (zero_copy={zero_copy})",
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table I — conv/fc improvement from hybrid execution with zero-copy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    network: str
+    kernel_class: str
+    min_pct: float
+    max_pct: float
+    avg_pct: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    cells: Tuple[Table1Cell, ...]
+
+    def cell(self, network: str, kernel_class: str) -> Table1Cell:
+        for c in self.cells:
+            if c.network == network and c.kernel_class == kernel_class:
+                return c
+        raise KeyError((network, kernel_class))
+
+
+TABLE1_NETWORKS: Tuple[str, ...] = ("lenet", "alexnet", "vgg16")
+
+
+def table1_layer_improvements(
+    networks: Sequence[str] = TABLE1_NETWORKS,
+) -> Table1Result:
+    """Table I: per-layer-class improvement of hybrid execution with
+    zero-copy over zero-copy-only GPU execution.
+
+    Negative measured improvements clamp to 0 (the paper reports 0 where
+    the tuner keeps the layer on the GPU)."""
+    cells = []
+    for net in networks:
+        base = gpu_only_report(net, managed=True)
+        full = edgenn_report(net)
+        for kernel_class in ("conv", "dense"):
+            improvements = []
+            for lr in base.layers:
+                if lr.kernel_class != kernel_class:
+                    continue
+                after = full.layer(lr.name)
+                if lr.attributed_s <= 0:
+                    continue
+                improvements.append(
+                    max(0.0, metrics.improvement_pct(lr.attributed_s, after.attributed_s))
+                )
+            if not improvements:
+                continue
+            cells.append(
+                Table1Cell(
+                    network=net, kernel_class=kernel_class,
+                    min_pct=min(improvements), max_pct=max(improvements),
+                    avg_pct=metrics.arithmetic_mean(improvements),
+                )
+            )
+    return Table1Result(tuple(cells))
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — EdgeNN vs cloud offload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    network: str
+    edgenn_ms: float
+    cloud_computing_ms: float
+    cloud_total_ms: float
+
+    @property
+    def edgenn_wins(self) -> bool:
+        return self.edgenn_ms < self.cloud_total_ms
+
+    @property
+    def improvement_pct(self) -> float:
+        return metrics.improvement_pct(self.cloud_total_ms, self.edgenn_ms)
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    rows: Tuple[Fig12Row, ...]
+
+    @property
+    def mean_improvement(self) -> float:
+        return metrics.arithmetic_mean([r.improvement_pct for r in self.rows])
+
+
+def fig12_cloud_comparison(networks: Sequence[str] = NETWORKS) -> Fig12Result:
+    """Fig 12: EdgeNN vs cloud offload (paper: avg 20.28% faster; the
+    compute-heavy VGG is the case where the discrete cloud GPU wins)."""
+    rows = []
+    for net in networks:
+        ours = edgenn_report(net)
+        cloud: CloudResult = _cached(("cloud", net), lambda n=net: run_cloud(n))
+        rows.append(
+            Fig12Row(
+                network=net,
+                edgenn_ms=ours.total_s * 1e3,
+                cloud_computing_ms=cloud.computing_s * 1e3,
+                cloud_total_ms=cloud.total_s * 1e3,
+            )
+        )
+    return Fig12Result(tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Section V-F — inter-kernel-only co-running comparator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Sec5FRow:
+    network: str
+    interkernel_improvement_pct: float   # vs zero-copy GPU-only
+    edgenn_improvement_pct: float
+
+
+@dataclass(frozen=True)
+class Sec5FResult:
+    rows: Tuple[Sec5FRow, ...]
+
+    def row(self, network: str) -> Sec5FRow:
+        for r in self.rows:
+            if r.network == network:
+                return r
+        raise KeyError(network)
+
+
+def sec5f_interkernel_only(networks: Sequence[str] = NETWORKS) -> Sec5FResult:
+    """§V-F: the inter-kernel-only approach helps only networks with
+    independent DAG parts (paper: SqueezeNet +8.27%, ~0 elsewhere)."""
+    rows = []
+    for net in networks:
+        base = gpu_only_report(net, managed=True).total_s
+        inter = _cached(
+            ("interkernel", net),
+            lambda n=net: run_interkernel_only(n, JETSON_AGX_XAVIER),
+        ).total_s
+        full = edgenn_report(net).total_s
+        rows.append(
+            Sec5FRow(
+                network=net,
+                interkernel_improvement_pct=metrics.improvement_pct(base, inter),
+                edgenn_improvement_pct=metrics.improvement_pct(base, full),
+            )
+        )
+    return Sec5FResult(tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Section V-B2 — utilization and power observations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    network: str
+    cpu_util_pct: float
+    gpu_util_pct: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class UtilizationResult:
+    rows: Tuple[UtilizationRow, ...]
+
+    @property
+    def mean_cpu_util(self) -> float:
+        return metrics.arithmetic_mean([r.cpu_util_pct for r in self.rows])
+
+    @property
+    def mean_gpu_util(self) -> float:
+        return metrics.arithmetic_mean([r.gpu_util_pct for r in self.rows])
+
+
+def sec5b2_utilization(networks: Sequence[str] = NETWORKS) -> UtilizationResult:
+    """§V-B2: EdgeNN's processor utilizations and power draw on Jetson
+    (paper: avg CPU 75%, GPU 62%; ResNet 5.5 W, SqueezeNet 7.9 W)."""
+    rows = []
+    for net in networks:
+        r = edgenn_report(net)
+        rows.append(
+            UtilizationRow(
+                network=net,
+                cpu_util_pct=r.cpu_utilization * 100.0,
+                gpu_util_pct=r.gpu_utilization * 100.0,
+                power_w=r.energy.average_power_w,
+            )
+        )
+    return UtilizationResult(tuple(rows))
+
+
+def run_all() -> Dict[str, object]:
+    """Execute every experiment once; keyed by paper artifact id."""
+    return {
+        "fig06": fig06_edge_cpu_speedups(),
+        "fig07": fig07_efficiency_vs_edge_cpu(),
+        "fig08": fig08_ablation(),
+        "fig09": fig09_memcpy_share(),
+        "fig10": fig10_alexnet_zero_copy_layers(),
+        "fig11_zc": fig11_alexnet_hybrid_layers(zero_copy=True),
+        "fig11_nozc": fig11_alexnet_hybrid_layers(zero_copy=False),
+        "table1": table1_layer_improvements(),
+        "fig12": fig12_cloud_comparison(),
+        "fig13": fig13_efficiency_vs_discrete_gpu(),
+        "sec5f": sec5f_interkernel_only(),
+        "sec5b2": sec5b2_utilization(),
+    }

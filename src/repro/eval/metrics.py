@@ -1,0 +1,62 @@
+"""Evaluation metrics: speedups, efficiency ratios, and means.
+
+These are the exact quantities the paper reports: speedup factors (Fig 6),
+performance/power and performance/price ratios (Eqs. 5-6, Figs 7 and 13),
+relative time benefits (Fig 8), and their arithmetic/geometric means.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; raises on empty input."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's aggregation for efficiency ratios)."""
+    if not values:
+        raise ReproError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline_s: float, improved_s: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if baseline_s <= 0 or improved_s <= 0:
+        raise ReproError("times must be positive for a speedup")
+    return baseline_s / improved_s
+
+
+def improvement_pct(baseline_s: float, improved_s: float) -> float:
+    """Relative time benefit in percent (paper's "improvement")."""
+    if baseline_s <= 0:
+        raise ReproError("baseline time must be positive")
+    return (baseline_s - improved_s) / baseline_s * 100.0
+
+
+def performance_per_power_ratio(
+    time_a_s: float, power_a_w: float, time_b_s: float, power_b_w: float
+) -> float:
+    """Paper Eq. 5 for arbitrary systems A vs B:
+    ``(perf_A / power_A) / (perf_B / power_B)`` with perf = 1/time."""
+    if min(time_a_s, power_a_w, time_b_s, power_b_w) <= 0:
+        raise ReproError("times and powers must be positive")
+    return (time_b_s * power_b_w) / (time_a_s * power_a_w)
+
+
+def performance_per_price_ratio(
+    time_a_s: float, price_a: float, time_b_s: float, price_b: float
+) -> float:
+    """Paper Eq. 6: ``(perf_A / price_A) / (perf_B / price_B)``."""
+    if min(time_a_s, price_a, time_b_s, price_b) <= 0:
+        raise ReproError("times and prices must be positive")
+    return (time_b_s * price_b) / (time_a_s * price_a)

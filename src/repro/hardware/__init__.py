@@ -1,0 +1,74 @@
+"""Simulated hardware substrate: specs, roofline costs, memory, power.
+
+See DESIGN.md §1 for how this substitutes for the paper's physical testbed.
+"""
+
+from .calibration import KernelEfficiency
+from .contention import StreamJob, corun_finish_times, corun_pair, waterfill
+from .copy_engine import CopyDirection, CopyEngine, Transfer
+from .device import Device
+from .memory import AccessCost, AllocKind, Buffer, MemoryModel
+from .power import EnergyReport, energy_for_run, performance_per_dollar
+from .roofline import KernelCost, KernelWork, kernel_cost
+from .variants import (
+    AMD_RYZEN_APU,
+    APPLE_M1_STYLE,
+    JETSON_POWER_MODES,
+    VARIANT_CATALOG,
+    jetson_power_mode,
+)
+from .specs import (
+    DEVICE_CATALOG,
+    DIMENSITY_8100,
+    JETSON_AGX_XAVIER,
+    RASPBERRY_PI_4,
+    RTX_2080TI_HOST,
+    DeviceSpec,
+    InterconnectSpec,
+    MemoryKind,
+    MemorySpec,
+    PowerSpec,
+    ProcessorKind,
+    ProcessorSpec,
+    device,
+)
+
+__all__ = [
+    "AMD_RYZEN_APU",
+    "APPLE_M1_STYLE",
+    "AccessCost",
+    "AllocKind",
+    "Buffer",
+    "CopyDirection",
+    "CopyEngine",
+    "DEVICE_CATALOG",
+    "DIMENSITY_8100",
+    "Device",
+    "DeviceSpec",
+    "EnergyReport",
+    "InterconnectSpec",
+    "JETSON_AGX_XAVIER",
+    "JETSON_POWER_MODES",
+    "KernelCost",
+    "KernelEfficiency",
+    "KernelWork",
+    "MemoryKind",
+    "MemoryModel",
+    "MemorySpec",
+    "PowerSpec",
+    "ProcessorKind",
+    "ProcessorSpec",
+    "RASPBERRY_PI_4",
+    "RTX_2080TI_HOST",
+    "StreamJob",
+    "Transfer",
+    "VARIANT_CATALOG",
+    "corun_finish_times",
+    "corun_pair",
+    "device",
+    "energy_for_run",
+    "jetson_power_mode",
+    "kernel_cost",
+    "performance_per_dollar",
+    "waterfill",
+]

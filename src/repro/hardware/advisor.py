@@ -1,0 +1,98 @@
+"""Power-mode advisor: the cheapest Jetson nvpmodel configuration that
+still meets a latency target.
+
+Edge deployments are usually provisioned against a latency SLO and a
+power budget.  Given a network and an SLO, the advisor tunes EdgeNN under
+each of the paper's three Jetson power options (§V-A) and recommends the
+lowest-power mode whose tuned latency meets the target — plus the full
+trade-off table so the caller can see the alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..core.engine import EdgeNN, EdgeNNConfig
+from ..errors import ReproError
+from ..nn.graph import NetworkGraph
+from .variants import JETSON_POWER_MODES, jetson_power_mode
+
+
+@dataclass(frozen=True)
+class ModeProfile:
+    """EdgeNN's tuned behaviour under one power mode."""
+
+    mode: str
+    latency_s: float
+    power_w: float
+    energy_j: float
+
+    def meets(self, slo_s: float) -> bool:
+        return self.latency_s <= slo_s
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's answer."""
+
+    network: str
+    slo_s: float
+    chosen: Optional[ModeProfile]      # None when no mode meets the SLO
+    profiles: Tuple[ModeProfile, ...]  # all modes, lowest budget first
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+    def describe(self) -> str:
+        lines = [f"power-mode advice for {self.network} "
+                 f"(SLO {self.slo_s * 1e3:.1f} ms):"]
+        for p in self.profiles:
+            marker = "  <- chosen" if (
+                self.chosen is not None and p.mode == self.chosen.mode
+            ) else ""
+            lines.append(
+                f"  {p.mode:>4}: {p.latency_s * 1e3:9.2f} ms  "
+                f"{p.power_w:5.2f} W  {p.energy_j:7.3f} J"
+                f"{'  (meets SLO)' if p.meets(self.slo_s) else ''}{marker}"
+            )
+        if not self.feasible:
+            lines.append("  no mode meets the SLO on this device")
+        return "\n".join(lines)
+
+
+def profile_power_modes(
+    network: Union[str, NetworkGraph],
+    config: Optional[EdgeNNConfig] = None,
+) -> Tuple[ModeProfile, ...]:
+    """Tuned EdgeNN latency/power/energy under every Jetson power mode,
+    lowest budget first."""
+    profiles = []
+    for mode in sorted(JETSON_POWER_MODES, key=lambda m: JETSON_POWER_MODES[m][3]):
+        report = EdgeNN(network, jetson_power_mode(mode), config).run()
+        profiles.append(
+            ModeProfile(
+                mode=mode,
+                latency_s=report.total_s,
+                power_w=report.energy.average_power_w,
+                energy_j=report.energy.energy_j,
+            )
+        )
+    return tuple(profiles)
+
+
+def choose_power_mode(
+    network: Union[str, NetworkGraph],
+    slo_s: float,
+    config: Optional[EdgeNNConfig] = None,
+) -> Recommendation:
+    """Lowest-power Jetson mode whose tuned latency meets ``slo_s``."""
+    if slo_s <= 0:
+        raise ReproError("the latency SLO must be positive")
+    profiles = profile_power_modes(network, config)
+    chosen = next((p for p in profiles if p.meets(slo_s)), None)
+    name = network if isinstance(network, str) else network.name
+    return Recommendation(
+        network=name, slo_s=slo_s, chosen=chosen, profiles=profiles,
+    )

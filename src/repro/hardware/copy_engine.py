@@ -1,0 +1,76 @@
+"""Explicit-copy transfer model (cudaMemcpy on the simulated devices).
+
+On the integrated device the copy engine moves data DRAM-to-DRAM; on the
+discrete platform it is the PCIe DMA path.  Either way a transfer costs a
+fixed latency plus ``bytes / rate``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import MemoryModelError
+from .specs import InterconnectSpec
+
+
+class CopyDirection(enum.Enum):
+    """Host-to-device or device-to-host (CPU copy ↔ GPU copy of a buffer)."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One explicit memory copy request."""
+
+    buffer_name: str
+    nbytes: float
+    direction: CopyDirection
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise MemoryModelError(f"negative transfer size for {self.buffer_name}")
+
+
+class CopyEngine:
+    """Computes transfer times and accumulates copy statistics."""
+
+    def __init__(self, interconnect: InterconnectSpec) -> None:
+        self._interconnect = interconnect
+        self.total_bytes = 0.0
+        self.total_time_s = 0.0
+        self.transfer_count = 0
+
+    @property
+    def rate(self) -> float:
+        """Sustained copy rate in bytes/s (the paper's ``s`` in Eq. 2)."""
+        return self._interconnect.rate
+
+    @property
+    def latency_s(self) -> float:
+        return self._interconnect.latency_s
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Wall time of one explicit copy of ``nbytes``."""
+        if nbytes < 0:
+            raise MemoryModelError("transfer size cannot be negative")
+        if nbytes == 0:
+            return 0.0
+        return self._interconnect.latency_s + nbytes / self._interconnect.rate
+
+    def record(self, transfer: Transfer) -> float:
+        """Account for ``transfer`` and return its wall time."""
+        duration = self.transfer_time(transfer.nbytes)
+        self.total_bytes += transfer.nbytes
+        self.total_time_s += duration
+        if transfer.nbytes > 0:
+            self.transfer_count += 1
+        return duration
+
+    def reset(self) -> None:
+        """Clear accumulated statistics (between inference runs)."""
+        self.total_bytes = 0.0
+        self.total_time_s = 0.0
+        self.transfer_count = 0

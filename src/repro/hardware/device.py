@@ -1,0 +1,115 @@
+"""Runtime device: a spec plus mutable memory / copy-engine state.
+
+:class:`Device` is what executors and baselines operate on.  It quotes
+kernel costs (roofline), owns the :class:`~repro.hardware.memory.MemoryModel`
+and :class:`~repro.hardware.copy_engine.CopyEngine`, and exposes the co-run
+contention primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SpecError
+from . import calibration as cal
+from .contention import StreamJob, corun_pair
+from .copy_engine import CopyEngine
+from .memory import MemoryModel
+from .roofline import KernelCost, KernelWork, kernel_cost
+from .specs import DeviceSpec, ProcessorKind, ProcessorSpec
+
+
+class Device:
+    """One simulated platform instance.
+
+    The spec is immutable; :meth:`reset` refreshes the per-run state
+    (buffers, copy statistics) between inferences.
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.memory = MemoryModel(spec)
+        self.copy_engine: Optional[CopyEngine] = (
+            CopyEngine(spec.interconnect) if spec.interconnect is not None else None
+        )
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_integrated(self) -> bool:
+        return self.spec.is_integrated
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.spec.has_gpu
+
+    def processor(self, kind: ProcessorKind) -> ProcessorSpec:
+        """The processor of the requested kind; raises if absent."""
+        if kind is ProcessorKind.CPU:
+            return self.spec.cpu
+        if self.spec.gpu is None:
+            raise SpecError(f"device {self.name!r} has no GPU")
+        return self.spec.gpu
+
+    def reset(self) -> None:
+        """Fresh memory model and copy statistics for a new run."""
+        self.memory = MemoryModel(self.spec)
+        if self.copy_engine is not None:
+            self.copy_engine.reset()
+
+    # -- cost quoting ---------------------------------------------------------
+
+    def kernel_cost(
+        self,
+        proc_kind: ProcessorKind,
+        work: KernelWork,
+        *,
+        mem_bw_factor: float = 1.0,
+        include_launch: bool = True,
+    ) -> KernelCost:
+        """Roofline cost of ``work`` on the given processor."""
+        proc = self.processor(proc_kind)
+        return kernel_cost(
+            self.spec, proc, work,
+            mem_bw_factor=mem_bw_factor, include_launch=include_launch,
+        )
+
+    def copy_rate(self) -> float:
+        """Explicit-copy rate (paper's ``s``); raises for CPU-only devices."""
+        if self.copy_engine is None:
+            raise SpecError(f"device {self.name!r} has no copy engine")
+        return self.copy_engine.rate
+
+    def corun(self, cpu_cost: KernelCost, gpu_cost: KernelCost) -> tuple[float, float]:
+        """Body finish times of a CPU and a GPU kernel co-running.
+
+        On a unified-memory device the streams contend for DRAM (water-
+        filled shared bandwidth) and additionally slow each other down
+        through arbitration/cache interference (CORUN_*_SLOWDOWN, after
+        ref [97]); on a discrete device each side has its own memory and
+        runs at solo speed.  Launch overheads are *not* included (callers
+        schedule them separately on each stream).
+        """
+        if not self.is_integrated:
+            return cpu_cost.body_s, gpu_cost.body_s
+        cpu_job = StreamJob(
+            compute_s=cpu_cost.compute_s,
+            bytes_total=cpu_cost.bytes_moved,
+            solo_rate=cpu_cost.demand_bw if cpu_cost.bytes_moved else 1.0,
+        )
+        gpu_job = StreamJob(
+            compute_s=gpu_cost.compute_s,
+            bytes_total=gpu_cost.bytes_moved,
+            solo_rate=gpu_cost.demand_bw if gpu_cost.bytes_moved else 1.0,
+        )
+        cpu_s, gpu_s = corun_pair(
+            cpu_job,
+            gpu_job,
+            self.spec.memory.bandwidth,
+            corun_efficiency=self.spec.corun_dram_efficiency,
+        )
+        return cpu_s * cal.CORUN_CPU_SLOWDOWN, gpu_s * cal.CORUN_GPU_SLOWDOWN

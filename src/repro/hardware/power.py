@@ -1,0 +1,68 @@
+"""Power and energy accounting.
+
+The paper measures actual draw with jetson-stats / a power meter /
+nvidia-smi and observes that processor utilization is positively related to
+power consumption (§V-B2).  We therefore integrate the utilization-linear
+model of :class:`~repro.hardware.specs.PowerSpec` over a run:
+
+    E = (idle + cpu_dyn * u_cpu + gpu_dyn * u_gpu) * duration
+
+where ``u_x = busy_x / duration`` comes from the simulated timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from .specs import DeviceSpec
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one run on one device."""
+
+    duration_s: float
+    cpu_utilization: float
+    gpu_utilization: float
+    average_power_w: float
+    energy_j: float
+
+    @property
+    def performance_per_watt(self) -> float:
+        """Inferences per joule-second normalization: (1/t) / P = 1 / (t*P)."""
+        if self.duration_s == 0 or self.average_power_w == 0:
+            return float("inf")
+        return 1.0 / (self.duration_s * self.average_power_w)
+
+
+def energy_for_run(
+    device: DeviceSpec,
+    duration_s: float,
+    cpu_busy_s: float,
+    gpu_busy_s: float = 0.0,
+) -> EnergyReport:
+    """Energy of a run given total wall time and per-processor busy time."""
+    if duration_s <= 0:
+        raise SpecError("run duration must be positive")
+    if cpu_busy_s < 0 or gpu_busy_s < 0:
+        raise SpecError("busy times cannot be negative")
+    if gpu_busy_s > 0 and device.gpu is None:
+        raise SpecError(f"{device.name} has no GPU but gpu_busy_s > 0")
+    cpu_util = min(1.0, cpu_busy_s / duration_s)
+    gpu_util = min(1.0, gpu_busy_s / duration_s)
+    power = device.power.power(cpu_util, gpu_util)
+    return EnergyReport(
+        duration_s=duration_s,
+        cpu_utilization=cpu_util,
+        gpu_utilization=gpu_util,
+        average_power_w=power,
+        energy_j=power * duration_s,
+    )
+
+
+def performance_per_dollar(duration_s: float, price_usd: float) -> float:
+    """Throughput per dollar: (1/t) / price."""
+    if duration_s <= 0 or price_usd <= 0:
+        raise SpecError("duration and price must be positive")
+    return 1.0 / (duration_s * price_usd)

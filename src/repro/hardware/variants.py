@@ -1,0 +1,199 @@
+"""Platform variants beyond the paper's testbed.
+
+Two extension groups the paper itself calls out:
+
+* **Jetson power modes** — §V-A: "Jetson AGX Xavier provides three power
+  options of 10W, 15W, and 30W."  The evaluation uses the full-power
+  configuration; :func:`jetson_power_mode` derives the capped modes by
+  scaling clocks/bandwidth the way nvpmodel does (fewer online cores,
+  lower clocks, lower EMC frequency).
+* **Other integrated SoCs** — §V-G: "There are a bunch of hybrid
+  platforms, and the idea behind EdgeNN is applicable to similar
+  platforms, such as AMD's APU and Apple Silicon."  `AMD_RYZEN_APU` and
+  `APPLE_M1_STYLE` are datasheet-built catalog entries that EdgeNN runs on
+  unchanged (both are unified-memory CPU-GPU devices).
+
+Scaling factors are annotated like the main calibration file:
+``[spec]`` datasheet, ``[fit]`` chosen to track public nvpmodel behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from .. import units
+from ..errors import SpecError
+from . import calibration as cal
+from .specs import (
+    JETSON_AGX_XAVIER,
+    DeviceSpec,
+    InterconnectSpec,
+    MemoryKind,
+    MemorySpec,
+    PowerSpec,
+    ProcessorKind,
+    ProcessorSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Jetson nvpmodel power modes
+# ---------------------------------------------------------------------------
+
+#: Per-mode scaling: (cpu clock factor, gpu clock factor, DRAM bw factor,
+#: power budget W).  [fit] follows the public nvpmodel tables: MODE_10W
+#: runs 2 Carmel clusters at ~1.2 GHz and the GPU at ~520 MHz; MODE_15W
+#: 4 cores at ~1.2 GHz, GPU ~670 MHz; MAXN is the evaluation default.
+JETSON_POWER_MODES: Mapping[str, tuple] = {
+    "10W": (0.53, 0.38, 0.60, 10.0),
+    "15W": (0.53, 0.49, 0.78, 15.0),
+    "30W": (1.00, 1.00, 1.00, 30.0),
+}
+
+
+def jetson_power_mode(mode: str) -> DeviceSpec:
+    """The Jetson AGX Xavier under one nvpmodel power cap.
+
+    ``mode`` is one of ``"10W"``, ``"15W"``, ``"30W"`` (the paper's three
+    options); ``"30W"`` returns the catalog device unchanged.
+    """
+    try:
+        cpu_f, gpu_f, bw_f, budget_w = JETSON_POWER_MODES[mode]
+    except KeyError as exc:
+        raise SpecError(
+            f"unknown Jetson power mode {mode!r}; "
+            f"available: {sorted(JETSON_POWER_MODES)}"
+        ) from exc
+    base = JETSON_AGX_XAVIER
+    if mode == "30W":
+        return base
+    cpu = replace(
+        base.cpu,
+        name=f"{base.cpu.name}@{mode}",
+        clock_hz=base.cpu.clock_hz * cpu_f,
+        max_stream_bw=base.cpu.max_stream_bw * bw_f,
+    )
+    gpu = replace(
+        base.gpu,
+        name=f"{base.gpu.name}@{mode}",
+        clock_hz=base.gpu.clock_hz * gpu_f,
+        max_stream_bw=base.gpu.max_stream_bw * bw_f,
+    )
+    memory = replace(
+        base.memory,
+        name=f"{base.memory.name}@{mode}",
+        bandwidth=base.memory.bandwidth * bw_f,
+    )
+    # [fit] dynamic power scales with the clock cuts; idle barely moves.
+    power = PowerSpec(
+        idle_w=base.power.idle_w * 0.9,
+        cpu_dynamic_w=base.power.cpu_dynamic_w * cpu_f,
+        gpu_dynamic_w=base.power.gpu_dynamic_w * gpu_f,
+    )
+    return replace(
+        base,
+        name=f"{base.name}-{mode.lower()}",
+        cpu=cpu,
+        gpu=gpu,
+        memory=memory,
+        power=power,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Other CPU-GPU integrated platforms (§V-G)
+# ---------------------------------------------------------------------------
+
+AMD_RYZEN_APU = DeviceSpec(
+    name="amd-ryzen-apu",
+    cpu=ProcessorSpec(
+        name="ryzen-5700g-cpu",
+        kind=ProcessorKind.CPU,
+        cores=8,                        # [spec] Zen 3, 8C
+        clock_hz=units.gigahertz(3.8),
+        flops_per_cycle=32.0,           # [spec] 2x256-bit FMA
+        max_stream_bw=units.gigabytes_per_second(30.0),
+        launch_overhead_s=cal.CPU_LAUNCH_OVERHEAD_S,
+        # [fit] desktop Zen 3 runs the same naive kernels ~3x the Jetson
+        # CPU's effective rates (wider SIMD, bigger caches).
+        efficiency=cal.JETSON_CPU_EFFICIENCY,
+        peak_flops_override=8 * units.gigahertz(3.8) * 32.0,
+    ),
+    gpu=ProcessorSpec(
+        name="vega8-igpu",
+        kind=ProcessorKind.GPU,
+        cores=512,                      # [spec] 8 CUs x 64 lanes
+        clock_hz=units.gigahertz(2.0),
+        flops_per_cycle=2.0,
+        max_stream_bw=units.gigabytes_per_second(40.0),
+        launch_overhead_s=cal.GPU_LAUNCH_OVERHEAD_S,
+        efficiency=cal.JETSON_GPU_EFFICIENCY,   # [fit] same kernel class
+        saturation_elements=cal.GPU_SATURATION_ELEMENTS,
+    ),
+    memory=MemorySpec(
+        name="ddr4-3200-dual",
+        kind=MemoryKind.UNIFIED,
+        capacity_bytes=units.gigabytes(32.0),
+        bandwidth=units.gigabytes_per_second(51.2),   # [spec]
+    ),
+    interconnect=InterconnectSpec(
+        name="apu-copy-path",
+        rate=units.gigabytes_per_second(10.0),
+        latency_s=cal.INTEGRATED_COPY_LATENCY_S,
+    ),
+    # [spec/fit] 65 W desktop APU envelope.
+    power=PowerSpec(idle_w=12.0, cpu_dynamic_w=28.0, gpu_dynamic_w=18.0),
+    price_usd=359.0,
+)
+
+APPLE_M1_STYLE = DeviceSpec(
+    name="apple-m1-style",
+    cpu=ProcessorSpec(
+        name="m1-cpu",
+        kind=ProcessorKind.CPU,
+        cores=8,                        # [spec] 4P + 4E
+        clock_hz=units.gigahertz(3.2),
+        flops_per_cycle=16.0,
+        # [spec] 4P x 3.2G x 16 + 4E x 2.0G x 8
+        peak_flops_override=4 * units.gigahertz(3.2) * 16 + 4 * units.gigahertz(2.0) * 8,
+        max_stream_bw=units.gigabytes_per_second(55.0),
+        launch_overhead_s=cal.CPU_LAUNCH_OVERHEAD_S,
+        efficiency=cal.MOBILE_CPU_EFFICIENCY,   # [fit] mobile-class cores
+    ),
+    gpu=ProcessorSpec(
+        name="m1-gpu",
+        kind=ProcessorKind.GPU,
+        cores=1024,                     # [spec] 8 cores x 128 ALUs
+        clock_hz=units.gigahertz(1.278),
+        flops_per_cycle=2.0,
+        max_stream_bw=units.gigabytes_per_second(60.0),
+        launch_overhead_s=cal.GPU_LAUNCH_OVERHEAD_S,
+        efficiency=cal.JETSON_GPU_EFFICIENCY,   # [fit]
+        saturation_elements=cal.GPU_SATURATION_ELEMENTS,
+    ),
+    memory=MemorySpec(
+        name="m1-unified-lpddr4x",
+        kind=MemoryKind.UNIFIED,
+        capacity_bytes=units.gigabytes(16.0),
+        bandwidth=units.gigabytes_per_second(68.0),   # [spec]
+    ),
+    interconnect=InterconnectSpec(
+        name="m1-copy-path",
+        rate=units.gigabytes_per_second(20.0),
+        latency_s=units.microseconds(10.0),
+    ),
+    # [spec/fit] fanless ~20 W package ceiling.
+    power=PowerSpec(idle_w=3.0, cpu_dynamic_w=12.0, gpu_dynamic_w=8.0),
+    price_usd=699.0,
+)
+
+#: All variant devices by name (the main catalog stays paper-exact).
+VARIANT_CATALOG: Mapping[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (
+        jetson_power_mode("10W"),
+        jetson_power_mode("15W"),
+        AMD_RYZEN_APU,
+        APPLE_M1_STYLE,
+    )
+}

@@ -1,0 +1,21 @@
+"""Neural network substrate: tensors, layers, graphs, and the six paper
+benchmark networks."""
+
+from .graph import INPUT, BranchSegment, ChainSegment, NetworkGraph, Node, Segment
+from .layer import Layer
+from . import layers, models, spec, tensor, weights
+
+__all__ = [
+    "INPUT",
+    "BranchSegment",
+    "ChainSegment",
+    "Layer",
+    "NetworkGraph",
+    "Node",
+    "Segment",
+    "layers",
+    "models",
+    "spec",
+    "tensor",
+    "weights",
+]

@@ -1,0 +1,323 @@
+"""Network DAG.
+
+The paper's tuner "divides the network into layers and builds a directed
+acyclic graph (DAG) whose nodes represent layers and edges represent the
+execution sequences of layers" (§IV-A).  :class:`NetworkGraph` is that DAG,
+plus:
+
+* shape inference and validation at construction time,
+* per-layer :class:`~repro.hardware.roofline.KernelWork` accounting,
+* a reference NumPy forward pass,
+* **segmentation** into chain parts and branch (non-chain) parts — the
+  structure EdgeNN's scheduler reasons about (Figure 5): chains are
+  candidates for intra-kernel CPU/GPU splits, parallel branches for
+  inter-kernel assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError, ShapeError
+from ..hardware.roofline import KernelWork
+from . import tensor, weights
+from .layer import Layer, Shape
+
+#: Name of the pseudo-node feeding the first layer.
+INPUT = "input"
+
+
+@dataclass
+class Node:
+    """One layer instance bound into a graph, with resolved shapes."""
+
+    layer: Layer
+    input_names: Tuple[str, ...]
+    in_shapes: Tuple[Shape, ...]
+    out_shape: Shape
+    successors: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def in_degree(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def out_degree(self) -> int:
+        return len(self.successors)
+
+
+@dataclass(frozen=True)
+class ChainSegment:
+    """A maximal single-path run of layers: must execute in sequence, so the
+    only co-running opportunity is intra-kernel partitioning of each layer."""
+
+    layers: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BranchSegment:
+    """Parallel independent chains between a fork and its join layer.
+
+    ``branches`` may contain an empty tuple — an identity shortcut
+    (ResNet).  ``join`` is the layer where the branches reconverge
+    (``concat`` / ``add``); it executes after all branches synchronize.
+    """
+
+    branches: Tuple[Tuple[str, ...], ...]
+    join: str
+
+
+Segment = ChainSegment | BranchSegment
+
+
+class NetworkGraph:
+    """A validated layer DAG for one neural network."""
+
+    def __init__(self, name: str, input_shape: Sequence[int]) -> None:
+        if not name:
+            raise GraphError("network name cannot be empty")
+        self.name = name
+        self.input_shape: Shape = tensor.validate_shape(input_shape)
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []       # insertion order == topological
+        self._last_added: Optional[str] = None
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, layer: Layer, inputs: Optional[Iterable[str]] = None) -> str:
+        """Add a layer.
+
+        ``inputs`` defaults to the previously added layer (or the network
+        input for the first layer) so linear networks read naturally.
+        Returns the layer name.
+        """
+        name = layer.name
+        if name == INPUT:
+            raise GraphError(f"layer may not be named {INPUT!r}")
+        if name in self._nodes:
+            raise GraphError(f"duplicate layer name {name!r}")
+        if inputs is None:
+            inputs = (self._last_added if self._last_added is not None else INPUT,)
+        input_names = tuple(inputs)
+        if not input_names:
+            raise GraphError(f"layer {name!r} has no inputs")
+        in_shapes: List[Shape] = []
+        for src in input_names:
+            if src == INPUT:
+                in_shapes.append(self.input_shape)
+            elif src in self._nodes:
+                in_shapes.append(self._nodes[src].out_shape)
+            else:
+                raise GraphError(
+                    f"layer {name!r} depends on unknown layer {src!r} "
+                    "(layers must be added in topological order)"
+                )
+        out_shape = layer.infer_shape(in_shapes)
+        tensor.validate_shape(out_shape)
+        node = Node(
+            layer=layer,
+            input_names=input_names,
+            in_shapes=tuple(in_shapes),
+            out_shape=out_shape,
+        )
+        self._nodes[name] = node
+        for src in input_names:
+            if src != INPUT:
+                self._nodes[src].successors.append(name)
+        self._order.append(name)
+        self._last_added = name
+        return name
+
+    # -- structure --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise GraphError(f"unknown layer {name!r}") from exc
+
+    def topo_order(self) -> List[str]:
+        """Layer names in a valid execution order."""
+        return list(self._order)
+
+    @property
+    def output_name(self) -> str:
+        """The unique sink layer."""
+        sinks = [n for n in self._order if self._nodes[n].out_degree == 0]
+        if len(sinks) != 1:
+            raise GraphError(
+                f"network {self.name!r} must have exactly one output, "
+                f"found {sinks}"
+            )
+        return sinks[0]
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.node(self.output_name).out_shape
+
+    def work(self, name: str) -> KernelWork:
+        """Kernel work of one layer."""
+        node = self.node(name)
+        return node.layer.work(node.in_shapes, node.out_shape)
+
+    def out_bytes(self, name: str) -> int:
+        """Output bytes of one layer (the paper's ``v_o``)."""
+        return tensor.nbytes(self.node(name).out_shape)
+
+    def total_param_bytes(self) -> int:
+        """Total parameter bytes of the network."""
+        return sum(
+            self._nodes[n].layer.param_bytes(self._nodes[n].in_shapes)
+            for n in self._order
+        )
+
+    def total_flops(self) -> float:
+        """Total forward-pass FLOPs."""
+        return sum(self.work(n).flops for n in self._order)
+
+    def layers_of_class(self, kernel_class: str) -> List[str]:
+        """Layer names whose roofline class matches (e.g. 'conv', 'dense')."""
+        return [
+            n for n in self._order
+            if self._nodes[n].layer.kernel_class == kernel_class
+        ]
+
+    # -- segmentation -------------------------------------------------------------
+
+    def segments(self) -> List[Segment]:
+        """Partition the DAG into chain and branch segments (Figure 5).
+
+        Supports fork-join regions whose branches are simple chains (fire
+        modules, residual blocks).  Nested forks raise :class:`GraphError`.
+        """
+        first = self._first_layer()
+        segments: List[Segment] = []
+        chain: List[str] = []
+        cur: Optional[str] = first
+        while cur is not None:
+            node = self._nodes[cur]
+            chain.append(cur)
+            if node.out_degree == 0:
+                break
+            if node.out_degree == 1:
+                cur = node.successors[0]
+                continue
+            # Fork: flush the chain (including the fork layer) and walk
+            # each branch to the common join.
+            segments.append(ChainSegment(tuple(chain)))
+            chain = []
+            branches, join = self._walk_branches(cur)
+            segments.append(BranchSegment(branches=branches, join=join))
+            cur = join
+        if chain:
+            segments.append(ChainSegment(tuple(chain)))
+        covered = sum(
+            len(s.layers) if isinstance(s, ChainSegment)
+            else sum(len(b) for b in s.branches)
+            for s in segments
+        )
+        if covered != len(self._nodes):
+            raise GraphError(
+                f"segmentation covered {covered} of {len(self._nodes)} layers; "
+                "the DAG has structure beyond chain/fork-join"
+            )
+        return segments
+
+    def _first_layer(self) -> str:
+        roots = [n for n in self._order if self._nodes[n].input_names == (INPUT,)]
+        if len(roots) != 1:
+            raise GraphError(
+                f"network {self.name!r} must have exactly one entry layer, "
+                f"found {roots}"
+            )
+        return roots[0]
+
+    def _walk_branches(
+        self, fork: str
+    ) -> Tuple[Tuple[Tuple[str, ...], ...], str]:
+        branches: List[Tuple[str, ...]] = []
+        join: Optional[str] = None
+        for succ in self._nodes[fork].successors:
+            branch: List[str] = []
+            cur = succ
+            while self._nodes[cur].in_degree == 1:
+                node = self._nodes[cur]
+                if node.out_degree != 1:
+                    raise GraphError(
+                        f"branch from {fork!r} has nested fork or dead end "
+                        f"at {cur!r}"
+                    )
+                branch.append(cur)
+                cur = node.successors[0]
+            if join is None:
+                join = cur
+            elif join != cur:
+                raise GraphError(
+                    f"branches from {fork!r} reconverge at different layers "
+                    f"({join!r} vs {cur!r})"
+                )
+            branches.append(tuple(branch))
+        assert join is not None
+        return tuple(branches), join
+
+    # -- numerics -------------------------------------------------------------------
+
+    def materialize_params(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Deterministic parameters for every layer."""
+        return {
+            name: weights.materialize(
+                self.name, name, node.layer.param_shapes(node.in_shapes)
+            )
+            for name, node in self._nodes.items()
+        }
+
+    def forward(
+        self,
+        x: np.ndarray,
+        params: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """Reference forward pass; validates the input shape."""
+        if tuple(x.shape) != self.input_shape:
+            raise ShapeError(
+                f"input shape {x.shape} != network input {self.input_shape}"
+            )
+        if params is None:
+            params = self.materialize_params()
+        values: Dict[str, np.ndarray] = {INPUT: x.astype(np.float32)}
+        for name in self._order:
+            node = self._nodes[name]
+            inputs = [values[src] for src in node.input_names]
+            out = node.layer.forward(inputs, params.get(name, {}))
+            if tuple(out.shape) != node.out_shape:
+                raise ShapeError(
+                    f"layer {name!r} produced {out.shape}, "
+                    f"declared {node.out_shape}"
+                )
+            values[name] = out
+        return values[self.output_name]
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        lines = [f"{self.name} (input {self.input_shape})"]
+        for name in self._order:
+            node = self._nodes[name]
+            work = self.work(name)
+            lines.append(
+                f"  {name:<16} {type(node.layer).__name__:<12} "
+                f"out={node.out_shape!s:<18} "
+                f"flops={work.flops / 1e6:9.2f}M params={work.weight_bytes / 1e6:8.3f}MB"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Layer base class.
+
+A layer knows three things:
+
+1. **Shape semantics** — output shape from input shapes
+   (:meth:`infer_shape`) and parameter shapes (:meth:`param_shapes`).
+2. **Cost semantics** — the :class:`~repro.hardware.roofline.KernelWork`
+   it generates (:meth:`work`), used by the simulator and EdgeNN's tuner.
+3. **Numerics** — a reference NumPy forward pass (:meth:`forward`),
+   independent of the timing model, used for functional tests and the
+   ``infer`` API.
+
+Layers are shape-agnostic objects; the :class:`~repro.nn.graph.NetworkGraph`
+resolves and caches concrete shapes when layers are added.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.roofline import KernelWork
+from . import tensor
+
+Shape = Tuple[int, ...]
+
+
+class Layer(abc.ABC):
+    """Abstract network layer."""
+
+    #: Roofline kernel class (see calibration.KERNEL_CLASSES).
+    kernel_class: str = "activation"
+
+    #: Whether EdgeNN may split this layer between CPU and GPU
+    #: (intra-kernel co-running along the output-channel dimension).
+    partitionable: bool = False
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("layer name cannot be empty")
+        self.name = name
+
+    # -- shape semantics -----------------------------------------------------
+
+    @abc.abstractmethod
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        """Output shape given input shapes; raises ShapeError on mismatch."""
+
+    def param_shapes(self, in_shapes: Sequence[Shape]) -> Dict[str, Shape]:
+        """Parameter name → shape (empty for parameter-free layers)."""
+        return {}
+
+    def param_bytes(self, in_shapes: Sequence[Shape]) -> int:
+        """Total parameter bytes of this layer."""
+        return sum(tensor.nbytes(s) for s in self.param_shapes(in_shapes).values())
+
+    # -- cost semantics ------------------------------------------------------
+
+    @abc.abstractmethod
+    def flops(self, in_shapes: Sequence[Shape], out_shape: Shape) -> float:
+        """Floating point operations of one forward pass."""
+
+    def work(self, in_shapes: Sequence[Shape], out_shape: Shape) -> KernelWork:
+        """Roofline work descriptor of this layer."""
+        return KernelWork(
+            kernel_class=self.kernel_class,
+            flops=self.flops(in_shapes, out_shape),
+            act_in_bytes=float(sum(tensor.nbytes(s) for s in in_shapes)),
+            weight_bytes=float(self.param_bytes(in_shapes)),
+            out_bytes=float(tensor.nbytes(out_shape)),
+            out_elements=float(tensor.numel(out_shape)),
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        """True for layers that cost nothing at inference (dropout, flatten):
+        they appear in the DAG for structural parity with the paper's layer
+        counts but schedule no kernel."""
+        return False
+
+    # -- numerics -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def forward(
+        self, inputs: List[np.ndarray], params: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Reference NumPy forward pass."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

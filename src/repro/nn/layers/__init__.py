@@ -1,0 +1,27 @@
+"""Concrete layer implementations."""
+
+from .activation import Add, ReLU, Softmax
+from .conv import Conv2D, im2col
+from .dense import Dense
+from .depthwise import DepthwiseConv2D
+from .norm import LRN, BatchNorm2D
+from .pool import AvgPool2D, GlobalAvgPool, MaxPool2D
+from .shape_ops import Concat, Dropout, Flatten
+
+__all__ = [
+    "Add",
+    "AvgPool2D",
+    "BatchNorm2D",
+    "Concat",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "LRN",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "im2col",
+]

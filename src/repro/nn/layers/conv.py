@@ -1,0 +1,91 @@
+"""2-D convolution."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from .. import tensor
+from ..layer import Layer, Shape
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold ``(C, H, W)`` into ``(C*k*k, out_h*out_w)`` patches."""
+    c, h, w = x.shape
+    out_h, out_w = tensor.conv_output_hw((h, w), kernel, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            cols[:, ki, kj] = x[
+                :,
+                ki : ki + stride * out_h : stride,
+                kj : kj + stride * out_w : stride,
+            ]
+    return cols.reshape(c * kernel * kernel, out_h * out_w)
+
+
+class Conv2D(Layer):
+    """Standard convolution over ``(C, H, W)`` feature maps.
+
+    FLOPs count multiply-accumulates as 2 ops plus the bias add, the
+    convention used by the networks the paper evaluates.
+    """
+
+    kernel_class = "conv"
+    partitionable = True  # split by output channels (paper §IV-D)
+
+    def __init__(
+        self,
+        name: str,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if out_channels <= 0 or kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ShapeError(f"{name}: bad conv hyper-parameters")
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        if len(in_shapes) != 1 or not tensor.is_chw(in_shapes[0]):
+            raise ShapeError(f"{self.name}: expects one (C,H,W) input, got {in_shapes}")
+        c, h, w = in_shapes[0]
+        out_h, out_w = tensor.conv_output_hw(
+            (h, w), self.kernel_size, self.stride, self.padding
+        )
+        return (self.out_channels, out_h, out_w)
+
+    def param_shapes(self, in_shapes: Sequence[Shape]) -> Dict[str, Shape]:
+        c = in_shapes[0][0]
+        k = self.kernel_size
+        return {
+            "weight": (self.out_channels, c, k, k),
+            "bias": (self.out_channels,),
+        }
+
+    def flops(self, in_shapes: Sequence[Shape], out_shape: Shape) -> float:
+        c = in_shapes[0][0]
+        o, out_h, out_w = out_shape
+        macs = o * out_h * out_w * c * self.kernel_size * self.kernel_size
+        return 2.0 * macs + o * out_h * out_w  # MACs + bias add
+
+    def forward(
+        self, inputs: List[np.ndarray], params: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        (x,) = inputs
+        weight, bias = params["weight"], params["bias"]
+        o, c, k, _ = weight.shape
+        out_h, out_w = tensor.conv_output_hw(
+            x.shape[1:], self.kernel_size, self.stride, self.padding
+        )
+        cols = im2col(x, k, self.stride, self.padding)
+        out = weight.reshape(o, c * k * k) @ cols + bias[:, None]
+        return out.reshape(o, out_h, out_w).astype(np.float32)

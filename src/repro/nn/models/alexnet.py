@@ -1,0 +1,51 @@
+"""AlexNet (paper benchmark 3).
+
+25 layers counting activations/pool/norm/dropout, matching the paper's
+"AlexNet has 25 layers".  All its convolutions have large input/output
+scales — the regime where the paper measures zero benefit from CPU help on
+conv layers but 48-58% improvement on the fc layers (Table I, Figure 11).
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import (
+    LRN,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+
+def build_alexnet(classes: int = 1000) -> NetworkGraph:
+    """Build AlexNet for (3, 227, 227) inputs (single-GPU variant)."""
+    net = NetworkGraph("alexnet", (3, 227, 227))
+    net.add(Conv2D("conv1", out_channels=96, kernel_size=11, stride=4))
+    net.add(ReLU("relu1"))
+    net.add(LRN("norm1"))
+    net.add(MaxPool2D("pool1", kernel_size=3, stride=2))
+    net.add(Conv2D("conv2", out_channels=256, kernel_size=5, padding=2))
+    net.add(ReLU("relu2"))
+    net.add(LRN("norm2"))
+    net.add(MaxPool2D("pool2", kernel_size=3, stride=2))
+    net.add(Conv2D("conv3", out_channels=384, kernel_size=3, padding=1))
+    net.add(ReLU("relu3"))
+    net.add(Conv2D("conv4", out_channels=384, kernel_size=3, padding=1))
+    net.add(ReLU("relu4"))
+    net.add(Conv2D("conv5", out_channels=256, kernel_size=3, padding=1))
+    net.add(ReLU("relu5"))
+    net.add(MaxPool2D("pool5", kernel_size=3, stride=2))
+    net.add(Flatten("flatten"))
+    net.add(Dropout("drop6"))
+    net.add(Dense("fc6", 4096))
+    net.add(ReLU("relu6"))
+    net.add(Dropout("drop7"))
+    net.add(Dense("fc7", 4096))
+    net.add(ReLU("relu7"))
+    net.add(Dense("fc8", classes))
+    net.add(Softmax("softmax"))
+    return net

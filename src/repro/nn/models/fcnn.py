@@ -1,0 +1,29 @@
+"""Fully connected neural network (paper benchmark 1).
+
+"A FCNN consists of at least three layers: an input layer, at least one
+hidden layer, and an output layer.  The FCNN in this work has three hidden
+layers."  We use MNIST-sized inputs (784) with 4096-wide hidden layers so
+the fc workload is substantial enough to exercise the memory system, the
+regime the paper's fc observations (Table I) are about.
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import Dense, ReLU, Softmax
+
+
+def build_fcnn(
+    input_features: int = 784,
+    hidden: int = 4096,
+    num_hidden: int = 3,
+    classes: int = 10,
+) -> NetworkGraph:
+    """Build the FCNN benchmark network."""
+    net = NetworkGraph("fcnn", (input_features,))
+    for i in range(1, num_hidden + 1):
+        net.add(Dense(f"fc{i}", hidden))
+        net.add(ReLU(f"relu{i}"))
+    net.add(Dense(f"fc{num_hidden + 1}", classes))
+    net.add(Softmax("softmax"))
+    return net

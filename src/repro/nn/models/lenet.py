@@ -1,0 +1,31 @@
+"""LeNet-5 (paper benchmark 2).
+
+The classical 7-layer CNN: two conv+pool stages and three fully connected
+layers, on 28x28 single-channel inputs.  Its convolutions are tiny — the
+regime where the paper finds CPU help profitable even for conv layers
+(Table I: LeNet conv improvement 4.95-36.25%).
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+
+
+def build_lenet(classes: int = 10) -> NetworkGraph:
+    """Build LeNet-5 for (1, 28, 28) inputs."""
+    net = NetworkGraph("lenet", (1, 28, 28))
+    net.add(Conv2D("conv1", out_channels=6, kernel_size=5, padding=2))
+    net.add(ReLU("relu1"))
+    net.add(MaxPool2D("pool1", kernel_size=2))
+    net.add(Conv2D("conv2", out_channels=16, kernel_size=5))
+    net.add(ReLU("relu2"))
+    net.add(MaxPool2D("pool2", kernel_size=2))
+    net.add(Flatten("flatten"))
+    net.add(Dense("fc3", 120))
+    net.add(ReLU("relu3"))
+    net.add(Dense("fc4", 84))
+    net.add(ReLU("relu4"))
+    net.add(Dense("fc5", classes))
+    net.add(Softmax("softmax"))
+    return net

@@ -1,0 +1,64 @@
+"""MobileNetV1 (extension — not in the paper's benchmark suite).
+
+The canonical mobile/edge CNN: 13 depthwise-separable blocks
+(depthwise 3x3 + pointwise 1x1, each followed by batch-norm and ReLU).
+Added to demonstrate EdgeNN on the architecture family real edge
+deployments actually ship, and to exercise the depthwise layer's
+extremely-low-arithmetic-intensity regime.
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import BatchNorm2D, Conv2D, Dense, GlobalAvgPool, ReLU, Softmax
+from ..layers.depthwise import DepthwiseConv2D
+
+#: (pointwise output channels, depthwise stride) for the 13 blocks.
+MOBILENET_PLAN = (
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+)
+
+
+def _conv_bn_relu(net: NetworkGraph, name: str, layer) -> None:
+    net.add(layer)
+    net.add(BatchNorm2D(f"{name}/bn"))
+    net.add(ReLU(f"{name}/relu"))
+
+
+def build_mobilenet_v1(classes: int = 1000, width_multiplier: float = 1.0) -> NetworkGraph:
+    """Build MobileNetV1 for (3, 224, 224) inputs.
+
+    ``width_multiplier`` scales every channel count (the paper's alpha),
+    letting users sweep model capacity through the simulator.
+    """
+    if not 0.0 < width_multiplier <= 1.0:
+        raise ValueError("width_multiplier must be in (0, 1]")
+
+    def width(channels: int) -> int:
+        return max(8, int(channels * width_multiplier))
+
+    net = NetworkGraph("mobilenet-v1", (3, 224, 224))
+    _conv_bn_relu(
+        net, "conv1",
+        Conv2D("conv1", out_channels=width(32), kernel_size=3, stride=2,
+               padding=1),
+    )
+    for i, (channels, stride) in enumerate(MOBILENET_PLAN, start=1):
+        dw = f"block{i}/dw"
+        _conv_bn_relu(
+            net, dw,
+            DepthwiseConv2D(dw, kernel_size=3, stride=stride, padding=1),
+        )
+        pw = f"block{i}/pw"
+        _conv_bn_relu(
+            net, pw,
+            Conv2D(pw, out_channels=width(channels), kernel_size=1),
+        )
+    net.add(GlobalAvgPool("gap"))
+    net.add(Dense("fc", classes))
+    net.add(Softmax("softmax"))
+    return net

@@ -1,0 +1,79 @@
+"""ResNet-18 (paper benchmark 6).
+
+Residual basic blocks: the main path (conv-bn-relu-conv-bn) runs in
+parallel with an identity or 1x1-conv shortcut, reconverging at an
+elementwise add — the second source of non-chain DAG structure the paper's
+inter-kernel co-running exploits (§V-F names SqueezeNet and ResNet as the
+two benchmarks with independent parts).
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import (
+    Add,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+
+def add_basic_block(
+    net: NetworkGraph,
+    name: str,
+    fork: str,
+    out_channels: int,
+    stride: int = 1,
+) -> str:
+    """Append one residual basic block reading from layer ``fork``.
+
+    Returns the name of the block's final ReLU.  A projection shortcut
+    (1x1 conv + bn) is inserted when the shape changes, otherwise the
+    shortcut is the identity edge straight into the add.
+    """
+    net.add(Conv2D(f"{name}/conv1", out_channels, kernel_size=3,
+                   stride=stride, padding=1), inputs=[fork])
+    net.add(BatchNorm2D(f"{name}/bn1"))
+    net.add(ReLU(f"{name}/relu1"))
+    net.add(Conv2D(f"{name}/conv2", out_channels, kernel_size=3, padding=1))
+    main = net.add(BatchNorm2D(f"{name}/bn2"))
+    in_shape = net.node(fork).out_shape
+    needs_projection = stride != 1 or in_shape[0] != out_channels
+    if needs_projection:
+        net.add(Conv2D(f"{name}/down_conv", out_channels, kernel_size=1,
+                       stride=stride), inputs=[fork])
+        shortcut = net.add(BatchNorm2D(f"{name}/down_bn"))
+    else:
+        shortcut = fork
+    net.add(Add(f"{name}/add"), inputs=[main, shortcut])
+    return net.add(ReLU(f"{name}/relu2"))
+
+
+#: (channels, first-block stride) of the four ResNet-18 stages.
+STAGE_PLAN = ((64, 1), (128, 2), (256, 2), (512, 2))
+
+
+def build_resnet18(classes: int = 1000) -> NetworkGraph:
+    """Build ResNet-18 for (3, 224, 224) inputs."""
+    net = NetworkGraph("resnet18", (3, 224, 224))
+    net.add(Conv2D("conv1", out_channels=64, kernel_size=7, stride=2, padding=3))
+    net.add(BatchNorm2D("bn1"))
+    net.add(ReLU("relu1"))
+    cursor = net.add(MaxPool2D("pool1", kernel_size=3, stride=2, padding=1))
+    for stage, (channels, stride) in enumerate(STAGE_PLAN, start=1):
+        for block in (1, 2):
+            cursor = add_basic_block(
+                net,
+                f"layer{stage}.{block}",
+                cursor,
+                channels,
+                stride=stride if block == 1 else 1,
+            )
+    net.add(GlobalAvgPool("gap"), inputs=[cursor])
+    net.add(Dense("fc", classes))
+    net.add(Softmax("softmax"))
+    return net

@@ -1,0 +1,73 @@
+"""SqueezeNet v1.0 (paper benchmark 5).
+
+AlexNet-level accuracy with 50x fewer parameters.  Its fire modules give
+the DAG the non-chain structure of the paper's Figure 5: a squeeze layer
+forking into parallel expand-1x1 and expand-3x3 chains that reconverge at a
+channel concat — the inter-kernel co-running opportunity (§IV-D, §V-F).
+More than 60 layers in total, matching the paper.
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import (
+    Concat,
+    Conv2D,
+    Dropout,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+
+def add_fire_module(
+    net: NetworkGraph,
+    index: int,
+    squeeze: int,
+    expand1x1: int,
+    expand3x3: int,
+) -> str:
+    """Append fire module ``fire{index}`` after the last layer; returns the
+    name of its concat output layer."""
+    prefix = f"fire{index}"
+    net.add(Conv2D(f"{prefix}/squeeze", out_channels=squeeze, kernel_size=1))
+    fork = net.add(ReLU(f"{prefix}/squeeze_relu"))
+    net.add(Conv2D(f"{prefix}/expand1x1", out_channels=expand1x1, kernel_size=1),
+            inputs=[fork])
+    left = net.add(ReLU(f"{prefix}/expand1x1_relu"))
+    net.add(Conv2D(f"{prefix}/expand3x3", out_channels=expand3x3, kernel_size=3,
+                   padding=1), inputs=[fork])
+    right = net.add(ReLU(f"{prefix}/expand3x3_relu"))
+    return net.add(Concat(f"{prefix}/concat"), inputs=[left, right])
+
+
+#: (squeeze, expand1x1, expand3x3) per fire module 2..9 of SqueezeNet v1.0.
+FIRE_PLAN = (
+    (16, 64, 64),
+    (16, 64, 64),
+    (32, 128, 128),
+    (32, 128, 128),
+    (48, 192, 192),
+    (48, 192, 192),
+    (64, 256, 256),
+    (64, 256, 256),
+)
+
+
+def build_squeezenet(classes: int = 1000) -> NetworkGraph:
+    """Build SqueezeNet v1.0 for (3, 224, 224) inputs."""
+    net = NetworkGraph("squeezenet", (3, 224, 224))
+    net.add(Conv2D("conv1", out_channels=96, kernel_size=7, stride=2))
+    net.add(ReLU("relu1"))
+    net.add(MaxPool2D("pool1", kernel_size=3, stride=2))
+    for i, (s, e1, e3) in enumerate(FIRE_PLAN, start=2):
+        add_fire_module(net, i, s, e1, e3)
+        if i in (4, 8):  # v1.0 pools after fire4 and fire8
+            net.add(MaxPool2D(f"pool{i}", kernel_size=3, stride=2))
+    net.add(Dropout("drop9"))
+    net.add(Conv2D("conv10", out_channels=classes, kernel_size=1))
+    net.add(ReLU("relu10"))
+    net.add(GlobalAvgPool("gap"))
+    net.add(Softmax("softmax"))
+    return net

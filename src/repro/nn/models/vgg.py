@@ -1,0 +1,48 @@
+"""VGG-16 (paper benchmark 4).
+
+16 weight layers (13 conv + 3 fc); with activations/pools/dropout the graph
+has ~40 layers, matching the paper's "VGG has 40 layers".  It is by far the
+most compute-intensive benchmark — the one network where the paper finds
+cloud discrete-GPU inference beats EdgeNN (Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph import NetworkGraph
+from ..layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Softmax
+
+#: Channel plan of VGG-16: conv widths, "M" = 2x2 max pool.
+VGG16_PLAN: Sequence[object] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def build_vgg16(classes: int = 1000) -> NetworkGraph:
+    """Build VGG-16 for (3, 224, 224) inputs."""
+    net = NetworkGraph("vgg16", (3, 224, 224))
+    conv_idx, pool_idx = 0, 0
+    for item in VGG16_PLAN:
+        if item == "M":
+            pool_idx += 1
+            net.add(MaxPool2D(f"pool{pool_idx}", kernel_size=2))
+        else:
+            conv_idx += 1
+            net.add(Conv2D(f"conv{conv_idx}", out_channels=int(item),
+                           kernel_size=3, padding=1))
+            net.add(ReLU(f"relu{conv_idx}"))
+    net.add(Flatten("flatten"))
+    net.add(Dense("fc14", 4096))
+    net.add(ReLU("relu_fc14"))
+    net.add(Dropout("drop14"))
+    net.add(Dense("fc15", 4096))
+    net.add(ReLU("relu_fc15"))
+    net.add(Dropout("drop15"))
+    net.add(Dense("fc16", classes))
+    net.add(Softmax("softmax"))
+    return net

@@ -1,0 +1,144 @@
+"""Config-driven network definition.
+
+Lets users define networks from plain dictionaries (or JSON files) instead
+of Python code — convenient for sweeping architectures through the
+simulator from configuration:
+
+    spec = {
+        "name": "tiny-cnn",
+        "input": [3, 32, 32],
+        "layers": [
+            {"type": "conv", "name": "c1", "out_channels": 16,
+             "kernel_size": 3, "padding": 1},
+            {"type": "relu", "name": "r1"},
+            {"type": "maxpool", "name": "p1", "kernel_size": 2},
+            {"type": "flatten", "name": "f"},
+            {"type": "dense", "name": "fc", "out_features": 10},
+            {"type": "softmax", "name": "s"},
+        ],
+    }
+    net = network_from_spec(spec)
+
+Fork/join structure uses explicit ``inputs`` lists, exactly like
+``NetworkGraph.add``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Mapping, Union
+
+from ..errors import GraphError
+from .graph import NetworkGraph
+from .layer import Layer
+from .layers.depthwise import DepthwiseConv2D
+from .layers import (
+    LRN,
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+#: type tag -> (layer class, accepted hyper-parameter keys)
+_LAYER_TYPES: Mapping[str, tuple] = {
+    "conv": (Conv2D, ("out_channels", "kernel_size", "stride", "padding")),
+    "dense": (Dense, ("out_features",)),
+    "depthwise": (DepthwiseConv2D, ("kernel_size", "stride", "padding")),
+    "maxpool": (MaxPool2D, ("kernel_size", "stride", "padding")),
+    "avgpool": (AvgPool2D, ("kernel_size", "stride", "padding")),
+    "globalavgpool": (GlobalAvgPool, ()),
+    "relu": (ReLU, ()),
+    "add": (Add, ()),
+    "softmax": (Softmax, ()),
+    "lrn": (LRN, ("size", "alpha", "beta", "k")),
+    "batchnorm": (BatchNorm2D, ("eps",)),
+    "dropout": (Dropout, ("rate",)),
+    "flatten": (Flatten, ()),
+    "concat": (Concat, ()),
+}
+
+
+def layer_from_spec(spec: Mapping[str, Any]) -> Layer:
+    """Instantiate one layer from its dictionary description."""
+    try:
+        type_tag = spec["type"]
+        name = spec["name"]
+    except KeyError as exc:
+        raise GraphError(f"layer spec needs 'type' and 'name': {spec}") from exc
+    try:
+        cls, allowed = _LAYER_TYPES[type_tag]
+    except KeyError as exc:
+        raise GraphError(
+            f"unknown layer type {type_tag!r}; "
+            f"available: {sorted(_LAYER_TYPES)}"
+        ) from exc
+    extras = set(spec) - {"type", "name", "inputs"} - set(allowed)
+    if extras:
+        raise GraphError(
+            f"layer {name!r} ({type_tag}): unexpected keys {sorted(extras)}"
+        )
+    kwargs = {k: spec[k] for k in allowed if k in spec}
+    return cls(name, **kwargs)
+
+
+def network_from_spec(spec: Mapping[str, Any]) -> NetworkGraph:
+    """Build a validated :class:`NetworkGraph` from a dictionary spec."""
+    try:
+        name = spec["name"]
+        input_shape = spec["input"]
+        layer_specs = spec["layers"]
+    except KeyError as exc:
+        raise GraphError(
+            "network spec needs 'name', 'input', and 'layers'"
+        ) from exc
+    if not layer_specs:
+        raise GraphError(f"network {name!r} has no layers")
+    net = NetworkGraph(name, tuple(input_shape))
+    for layer_spec in layer_specs:
+        layer = layer_from_spec(layer_spec)
+        inputs = layer_spec.get("inputs")
+        net.add(layer, inputs=inputs)
+    net.output_name  # validates single-sink
+    return net
+
+
+def network_from_json(path: Union[str, pathlib.Path]) -> NetworkGraph:
+    """Load a network spec from a JSON file."""
+    with open(path) as f:
+        return network_from_spec(json.load(f))
+
+
+def network_to_spec(net: NetworkGraph) -> Dict[str, Any]:
+    """Serialize a graph back into the spec format (round-trips
+    ``network_from_spec``)."""
+    from .graph import INPUT
+
+    reverse = {cls: tag for tag, (cls, _) in _LAYER_TYPES.items()}
+    order = net.topo_order()
+    layers = []
+    for i, layer_name in enumerate(order):
+        node = net.node(layer_name)
+        cls = type(node.layer)
+        if cls not in reverse:
+            raise GraphError(f"layer class {cls.__name__} has no spec tag")
+        tag = reverse[cls]
+        entry: Dict[str, Any] = {"type": tag, "name": layer_name}
+        _, allowed = _LAYER_TYPES[tag]
+        for key in allowed:
+            if hasattr(node.layer, key):
+                entry[key] = getattr(node.layer, key)
+        implicit = (INPUT,) if i == 0 else (order[i - 1],)
+        if node.input_names != implicit:
+            entry["inputs"] = list(node.input_names)
+        layers.append(entry)
+    return {"name": net.name, "input": list(net.input_shape), "layers": layers}

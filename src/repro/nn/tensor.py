@@ -1,0 +1,65 @@
+"""Tensor shape descriptors.
+
+Inference runs at batch size 1 (the paper's setting), so shapes omit the
+batch dimension: feature maps are ``(C, H, W)`` and vectors are ``(N,)``.
+All activations and parameters are float32 (4 bytes/element).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import ShapeError
+
+#: Bytes per element (float32 everywhere).
+DTYPE_BYTES = 4
+
+
+def validate_shape(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Normalize and validate a shape tuple."""
+    shape = tuple(int(d) for d in shape)
+    if not shape:
+        raise ShapeError("empty shape")
+    if any(d <= 0 for d in shape):
+        raise ShapeError(f"non-positive dimension in shape {shape}")
+    return shape
+
+
+def numel(shape: Sequence[int]) -> int:
+    """Number of elements of a shape."""
+    return math.prod(validate_shape(shape))
+
+
+def nbytes(shape: Sequence[int]) -> int:
+    """Size in bytes of a float32 tensor of this shape."""
+    return numel(shape) * DTYPE_BYTES
+
+
+def is_chw(shape: Sequence[int]) -> bool:
+    """True for a 3-D (channels, height, width) feature-map shape."""
+    return len(shape) == 3
+
+
+def is_vector(shape: Sequence[int]) -> bool:
+    """True for a 1-D shape."""
+    return len(shape) == 1
+
+
+def conv_output_hw(
+    in_hw: Tuple[int, int], kernel: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """Spatial output size of a conv/pool window (floor semantics)."""
+    h, w = in_hw
+    if kernel <= 0 or stride <= 0 or padding < 0:
+        raise ShapeError(
+            f"bad window: kernel={kernel} stride={stride} padding={padding}"
+        )
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"window (k={kernel}, s={stride}, p={padding}) does not fit "
+            f"input {in_hw}"
+        )
+    return out_h, out_w

@@ -1,0 +1,52 @@
+"""Deterministic parameter materialization.
+
+The paper's benchmarks initialize weights host-side and measure inference
+latency; values do not matter for timing, but our functional forward passes
+need real arrays.  Parameters are generated lazily per layer from a stable
+seed derived from ``(network_name, layer_name, param_name)`` so results are
+reproducible across processes without storing checkpoints.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+
+def _seed_for(*parts: str) -> int:
+    """Stable 32-bit seed from string parts (crc32, platform independent)."""
+    return zlib.crc32("/".join(parts).encode("utf-8")) & 0xFFFFFFFF
+
+
+def init_param(shape: Tuple[int, ...], *seed_parts: str, scale: float | None = None) -> np.ndarray:
+    """He-style initialization with a deterministic per-parameter seed."""
+    rng = np.random.default_rng(_seed_for(*seed_parts))
+    if scale is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+        scale = float(np.sqrt(2.0 / max(1, fan_in)))
+    return rng.normal(0.0, scale, size=shape).astype(np.float32)
+
+
+def materialize(
+    network_name: str,
+    layer_name: str,
+    param_shapes: Mapping[str, Tuple[int, ...]],
+) -> Dict[str, np.ndarray]:
+    """Create all parameters of one layer.
+
+    Bias-like parameters (1-D named ``bias``/``beta``/``mean``) start at
+    zero; variance-like (``var``) at one; the rest use He init.
+    """
+    params: Dict[str, np.ndarray] = {}
+    for pname, shape in param_shapes.items():
+        if pname in ("bias", "beta", "mean"):
+            params[pname] = np.zeros(shape, dtype=np.float32)
+        elif pname == "var":
+            params[pname] = np.ones(shape, dtype=np.float32)
+        elif pname == "gamma":
+            params[pname] = np.ones(shape, dtype=np.float32)
+        else:
+            params[pname] = init_param(shape, network_name, layer_name, pname)
+    return params

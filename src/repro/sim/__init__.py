@@ -1,0 +1,19 @@
+"""Discrete-event simulation primitives: timeline, trace, statistics."""
+
+from .stats import ResourceStats, corun_share, resource_stats, utilization_profile
+from .timeline import COPY, CPU, GPU, ScheduledEvent, Timeline
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "COPY",
+    "CPU",
+    "GPU",
+    "ResourceStats",
+    "ScheduledEvent",
+    "Timeline",
+    "Trace",
+    "TraceEvent",
+    "corun_share",
+    "resource_stats",
+    "utilization_profile",
+]

@@ -1,0 +1,120 @@
+"""Trace statistics: utilization, idle gaps, and co-running overlap.
+
+Computes schedule-level quantities from a :class:`~repro.sim.trace.Trace`:
+
+* per-resource busy time / utilization / idle-gap structure;
+* the **co-run share** — the fraction of wall time during which the CPU
+  and the GPU are *simultaneously* busy, i.e. how much hybrid execution a
+  schedule actually achieved (0 for the GPU-only original programs);
+* binned utilization profiles for plotting schedules over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import SimulationError
+from .trace import Trace
+
+
+def _merged_intervals(trace: Trace, resource: str) -> List[Tuple[float, float]]:
+    """Busy intervals of one resource, merged and sorted."""
+    raw = sorted(
+        (e.start_s, e.end_s)
+        for e in trace.events_for(resource)
+        if e.duration_s > 0
+    )
+    merged: List[Tuple[float, float]] = []
+    for start, end in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _intersect(
+    a: Sequence[Tuple[float, float]], b: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Intersection of two sorted interval lists."""
+    out: List[Tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+@dataclass(frozen=True)
+class ResourceStats:
+    """Summary of one resource's schedule."""
+
+    resource: str
+    busy_s: float
+    utilization: float
+    event_count: int
+    longest_idle_gap_s: float
+
+
+def resource_stats(trace: Trace, resource: str) -> ResourceStats:
+    """Busy time, utilization, and the longest idle gap of one resource."""
+    span = trace.span()
+    intervals = _merged_intervals(trace, resource)
+    busy = sum(end - start for start, end in intervals)
+    gaps = []
+    cursor = 0.0
+    for start, end in intervals:
+        if start > cursor:
+            gaps.append(start - cursor)
+        cursor = max(cursor, end)
+    if span > cursor:
+        gaps.append(span - cursor)
+    return ResourceStats(
+        resource=resource,
+        busy_s=busy,
+        utilization=(busy / span) if span > 0 else 0.0,
+        event_count=len([e for e in trace.events_for(resource)
+                         if e.duration_s > 0]),
+        longest_idle_gap_s=max(gaps) if gaps else 0.0,
+    )
+
+
+def corun_share(trace: Trace, a: str = "cpu", b: str = "gpu") -> float:
+    """Fraction of the makespan during which resources ``a`` and ``b`` are
+    busy simultaneously — the schedule's achieved hybrid-execution share."""
+    span = trace.span()
+    if span == 0:
+        return 0.0
+    overlap = _intersect(_merged_intervals(trace, a), _merged_intervals(trace, b))
+    return sum(end - start for start, end in overlap) / span
+
+
+def utilization_profile(
+    trace: Trace, resources: Sequence[str], bins: int = 50
+) -> Dict[str, List[float]]:
+    """Binned utilization over time: per resource, ``bins`` values in
+    [0, 1] giving the busy fraction of each equal slice of the makespan."""
+    if bins <= 0:
+        raise SimulationError("bins must be positive")
+    span = trace.span()
+    profile = {r: [0.0] * bins for r in resources}
+    if span == 0:
+        return profile
+    width = span / bins
+    for resource in resources:
+        for start, end in _merged_intervals(trace, resource):
+            first = int(start / width)
+            last = min(bins - 1, int(end / width))
+            for b in range(first, last + 1):
+                lo = max(start, b * width)
+                hi = min(end, (b + 1) * width)
+                if hi > lo:
+                    profile[resource][b] += (hi - lo) / width
+    return profile

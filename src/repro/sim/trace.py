@@ -1,0 +1,100 @@
+"""Execution trace records and Chrome-trace export.
+
+Every scheduled interval on the timeline becomes a :class:`TraceEvent`.
+``Trace.to_chrome_trace()`` emits the ``chrome://tracing`` / Perfetto JSON
+format so simulated schedules can be inspected visually.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from .. import units
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval of work on one resource."""
+
+    resource: str      # e.g. "cpu", "gpu", "copy"
+    label: str         # e.g. "conv1", "memcpy:fc6.weights"
+    start_s: float
+    end_s: float
+    category: str = "kernel"   # kernel | copy | sync | overhead
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Trace:
+    """An append-only collection of trace events for one simulated run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def add(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def events_for(self, resource: str) -> List[TraceEvent]:
+        """Events on one resource, in schedule order."""
+        return [e for e in self._events if e.resource == resource]
+
+    def busy_time(self, resource: str, category: Optional[str] = None) -> float:
+        """Total scheduled time on a resource (optionally one category).
+
+        Events on a single resource never overlap (the timeline serializes
+        them), so summing durations is exact.
+        """
+        return sum(
+            e.duration_s
+            for e in self._events
+            if e.resource == resource and (category is None or e.category == category)
+        )
+
+    def span(self) -> float:
+        """Makespan: latest end time across all events (0 for empty traces)."""
+        if not self._events:
+            return 0.0
+        return max(e.end_s for e in self._events)
+
+    def to_chrome_trace(self) -> str:
+        """Serialize to the Chrome trace-event JSON format (microseconds)."""
+        pid_for: Dict[str, int] = {}
+        records = []
+        for event in self._events:
+            tid = pid_for.setdefault(event.resource, len(pid_for) + 1)
+            records.append(
+                {
+                    "name": event.label,
+                    "cat": event.category,
+                    "ph": "X",
+                    "ts": units.to_microseconds(event.start_s),
+                    "dur": units.to_microseconds(event.duration_s),
+                    "pid": 1,
+                    "tid": tid,
+                }
+            )
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": resource},
+            }
+            for resource, tid in pid_for.items()
+        ]
+        return json.dumps({"traceEvents": meta + records})

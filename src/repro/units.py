@@ -1,0 +1,87 @@
+"""Unit helpers and conversions.
+
+The whole library uses base SI units internally:
+
+* time        — seconds (float)
+* data        — bytes (float; fractional bytes are fine for rate math)
+* bandwidth   — bytes / second
+* compute     — FLOPs (floating point operations), rate in FLOP/s
+* power       — watts
+* energy      — joules
+
+These helpers exist so specs read like the datasheets they came from
+(``gigabytes_per_second(137)``) instead of bare exponents.
+"""
+
+from __future__ import annotations
+
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def kilobytes(n: float) -> float:
+    """Decimal kilobytes to bytes."""
+    return n * KB
+
+
+def megabytes(n: float) -> float:
+    """Decimal megabytes to bytes."""
+    return n * MB
+
+
+def gigabytes(n: float) -> float:
+    """Decimal gigabytes to bytes."""
+    return n * GB
+
+
+def gigabytes_per_second(n: float) -> float:
+    """GB/s to bytes/s."""
+    return n * GB
+
+
+def megabytes_per_second(n: float) -> float:
+    """MB/s to bytes/s."""
+    return n * MB
+
+
+def gigaflops(n: float) -> float:
+    """GFLOP/s to FLOP/s."""
+    return n * 1e9
+
+
+def teraflops(n: float) -> float:
+    """TFLOP/s to FLOP/s."""
+    return n * 1e12
+
+
+def gigahertz(n: float) -> float:
+    """GHz to Hz."""
+    return n * 1e9
+
+
+def microseconds(n: float) -> float:
+    """Microseconds to seconds."""
+    return n * MICROSECOND
+
+
+def milliseconds(n: float) -> float:
+    """Milliseconds to seconds."""
+    return n * MILLISECOND
+
+
+def to_milliseconds(seconds: float) -> float:
+    """Seconds to milliseconds (for reports)."""
+    return seconds / MILLISECOND
+
+
+def to_microseconds(seconds: float) -> float:
+    """Seconds to microseconds (for reports)."""
+    return seconds / MICROSECOND

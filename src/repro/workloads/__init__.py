@@ -1,0 +1,5 @@
+"""Workload generators."""
+
+from .inputs import batch_of_inputs, input_for
+
+__all__ = ["batch_of_inputs", "input_for"]

@@ -1,0 +1,36 @@
+"""Inter-kernel-only comparator (§V-F)."""
+
+import pytest
+
+from repro.baselines import run_gpu_only, run_interkernel_only
+from repro.core.memory_manager import MemoryPolicy
+from repro.core.plan import Assignment
+from repro.hardware.specs import JETSON_AGX_XAVIER
+
+from ..conftest import make_branch_net, make_chain_net
+
+
+class TestInterkernelOnly:
+    def test_never_splits_layers(self, branch_net):
+        report = run_interkernel_only(branch_net, JETSON_AGX_XAVIER)
+        for lr in report.layers:
+            assert lr.assignment is not Assignment.SPLIT
+
+    def test_helps_branchy_graphs(self, branch_net):
+        base = run_gpu_only(make_branch_net(), JETSON_AGX_XAVIER,
+                            policy=MemoryPolicy.ALL_MANAGED).total_s
+        inter = run_interkernel_only(branch_net, JETSON_AGX_XAVIER).total_s
+        assert inter <= base * 1.001
+
+    def test_cannot_help_pure_chains(self, chain_net):
+        # The paper's core §V-F finding: with only inter-kernel co-running,
+        # dependent kernels cannot be accelerated at all.
+        base = run_gpu_only(make_chain_net(), JETSON_AGX_XAVIER,
+                            policy=MemoryPolicy.ALL_MANAGED).total_s
+        inter = run_interkernel_only(chain_net, JETSON_AGX_XAVIER).total_s
+        assert inter == pytest.approx(base, rel=1e-6)
+
+    def test_uses_both_processors_on_branches(self, branch_net):
+        report = run_interkernel_only(branch_net, JETSON_AGX_XAVIER)
+        assert report.cpu_busy_s > 0
+        assert report.gpu_busy_s > 0

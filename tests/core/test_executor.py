@@ -1,0 +1,242 @@
+"""Hybrid executor: scheduling, memory behaviour, reports."""
+
+import pytest
+
+from repro.core.executor import HybridExecutor
+from repro.core.memory_manager import MemoryPolicy, plan_allocations
+from repro.core.plan import (
+    Assignment,
+    ExecutionPlan,
+    cpu_layer,
+    gpu_layer,
+    split_layer,
+)
+from repro.errors import PlanError
+from repro.hardware.device import Device
+from repro.hardware.specs import JETSON_AGX_XAVIER, RASPBERRY_PI_4
+
+from ..conftest import make_branch_net, make_chain_net
+
+
+def build_plan(net, device_spec, policy=MemoryPolicy.SEMANTIC, overrides=None):
+    plan = ExecutionPlan(net.name)
+    for name in net.topo_order():
+        plan.set_layer(gpu_layer(name))
+    for lp in (overrides or []):
+        plan.set_layer(lp)
+    plan_allocations(net, plan, device_spec, policy)
+    return plan
+
+
+class TestBasicExecution:
+    def test_all_gpu_run_produces_report(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert report.total_s > 0
+        assert report.network == chain_net.name
+        assert len(report.layers) == len(chain_net)
+
+    def test_all_cpu_run(self, chain_net, jetson):
+        plan = build_plan(
+            chain_net, jetson.spec,
+            overrides=[cpu_layer(n) for n in chain_net.topo_order()],
+        )
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert report.gpu_busy_s == 0.0
+        assert report.cpu_busy_s > 0.0
+
+    def test_cpu_only_device_runs_cpu_plan(self, chain_net, rpi):
+        plan = build_plan(
+            chain_net, rpi.spec, policy=MemoryPolicy.ALL_REGULAR,
+            overrides=[cpu_layer(n) for n in chain_net.topo_order()],
+        )
+        report = HybridExecutor(chain_net, rpi, plan).run()
+        assert report.total_s > 0
+        assert report.copy_s_total == 0.0
+
+    def test_gpu_plan_rejected_on_cpu_only_device(self, chain_net, rpi):
+        plan = build_plan(chain_net, rpi.spec, policy=MemoryPolicy.ALL_REGULAR)
+        with pytest.raises(PlanError, match="has none"):
+            HybridExecutor(chain_net, rpi, plan)
+
+    def test_missing_layer_plan_rejected(self, chain_net, jetson):
+        plan = ExecutionPlan(chain_net.name)
+        with pytest.raises(PlanError):
+            HybridExecutor(chain_net, jetson, plan)
+
+    def test_noop_layers_cost_nothing(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert report.layer("flatten").attributed_s == 0.0
+        assert report.layer("drop1").attributed_s == 0.0
+
+    def test_deterministic(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec)
+        r1 = HybridExecutor(chain_net, jetson, plan).run()
+        jetson.reset()
+        plan2 = build_plan(chain_net, jetson.spec)
+        r2 = HybridExecutor(chain_net, jetson, plan2).run()
+        assert r1.total_s == pytest.approx(r2.total_s)
+
+
+class TestMemoryBehaviour:
+    def test_regular_plan_generates_copies(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert report.copy_s_total > 0
+        assert report.copy_share > 0
+
+    def test_managed_plan_has_no_copies(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_MANAGED)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert report.copy_s_total == 0.0
+
+    def test_zero_copy_is_faster_for_gpu_only_chain(self, chain_net, jetson):
+        regular = HybridExecutor(
+            chain_net, jetson,
+            build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR),
+            serialize=True, host_staging=True,
+        ).run()
+        jetson.reset()
+        managed = HybridExecutor(
+            chain_net, jetson,
+            build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_MANAGED),
+        ).run()
+        assert managed.total_s < regular.total_s
+
+    def test_host_staging_adds_copies(self, chain_net, jetson):
+        base = HybridExecutor(
+            chain_net, jetson,
+            build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR),
+        ).run()
+        jetson.reset()
+        staged = HybridExecutor(
+            chain_net, jetson,
+            build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR),
+            host_staging=True,
+        ).run()
+        assert staged.copy_s_total > base.copy_s_total
+
+    def test_serialize_exposes_copy_latency(self, chain_net, jetson):
+        overlapped = HybridExecutor(
+            chain_net, jetson,
+            build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR),
+            serialize=False,
+        ).run()
+        jetson.reset()
+        serial = HybridExecutor(
+            chain_net, jetson,
+            build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR),
+            serialize=True,
+        ).run()
+        assert serial.total_s >= overlapped.total_s
+
+
+class TestSplitExecution:
+    def test_split_layer_uses_both_processors(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec,
+                          overrides=[split_layer("fc1", 0.4)])
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        lr = report.layer("fc1")
+        assert lr.assignment is Assignment.SPLIT
+        assert lr.kernel_cpu_s > 0 and lr.kernel_gpu_s > 0
+
+    def test_split_output_merge_copy(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec,
+                          overrides=[split_layer("fc1", 0.4)])
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        # The cowritten output is REGULAR; its CPU slice merges via the
+        # copy engine (Eq. 2).
+        assert report.layer("fc1").copy_s > 0
+
+    def test_managed_cowrite_pays_consistency_penalty(self, jetson):
+        # §IV-B: on a large co-written output, two REGULAR copies plus an
+        # explicit merge beat the zero-copy consistency storm.  (For tiny
+        # buffers the fixed memcpy latency can win instead — which is why
+        # the choice is semantic, not unconditional.)
+        from repro.nn.graph import NetworkGraph
+        from repro.nn.layers import Conv2D, Flatten, Dense, Softmax
+        net = NetworkGraph("big-split", (8, 32, 32))
+        net.add(Conv2D("conv", out_channels=32, kernel_size=3, padding=1))
+        net.add(Flatten("flatten"))
+        net.add(Dense("fc", 10))
+        net.add(Softmax("softmax"))
+        semantic = HybridExecutor(
+            net, jetson,
+            build_plan(net, jetson.spec, MemoryPolicy.SEMANTIC,
+                       overrides=[split_layer("conv", 0.4)]),
+        ).run()
+        jetson.reset()
+        managed = HybridExecutor(
+            net, jetson,
+            build_plan(net, jetson.spec, MemoryPolicy.ALL_MANAGED,
+                       overrides=[split_layer("conv", 0.4)]),
+        ).run()
+        assert (semantic.layer("conv").attributed_s
+                < managed.layer("conv").attributed_s)
+
+
+class TestBranchExecution:
+    def test_branches_on_two_processors_overlap(self, branch_net, jetson):
+        overrides = [cpu_layer("left"), cpu_layer("left_relu")]
+        plan = build_plan(branch_net, jetson.spec, overrides=overrides)
+        report = HybridExecutor(branch_net, jetson, plan).run()
+        left = report.layer("left")
+        right = report.layer("right")
+        # The CPU branch starts before the GPU branch finishes.
+        assert left.start_s < right.end_s
+        assert report.cpu_busy_s > 0 and report.gpu_busy_s > 0
+
+    def test_join_waits_for_both_branches(self, branch_net, jetson):
+        overrides = [cpu_layer("left"), cpu_layer("left_relu")]
+        plan = build_plan(branch_net, jetson.spec, overrides=overrides)
+        report = HybridExecutor(branch_net, jetson, plan).run()
+        join = report.layer("concat")
+        # The join's completion follows both branches (its prefetch may
+        # start earlier on the copy stream, but the kernel cannot finish
+        # before its inputs exist).
+        assert join.end_s >= report.layer("left_relu").end_s - 1e-12
+        assert join.end_s >= report.layer("right_relu").end_s - 1e-12
+
+
+class TestReportContents:
+    def test_energy_populated(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert report.energy.average_power_w >= jetson.spec.power.idle_w
+        assert report.energy.energy_j > 0
+
+    def test_trace_populated(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert len(report.trace) > 0
+        assert report.trace.span() == pytest.approx(report.total_s)
+
+    def test_unknown_layer_lookup(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        with pytest.raises(Exception):
+            report.layer("ghost")
+
+
+class TestPrefetch:
+    def test_prefetch_events_appear_for_managed_buffers(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_MANAGED)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        prefetches = [e for e in report.trace.events
+                      if e.label.startswith("prefetch:")]
+        assert prefetches  # cudaMemPrefetchAsync issued on the copy stream
+
+    def test_prefetch_not_slower_than_first_touch_in_kernel(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_MANAGED)
+        with_prefetch = HybridExecutor(chain_net, jetson, plan).run()
+        jetson.reset()
+        plan2 = build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_MANAGED)
+        without = HybridExecutor(chain_net, jetson, plan2, prefetch=False).run()
+        assert with_prefetch.total_s <= without.total_s * 1.001
+
+    def test_no_prefetch_for_regular_buffers(self, chain_net, jetson):
+        plan = build_plan(chain_net, jetson.spec, MemoryPolicy.ALL_REGULAR)
+        report = HybridExecutor(chain_net, jetson, plan).run()
+        assert not any(e.label.startswith("prefetch:")
+                       for e in report.trace.events)

@@ -1,0 +1,43 @@
+"""Tuning objectives: latency (the paper), energy, and EDP extensions."""
+
+import pytest
+
+from repro.core.engine import EdgeNN, EdgeNNConfig
+from repro.core.tuner import TuningObjective
+
+from ..conftest import make_chain_net
+
+
+class TestObjectiveScores:
+    def test_scores_use_the_right_quantity(self, chain_net):
+        report = EdgeNN(make_chain_net("score-net")).run()
+        assert TuningObjective.LATENCY.score(report) == report.total_s
+        assert TuningObjective.ENERGY.score(report) == report.energy.energy_j
+        assert TuningObjective.EDP.score(report) == pytest.approx(
+            report.total_s * report.energy.energy_j
+        )
+
+    def test_enum_round_trip(self):
+        assert TuningObjective("energy") is TuningObjective.ENERGY
+
+
+class TestObjectiveDrivenTuning:
+    def _report(self, objective):
+        config = EdgeNNConfig(objective=objective)
+        return EdgeNN(make_chain_net(f"obj-{objective.value}"),
+                      config=config).run()
+
+    def test_latency_objective_minimizes_time(self):
+        latency = self._report(TuningObjective.LATENCY)
+        energy = self._report(TuningObjective.ENERGY)
+        assert latency.total_s <= energy.total_s * 1.001
+
+    def test_energy_objective_minimizes_joules(self):
+        latency = self._report(TuningObjective.LATENCY)
+        energy = self._report(TuningObjective.ENERGY)
+        assert energy.energy.energy_j <= latency.energy.energy_j * 1.001
+
+    def test_all_objectives_produce_valid_plans(self):
+        for objective in TuningObjective:
+            report = self._report(objective)
+            assert report.total_s > 0

@@ -1,0 +1,103 @@
+"""Equations 1-4 of the paper (intra-kernel partitioning math)."""
+
+import pytest
+
+from repro.core import partition
+from repro.errors import TuningError
+
+
+class TestEq1Collaboration:
+    def test_all_gpu(self):
+        assert partition.collaboration_time(10.0, 4.0, 0.0) == 4.0
+
+    def test_all_cpu(self):
+        assert partition.collaboration_time(10.0, 4.0, 1.0) == 10.0
+
+    def test_max_of_sides(self):
+        # p=0.5: cpu side 5.0, gpu side 2.0 -> 5.0.
+        assert partition.collaboration_time(10.0, 4.0, 0.5) == 5.0
+
+    def test_balance_point_equalizes(self):
+        p = partition.balance_point(10.0, 4.0)
+        assert 10.0 * p == pytest.approx(4.0 * (1 - p))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(TuningError):
+            partition.collaboration_time(1.0, 1.0, 1.5)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(TuningError):
+            partition.collaboration_time(-1.0, 1.0, 0.5)
+
+
+class TestEq2Transfer:
+    def test_proportional_to_fraction(self):
+        t = partition.data_transfer_time(0.25, out_bytes=1e6, copy_rate=1e9)
+        assert t == pytest.approx(0.25e-3)
+
+    def test_zero_fraction_free(self):
+        assert partition.data_transfer_time(0.0, 1e6, 1e9) == 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(TuningError):
+            partition.data_transfer_time(0.5, 1e6, 0.0)
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(TuningError):
+            partition.data_transfer_time(0.5, -1.0, 1e9)
+
+
+class TestEq3Total:
+    def test_sum_of_terms(self):
+        total = partition.total_time(10.0, 4.0, 0.5, out_bytes=1e9,
+                                     copy_rate=1e9)
+        assert total == pytest.approx(5.0 + 0.5)
+
+    def test_p_zero_equals_gpu_time(self):
+        assert partition.total_time(10.0, 4.0, 0.0, 1e6, 1e9) == 4.0
+
+
+class TestEq4Optimum:
+    def test_zero_when_merge_dominates(self):
+        # v_o / s >= t_gpu: copying the CPU slice costs more than the GPU
+        # time it saves.
+        p = partition.optimal_cpu_fraction(
+            t_cpu=1.0, t_gpu=0.5, out_bytes=1e9, copy_rate=1e9
+        )
+        assert p == 0.0
+
+    def test_balance_point_when_merge_cheap(self):
+        p = partition.optimal_cpu_fraction(
+            t_cpu=1.0, t_gpu=0.5, out_bytes=1.0, copy_rate=1e9
+        )
+        assert p == pytest.approx(0.5 / 1.5)
+
+    def test_boundary_condition(self):
+        # Exactly at v_o/s == t_gpu the paper's Eq. 4 picks 0.
+        p = partition.optimal_cpu_fraction(
+            t_cpu=1.0, t_gpu=0.5, out_bytes=0.5e9, copy_rate=1e9
+        )
+        assert p == 0.0
+
+    def test_merge_free_ignores_volume(self):
+        p = partition.optimal_cpu_fraction(
+            t_cpu=1.0, t_gpu=0.5, out_bytes=1e12, copy_rate=1e9,
+            merge_free=True,
+        )
+        assert p == pytest.approx(0.5 / 1.5)
+
+    def test_degenerate_zero_times(self):
+        assert partition.optimal_cpu_fraction(0.0, 0.0, 1.0, 1e9) == 0.0
+
+    def test_fast_cpu_gets_large_share(self):
+        p = partition.optimal_cpu_fraction(
+            t_cpu=0.5, t_gpu=1.0, out_bytes=1.0, copy_rate=1e9
+        )
+        assert p == pytest.approx(1.0 / 1.5)
+
+    def test_optimum_is_minimum_of_eq3(self):
+        t_cpu, t_gpu, v, s = 8.0, 3.0, 1e7, 1e9
+        p_op = partition.optimal_cpu_fraction(t_cpu, t_gpu, v, s)
+        best = partition.total_time(t_cpu, t_gpu, p_op, v, s)
+        for p in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert best <= partition.total_time(t_cpu, t_gpu, p, v, s) + 1e-12

@@ -1,0 +1,89 @@
+"""Execution plan records."""
+
+import pytest
+
+from repro.core.plan import (
+    Assignment,
+    ExecutionPlan,
+    LayerPlan,
+    cpu_layer,
+    gpu_layer,
+    split_layer,
+)
+from repro.errors import PlanError
+from repro.hardware.memory import AllocKind
+from repro.hardware.specs import ProcessorKind
+
+
+class TestLayerPlan:
+    def test_gpu_layer(self):
+        lp = gpu_layer("conv1")
+        assert lp.assignment is Assignment.GPU
+        assert lp.cpu_fraction == 0.0
+        assert lp.uses_gpu and not lp.uses_cpu
+        assert lp.processor is ProcessorKind.GPU
+
+    def test_cpu_layer(self):
+        lp = cpu_layer("relu1")
+        assert lp.cpu_fraction == 1.0
+        assert lp.uses_cpu and not lp.uses_gpu
+        assert lp.processor is ProcessorKind.CPU
+
+    def test_split_layer(self):
+        lp = split_layer("fc6", 0.4)
+        assert lp.assignment is Assignment.SPLIT
+        assert lp.uses_cpu and lp.uses_gpu
+
+    def test_split_has_no_single_processor(self):
+        with pytest.raises(PlanError):
+            split_layer("fc6", 0.4).processor
+
+    def test_split_clamps_degenerate_fractions(self):
+        assert split_layer("x", 0.0).assignment is Assignment.GPU
+        assert split_layer("x", 1.0).assignment is Assignment.CPU
+        assert split_layer("x", -0.5).assignment is Assignment.GPU
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(PlanError):
+            LayerPlan("x", Assignment.SPLIT, 0.0)
+        with pytest.raises(PlanError):
+            LayerPlan("x", Assignment.GPU, 0.5)
+        with pytest.raises(PlanError):
+            LayerPlan("x", Assignment.CPU, 0.5)
+
+
+class TestExecutionPlan:
+    def make_plan(self):
+        plan = ExecutionPlan("net")
+        plan.set_layer(gpu_layer("a"))
+        plan.set_layer(cpu_layer("b"))
+        plan.set_layer(split_layer("c", 0.3))
+        plan.alloc = {"a.out": AllocKind.MANAGED, "c.out": AllocKind.REGULAR}
+        return plan
+
+    def test_lookup(self):
+        plan = self.make_plan()
+        assert plan.layer_plan("b").assignment is Assignment.CPU
+
+    def test_missing_layer_raises(self):
+        with pytest.raises(PlanError):
+            self.make_plan().layer_plan("ghost")
+
+    def test_alloc_defaults_to_regular(self):
+        plan = self.make_plan()
+        assert plan.alloc_kind("a.out") is AllocKind.MANAGED
+        assert plan.alloc_kind("unknown") is AllocKind.REGULAR
+
+    def test_split_layers_view(self):
+        assert self.make_plan().split_layers == {"c": 0.3}
+
+    def test_cpu_layers_view(self):
+        assert self.make_plan().cpu_layers == ["b"]
+
+    def test_counts(self):
+        counts = self.make_plan().counts()
+        assert counts == {"gpu": 1, "cpu": 1, "split": 1}
+
+    def test_describe_mentions_counts(self):
+        text = self.make_plan().describe()
+        assert "gpu=1" in text and "split=1" in text and "managed_buffers=1/2" in text

@@ -1,0 +1,89 @@
+"""Per-layer measurement store."""
+
+import pytest
+
+from repro.core.profiler import LayerProfile, ProfileStore
+from repro.errors import TuningError
+
+
+class TestProfileStore:
+    def test_record_and_read(self):
+        store = ProfileStore()
+        store.record_gpu("conv1", 1e-3)
+        store.record_cpu("conv1", 4e-3)
+        assert store.gpu_time("conv1") == pytest.approx(1e-3)
+        assert store.cpu_time("conv1") == pytest.approx(4e-3)
+
+    def test_missing_profile_raises(self):
+        store = ProfileStore()
+        with pytest.raises(TuningError):
+            store.gpu_time("conv1")
+        store.record_gpu("conv1", 1e-3)
+        with pytest.raises(TuningError):
+            store.cpu_time("conv1")
+
+    def test_has_both(self):
+        store = ProfileStore()
+        assert not store.has_both("x")
+        store.record_gpu("x", 1.0)
+        assert not store.has_both("x")
+        store.record_cpu("x", 1.0)
+        assert store.has_both("x")
+
+    def test_contains(self):
+        store = ProfileStore()
+        assert "x" not in store
+        store.record_gpu("x", 1.0)
+        assert "x" in store
+
+    def test_ewma_smoothing(self):
+        store = ProfileStore(ewma_alpha=0.5)
+        store.record_gpu("x", 1.0)
+        store.record_gpu("x", 3.0)
+        assert store.gpu_time("x") == pytest.approx(2.0)
+
+    def test_alpha_one_tracks_latest(self):
+        store = ProfileStore(ewma_alpha=1.0)
+        store.record_gpu("x", 1.0)
+        store.record_gpu("x", 3.0)
+        assert store.gpu_time("x") == 3.0
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(TuningError):
+            ProfileStore(ewma_alpha=0.0)
+        with pytest.raises(TuningError):
+            ProfileStore(ewma_alpha=1.5)
+
+    def test_negative_measurement_rejected(self):
+        store = ProfileStore()
+        with pytest.raises(TuningError):
+            store.record_gpu("x", -1.0)
+        with pytest.raises(TuningError):
+            store.record_split("x", 0.5, -1.0, 0.0, 0.0)
+
+    def test_split_history(self):
+        store = ProfileStore()
+        store.record_split("fc", 0.4, 2e-3, 1.8e-3, 2e-3)
+        store.record_split("fc", 0.5, 1.5e-3, 1.5e-3, 1.4e-3)
+        latest = store.latest_split("fc")
+        assert latest.cpu_fraction == 0.5
+        assert latest.wall_s == pytest.approx(1.5e-3)
+
+    def test_latest_split_none_when_absent(self):
+        store = ProfileStore()
+        assert store.latest_split("fc") is None
+
+
+class TestLayerProfile:
+    def test_best_known_wall(self):
+        profile = LayerProfile("x", cpu_s=3.0, gpu_s=2.0)
+        assert profile.best_known_wall() == 2.0
+
+    def test_best_known_includes_splits(self):
+        store = ProfileStore()
+        store.record_gpu("x", 2.0)
+        store.record_split("x", 0.5, 1.2, 1.1, 1.2)
+        assert store.profile("x").best_known_wall() == pytest.approx(1.2)
+
+    def test_best_known_empty(self):
+        assert LayerProfile("x").best_known_wall() is None

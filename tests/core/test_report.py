@@ -1,0 +1,106 @@
+"""Inference report records and helpers."""
+
+import pytest
+
+from repro.core.plan import Assignment
+from repro.core.report import (
+    InferenceReport,
+    LayerResult,
+    improvement,
+    speedup,
+)
+from repro.errors import ReproError
+from repro.hardware.power import EnergyReport
+from repro.sim.trace import Trace
+
+
+def layer(name, cls="conv", cpu=0.0, gpu=1e-3, copy=0.0, start=0.0, end=1e-3,
+          assignment=Assignment.GPU, p=0.0):
+    return LayerResult(
+        name=name, kernel_class=cls, assignment=assignment, cpu_fraction=p,
+        start_s=start, end_s=end, kernel_cpu_s=cpu, kernel_gpu_s=gpu,
+        copy_s=copy, overhead_s=0.0,
+    )
+
+
+def report(layers, total=1.0, copy=0.1):
+    energy = EnergyReport(
+        duration_s=total, cpu_utilization=0.5, gpu_utilization=0.5,
+        average_power_w=5.0, energy_j=5.0 * total,
+    )
+    return InferenceReport(
+        network="net", device="jetson-agx-xavier", total_s=total,
+        layers=layers, copy_s_total=copy, cpu_busy_s=0.5, gpu_busy_s=0.5,
+        energy=energy, trace=Trace(),
+    )
+
+
+class TestLayerResult:
+    def test_wall_is_span(self):
+        lr = layer("a", start=1.0, end=3.0)
+        assert lr.wall_s == pytest.approx(2.0)
+
+    def test_kernel_is_slower_side(self):
+        lr = layer("a", cpu=2e-3, gpu=1e-3, assignment=Assignment.SPLIT, p=0.5)
+        assert lr.kernel_s == pytest.approx(2e-3)
+
+    def test_attributed_adds_copies(self):
+        lr = layer("a", gpu=1e-3, copy=5e-4)
+        assert lr.attributed_s == pytest.approx(1.5e-3)
+
+
+class TestInferenceReport:
+    def test_layer_lookup(self):
+        rep = report([layer("a"), layer("b")])
+        assert rep.layer("b").name == "b"
+
+    def test_layer_lookup_missing(self):
+        with pytest.raises(ReproError):
+            report([layer("a")]).layer("ghost")
+
+    def test_copy_share(self):
+        rep = report([layer("a")], total=2.0, copy=0.5)
+        assert rep.copy_share == pytest.approx(0.25)
+
+    def test_copy_share_zero_total(self):
+        rep = report([], total=1.0, copy=0.0)
+        object.__setattr__  # no-op; dataclass not frozen
+        rep.total_s = 0.0
+        assert rep.copy_share == 0.0
+
+    def test_time_by_class(self):
+        rep = report([
+            layer("a", cls="conv", start=0.0, end=1.0),
+            layer("b", cls="conv", start=1.0, end=1.5),
+            layer("c", cls="dense", start=1.5, end=3.0),
+        ])
+        by_class = rep.time_by_class()
+        assert by_class["conv"] == pytest.approx(1.5)
+        assert by_class["dense"] == pytest.approx(1.5)
+
+    def test_layers_of_class(self):
+        rep = report([layer("a", cls="conv"), layer("b", cls="dense")])
+        assert [lr.name for lr in rep.layers_of_class("dense")] == ["b"]
+
+    def test_to_dict_round_numbers(self):
+        d = report([layer("a")], total=0.25, copy=0.05).to_dict()
+        assert d["total_ms"] == pytest.approx(250.0)
+        assert d["copy_share"] == pytest.approx(0.2)
+        assert d["network"] == "net"
+
+
+class TestHelpers:
+    def test_improvement(self):
+        assert improvement(2.0, 1.5) == pytest.approx(0.25)
+        assert improvement(2.0, 2.5) == pytest.approx(-0.25)
+
+    def test_improvement_bad_baseline(self):
+        with pytest.raises(ReproError):
+            improvement(0.0, 1.0)
+
+    def test_speedup(self):
+        assert speedup(4.0, 2.0) == pytest.approx(2.0)
+
+    def test_speedup_bad_improved(self):
+        with pytest.raises(ReproError):
+            speedup(1.0, 0.0)

@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "lenet"])
+        assert args.network == "lenet"
+        assert not args.no_memory and not args.no_hybrid
+        assert args.objective == "latency"
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "transformer"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "jetson-agx-xavier" in out
+        assert "amd-ryzen-apu" in out
+
+    def test_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fcnn", "vgg16", "resnet18"):
+            assert name in out
+
+    def test_run(self, capsys):
+        assert main(["run", "lenet"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "plan" in out
+
+    def test_run_with_ablation_flags(self, capsys):
+        assert main(["run", "lenet", "--no-hybrid"]) == 0
+        assert "split=0" in capsys.readouterr().out
+
+    def test_run_with_energy_objective(self, capsys):
+        assert main(["run", "lenet", "--objective", "energy"]) == 0
+
+    def test_run_with_precision_and_batch(self, capsys):
+        assert main(["run", "lenet", "--precision", "int8",
+                     "--batch", "8"]) == 0
+
+    def test_run_extension_network(self, capsys):
+        assert main(["run", "mobilenet-v1"]) == 0
+        assert "mobilenet-v1" in capsys.readouterr().out
+
+    def test_networks_lists_extensions(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "mobilenet-v1" in out and "extension" in out
+
+    def test_run_on_variant_device(self, capsys):
+        assert main(["run", "lenet", "--device", "apple-m1-style"]) == 0
+        assert "apple-m1-style" in capsys.readouterr().out
+
+    def test_run_unknown_device_errors(self, capsys):
+        assert main(["run", "lenet", "--device", "tpu"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_run_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["run", "lenet", "--trace", str(trace)]) == 0
+        assert trace.exists() and trace.read_text().startswith("{")
+
+    def test_compare(self, capsys):
+        assert main(["compare", "lenet"]) == 0
+        out = capsys.readouterr().out
+        assert "cloud" in out and "rpi4" in out and "vs edgenn" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "Roofline breakdown" in out
+        assert "split candidates" in out
+
+    def test_breakdown_on_variant_device(self, capsys):
+        assert main(["breakdown", "lenet", "--device", "amd-ryzen-apu"]) == 0
+
+    def test_advise_feasible(self, capsys):
+        assert main(["advise", "lenet", "--slo-ms", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen" in out and "10W" in out
+
+    def test_advise_infeasible_exit_code(self, capsys):
+        assert main(["advise", "lenet", "--slo-ms", "0.0001"]) == 1
+        assert "no mode meets" in capsys.readouterr().out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "sec5b2"]) == 0
+        assert "V-B2" in capsys.readouterr().out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_export(self, tmp_path, capsys):
+        # run_all is expensive; export into tmp and spot-check one artifact.
+        assert main(["export", str(tmp_path)]) == 0
+        assert (tmp_path / "fig06.csv").exists()
+        assert (tmp_path / "table1.json").exists()

@@ -1,0 +1,145 @@
+"""Experiment harness plumbing (fast subsets; the paper-shape assertions on
+the full suite live in tests/integration/test_paper_shapes.py)."""
+
+import pytest
+
+from repro.eval import experiments as ex
+
+FAST = ("fcnn", "lenet")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_cache():
+    # Reports are memoized; warming keeps individual tests snappy without
+    # hiding correctness issues.
+    yield
+
+
+class TestCaching:
+    def test_reports_memoized(self):
+        a = ex.edgenn_report("lenet")
+        b = ex.edgenn_report("lenet")
+        assert a is b
+
+    def test_cache_keyed_by_config(self):
+        a = ex.edgenn_report("lenet")
+        b = ex.edgenn_report("lenet", use_hybrid_execution=False)
+        assert a is not b
+
+    def test_clear_cache(self):
+        a = ex.edgenn_report("lenet")
+        ex.clear_cache()
+        b = ex.edgenn_report("lenet")
+        assert a is not b
+
+
+class TestFig06:
+    def test_rows_and_means(self):
+        result = ex.fig06_edge_cpu_speedups(FAST)
+        assert [r.network for r in result.rows] == list(FAST)
+        assert result.mean_raspberry_pi > result.mean_jetson_cpu
+        for row in result.rows:
+            assert row.edgenn_ms > 0
+
+
+class TestFig07And13:
+    def test_fig07_structure(self):
+        result = ex.fig07_efficiency_vs_edge_cpu(FAST)
+        assert result.comparison == "raspberry-pi-4"
+        assert result.geomean_power > 0
+        assert result.geomean_price > 0
+
+    def test_fig13_structure(self):
+        result = ex.fig13_efficiency_vs_discrete_gpu(FAST)
+        assert result.comparison == "rtx-2080ti-host"
+        assert all(r.power_ratio > 1 for r in result.rows)
+
+
+class TestFig08:
+    def test_ablation_rows(self):
+        result = ex.fig08_ablation(FAST)
+        for row in result.rows:
+            assert row.baseline_ms > 0
+            # The full system at least matches its strongest single design.
+            assert row.edgenn_improvement_pct >= min(
+                row.memory_improvement_pct, row.hybrid_improvement_pct
+            ) - 1.0
+
+
+class TestFig09:
+    def test_shares_in_unit_range(self):
+        result = ex.fig09_memcpy_share(FAST)
+        for row in result.rows:
+            assert 0 <= row.integrated_share_pct <= 100
+            assert 0 <= row.discrete_share_pct <= 100
+
+
+class TestLayerFigures:
+    def test_fig10_rows(self):
+        result = ex.fig10_alexnet_zero_copy_layers()
+        assert result.network == "alexnet"
+        classes = {r.kernel_class for r in result.rows}
+        assert "conv" in classes and "dense" in classes
+
+    def test_fig10_omits_sub_percent_layers(self):
+        result = ex.fig10_alexnet_zero_copy_layers()
+        names = {r.layer for r in result.rows}
+        assert "softmax" not in names
+
+    def test_fig11_variants_differ(self):
+        zc = ex.fig11_alexnet_hybrid_layers(zero_copy=True)
+        nozc = ex.fig11_alexnet_hybrid_layers(zero_copy=False)
+        assert zc.rows != nozc.rows
+
+
+class TestTable1:
+    def test_cells_cover_requested_networks(self):
+        result = ex.table1_layer_improvements(("lenet",))
+        networks = {c.network for c in result.cells}
+        assert networks == {"lenet"}
+
+    def test_cell_lookup(self):
+        result = ex.table1_layer_improvements(("lenet",))
+        cell = result.cell("lenet", "dense")
+        assert cell.min_pct <= cell.avg_pct <= cell.max_pct
+
+    def test_cell_lookup_missing(self):
+        result = ex.table1_layer_improvements(("lenet",))
+        with pytest.raises(KeyError):
+            result.cell("lenet", "pool")
+
+    def test_improvements_clamped_nonnegative(self):
+        result = ex.table1_layer_improvements(("lenet",))
+        for cell in result.cells:
+            assert cell.min_pct >= 0.0
+
+
+class TestFig12:
+    def test_rows(self):
+        result = ex.fig12_cloud_comparison(FAST)
+        for row in result.rows:
+            assert row.cloud_total_ms > row.cloud_computing_ms
+            # Small nets always beat the 0.5 s network overhead.
+            assert row.edgenn_wins
+
+
+class TestSec5F:
+    def test_chain_networks_gain_nothing(self):
+        result = ex.sec5f_interkernel_only(FAST)
+        for row in result.rows:
+            assert row.interkernel_improvement_pct == pytest.approx(0.0, abs=0.5)
+
+    def test_row_lookup(self):
+        result = ex.sec5f_interkernel_only(FAST)
+        assert result.row("fcnn").network == "fcnn"
+        with pytest.raises(KeyError):
+            result.row("vgg16")
+
+
+class TestSec5B2:
+    def test_utilizations_in_range(self):
+        result = ex.sec5b2_utilization(FAST)
+        for row in result.rows:
+            assert 0 <= row.cpu_util_pct <= 100
+            assert 0 <= row.gpu_util_pct <= 100
+            assert row.power_w > 0

@@ -1,0 +1,59 @@
+"""Table rendering."""
+
+from repro.eval import experiments as ex
+from repro.eval import formatting as fmt
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = fmt.render_table(
+            ["name", "value"], [("a", 1.5), ("bb", 2.0)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in text and "bb" in text
+
+    def test_empty_rows(self):
+        text = fmt.render_table(["x"], [])
+        assert "x" in text
+
+    def test_floats_two_decimals(self):
+        text = fmt.render_table(["v"], [(3.14159,)])
+        assert "3.14" in text and "3.142" not in text
+
+
+class TestFormatters:
+    def test_fig06_formatter(self):
+        result = ex.fig06_edge_cpu_speedups(("lenet",))
+        text = fmt.format_fig06(result)
+        assert "Fig 6" in text and "lenet" in text and "avg:" in text
+
+    def test_fig08_formatter(self):
+        text = fmt.format_fig08(ex.fig08_ablation(("lenet",)))
+        assert "memory" in text and "edgenn" in text
+
+    def test_fig09_formatter(self):
+        text = fmt.format_fig09(ex.fig09_memcpy_share(("lenet",)))
+        assert "integrated" in text and "discrete" in text
+
+    def test_table1_formatter(self):
+        text = fmt.format_table1(ex.table1_layer_improvements(("lenet",)))
+        assert "Table I" in text and "fc" in text
+
+    def test_sec5f_formatter(self):
+        text = fmt.format_sec5f(ex.sec5f_interkernel_only(("lenet",)))
+        assert "V-F" in text
+
+    def test_fig12_formatter(self):
+        text = fmt.format_fig12(ex.fig12_cloud_comparison(("lenet",)))
+        assert "cloud" in text and "edgenn" in text
+
+    def test_efficiency_formatter(self):
+        result = ex.fig07_efficiency_vs_edge_cpu(("lenet",))
+        text = fmt.format_efficiency(result, "Fig 7", "note")
+        assert "raspberry-pi-4" in text and "geomean" in text
+
+    def test_sec5b2_formatter(self):
+        text = fmt.format_sec5b2(ex.sec5b2_utilization(("lenet",)))
+        assert "util" in text

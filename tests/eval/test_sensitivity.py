@@ -1,0 +1,49 @@
+"""Sensitivity of the headline conclusions to perturbed hardware
+parameters."""
+
+import pytest
+
+from repro.eval.sensitivity import (
+    SensitivityPoint,
+    conclusions_robust,
+    sweep,
+)
+
+
+class TestSweepMechanics:
+    def test_sweep_returns_one_point_per_scale(self):
+        points = sweep("lenet", "copy_rate", scales=(0.5, 1.0))
+        assert len(points) == 2
+        assert [p.scale for p in points] == [0.5, 1.0]
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            sweep("lenet", "voltage", scales=(1.0,))
+
+    def test_copy_rate_moves_gpu_only_baseline(self):
+        slow, fast = sweep("lenet", "copy_rate", scales=(0.5, 2.0))
+        # Cheaper copies shrink the original program's staging cost.
+        assert fast.gpu_only_s < slow.gpu_only_s
+
+    def test_dram_bandwidth_moves_everything(self):
+        slow, fast = sweep("lenet", "dram_bandwidth", scales=(0.5, 2.0))
+        assert fast.edgenn_s <= slow.edgenn_s
+        assert fast.cpu_only_s <= slow.cpu_only_s
+
+
+class TestConclusionsRobust:
+    @pytest.mark.parametrize("parameter", ["dram_bandwidth", "copy_rate",
+                                           "corun_efficiency"])
+    def test_alexnet_conclusions_hold_under_2x_perturbation(self, parameter):
+        for point in sweep("alexnet", parameter, scales=(0.5, 1.0, 2.0)):
+            assert point.conclusions_hold, point
+
+    def test_aggregate_helper(self):
+        assert conclusions_robust("alexnet", scales=(0.5, 2.0))
+
+    def test_point_properties(self):
+        point = SensitivityPoint("copy_rate", 1.0, edgenn_s=1.0,
+                                 gpu_only_s=2.0, cpu_only_s=4.0)
+        assert point.edgenn_improvement_pct == pytest.approx(50.0)
+        assert point.cpu_speedup == pytest.approx(4.0)
+        assert point.conclusions_hold

@@ -1,0 +1,96 @@
+"""Sanity checks on the calibration tables themselves."""
+
+import pytest
+
+from repro.hardware import calibration as cal
+
+
+ALL_TABLES = {
+    "jetson-gpu": cal.JETSON_GPU_EFFICIENCY,
+    "jetson-cpu": cal.JETSON_CPU_EFFICIENCY,
+    "mobile-cpu": cal.MOBILE_CPU_EFFICIENCY,
+    "rpi-cpu": cal.RPI_CPU_EFFICIENCY,
+    "discrete-gpu": cal.DISCRETE_GPU_EFFICIENCY,
+}
+
+
+@pytest.mark.parametrize("name,table", ALL_TABLES.items())
+def test_every_kernel_class_covered(name, table):
+    assert set(table) == set(cal.KERNEL_CLASSES)
+
+
+@pytest.mark.parametrize("name,table", ALL_TABLES.items())
+def test_efficiencies_in_range(name, table):
+    for eff in table.values():
+        assert 0 < eff.compute <= 1
+        assert 0 < eff.memory <= 1
+
+
+def test_efficiency_validation():
+    with pytest.raises(ValueError):
+        cal.KernelEfficiency(compute=0.0, memory=0.5)
+    with pytest.raises(ValueError):
+        cal.KernelEfficiency(compute=0.5, memory=1.5)
+
+
+def test_saturation_table_covers_all_classes():
+    assert set(cal.GPU_SATURATION_ELEMENTS) == set(cal.KERNEL_CLASSES)
+    assert all(v > 0 for v in cal.GPU_SATURATION_ELEMENTS.values())
+
+
+def test_managed_factor_table_covers_all_classes():
+    assert set(cal.MANAGED_GPU_BW_FACTORS) == set(cal.KERNEL_CLASSES)
+    assert all(0 < v <= 1 for v in cal.MANAGED_GPU_BW_FACTORS.values())
+
+
+def test_pool_penalized_more_than_conv():
+    # The Fig 10 mechanism: pools suffer most from the coherent path.
+    factors = cal.MANAGED_GPU_BW_FACTORS
+    assert factors["pool"] < factors["conv"]
+
+
+def test_corun_slowdowns_above_one():
+    assert cal.CORUN_CPU_SLOWDOWN >= 1.0
+    assert cal.CORUN_GPU_SLOWDOWN >= 1.0
+
+
+def test_corun_dram_efficiency_in_range():
+    assert 0 < cal.CORUN_DRAM_EFFICIENCY <= 1
+
+
+def test_spin_utilization_in_range():
+    assert 0 <= cal.OMP_SPIN_UTILIZATION <= 1
+
+
+def test_cloud_parameters_match_paper():
+    # §V-D: ~400 KB input, ~1 MB/s uplink, ~100 ms cloud latency.
+    assert cal.CLOUD_INPUT_BYTES == pytest.approx(400e3)
+    assert cal.CLOUD_BANDWIDTH == pytest.approx(1e6)
+    assert cal.CLOUD_LATENCY_S == pytest.approx(0.1)
+
+
+def test_overheads_are_positive_and_small():
+    for overhead in (
+        cal.GPU_LAUNCH_OVERHEAD_S,
+        cal.CPU_LAUNCH_OVERHEAD_S,
+        cal.DISCRETE_GPU_LAUNCH_OVERHEAD_S,
+        cal.PARTITION_OVERHEAD_S,
+        cal.JOIN_SYNC_OVERHEAD_S,
+    ):
+        assert 0 < overhead < 1e-3
+
+
+def test_gpu_beats_cpu_on_conv_throughput():
+    # Effective conv throughput: Jetson GPU must exceed Jetson CPU (the
+    # reason large convs stay on the GPU).
+    gpu = cal.JETSON_GPU_EFFICIENCY["conv"].compute * 1.41e12
+    cpu = cal.JETSON_CPU_EFFICIENCY["conv"].compute * 289e9
+    assert gpu > 3 * cpu
+
+
+def test_cpu_beats_gpu_on_dense_bandwidth():
+    # Effective GEMV streaming: the CPU's cache-friendly rows beat the
+    # GPU's uncoalesced naive GEMV — the source of Table I's fc gains.
+    gpu = cal.JETSON_GPU_EFFICIENCY["dense"].memory * 110e9
+    cpu = cal.JETSON_CPU_EFFICIENCY["dense"].memory * 60e9
+    assert cpu > gpu

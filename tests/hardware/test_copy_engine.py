@@ -1,0 +1,61 @@
+"""Explicit copy engine (cudaMemcpy model)."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.hardware.copy_engine import CopyDirection, CopyEngine, Transfer
+from repro.hardware.specs import InterconnectSpec
+
+LINK = InterconnectSpec(name="test-link", rate=1e9, latency_s=10e-6)
+
+
+class TestTransfer:
+    def test_rejects_negative_size(self):
+        with pytest.raises(MemoryModelError):
+            Transfer("buf", -1.0, CopyDirection.H2D)
+
+    def test_directions(self):
+        assert CopyDirection.H2D.value == "h2d"
+        assert CopyDirection.D2H.value == "d2h"
+
+
+class TestCopyEngine:
+    def test_transfer_time_is_latency_plus_bandwidth(self):
+        engine = CopyEngine(LINK)
+        assert engine.transfer_time(1e9) == pytest.approx(10e-6 + 1.0)
+
+    def test_zero_byte_transfer_is_free(self):
+        engine = CopyEngine(LINK)
+        assert engine.transfer_time(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        engine = CopyEngine(LINK)
+        with pytest.raises(MemoryModelError):
+            engine.transfer_time(-5)
+
+    def test_record_accumulates_stats(self):
+        engine = CopyEngine(LINK)
+        t1 = engine.record(Transfer("a", 1e6, CopyDirection.H2D))
+        t2 = engine.record(Transfer("b", 2e6, CopyDirection.D2H))
+        assert engine.total_bytes == 3e6
+        assert engine.transfer_count == 2
+        assert engine.total_time_s == pytest.approx(t1 + t2)
+
+    def test_zero_byte_record_not_counted(self):
+        engine = CopyEngine(LINK)
+        engine.record(Transfer("a", 0, CopyDirection.H2D))
+        assert engine.transfer_count == 0
+        assert engine.total_bytes == 0.0
+
+    def test_reset(self):
+        engine = CopyEngine(LINK)
+        engine.record(Transfer("a", 1e6, CopyDirection.H2D))
+        engine.reset()
+        assert engine.total_bytes == 0.0
+        assert engine.total_time_s == 0.0
+        assert engine.transfer_count == 0
+
+    def test_rate_and_latency_exposed(self):
+        engine = CopyEngine(LINK)
+        assert engine.rate == 1e9
+        assert engine.latency_s == 10e-6

@@ -1,0 +1,72 @@
+"""Power and energy accounting."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.power import energy_for_run, performance_per_dollar
+from repro.hardware.specs import JETSON_AGX_XAVIER, RASPBERRY_PI_4
+
+
+class TestEnergyForRun:
+    def test_idle_run(self):
+        rep = energy_for_run(JETSON_AGX_XAVIER, 1.0, 0.0, 0.0)
+        assert rep.average_power_w == JETSON_AGX_XAVIER.power.idle_w
+        assert rep.energy_j == pytest.approx(rep.average_power_w)
+
+    def test_full_utilization(self):
+        rep = energy_for_run(JETSON_AGX_XAVIER, 2.0, 2.0, 2.0)
+        p = JETSON_AGX_XAVIER.power
+        assert rep.average_power_w == pytest.approx(
+            p.idle_w + p.cpu_dynamic_w + p.gpu_dynamic_w
+        )
+        assert rep.energy_j == pytest.approx(rep.average_power_w * 2.0)
+
+    def test_utilizations_computed(self):
+        rep = energy_for_run(JETSON_AGX_XAVIER, 4.0, 1.0, 2.0)
+        assert rep.cpu_utilization == pytest.approx(0.25)
+        assert rep.gpu_utilization == pytest.approx(0.5)
+
+    def test_busy_clamped_to_duration(self):
+        rep = energy_for_run(JETSON_AGX_XAVIER, 1.0, 5.0, 0.0)
+        assert rep.cpu_utilization == 1.0
+
+    def test_rejects_gpu_busy_on_cpu_only_device(self):
+        with pytest.raises(SpecError):
+            energy_for_run(RASPBERRY_PI_4, 1.0, 0.5, gpu_busy_s=0.5)
+
+    def test_cpu_only_device_energy(self):
+        rep = energy_for_run(RASPBERRY_PI_4, 1.0, 0.52)
+        p = RASPBERRY_PI_4.power
+        assert rep.average_power_w == pytest.approx(
+            p.idle_w + 0.52 * p.cpu_dynamic_w
+        )
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(SpecError):
+            energy_for_run(JETSON_AGX_XAVIER, 0.0, 0.0)
+
+    def test_rejects_negative_busy(self):
+        with pytest.raises(SpecError):
+            energy_for_run(JETSON_AGX_XAVIER, 1.0, -0.1)
+
+    def test_performance_per_watt(self):
+        rep = energy_for_run(JETSON_AGX_XAVIER, 2.0, 1.0, 1.0)
+        assert rep.performance_per_watt == pytest.approx(
+            1.0 / (2.0 * rep.average_power_w)
+        )
+
+    def test_rpi_max_power_matches_paper_reference(self):
+        # Paper ref [11]: Raspberry Pi 4 maximum draw ~6.4 W.
+        p = RASPBERRY_PI_4.power
+        assert p.idle_w + p.cpu_dynamic_w == pytest.approx(6.4, abs=0.01)
+
+
+class TestPerformancePerDollar:
+    def test_basic(self):
+        assert performance_per_dollar(2.0, 100.0) == pytest.approx(0.005)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecError):
+            performance_per_dollar(0.0, 100.0)
+        with pytest.raises(SpecError):
+            performance_per_dollar(1.0, 0.0)

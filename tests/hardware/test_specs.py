@@ -1,0 +1,198 @@
+"""Hardware specification records and the platform catalog."""
+
+import pytest
+
+from repro import units
+from repro.errors import SpecError
+from repro.hardware import calibration as cal
+from repro.hardware.specs import (
+    DEVICE_CATALOG,
+    DIMENSITY_8100,
+    JETSON_AGX_XAVIER,
+    RASPBERRY_PI_4,
+    RTX_2080TI_HOST,
+    DeviceSpec,
+    InterconnectSpec,
+    MemoryKind,
+    MemorySpec,
+    PowerSpec,
+    ProcessorKind,
+    ProcessorSpec,
+    device,
+)
+
+
+def _cpu(name="cpu", **overrides):
+    kwargs = dict(
+        name=name,
+        kind=ProcessorKind.CPU,
+        cores=4,
+        clock_hz=units.gigahertz(2.0),
+        flops_per_cycle=8.0,
+        max_stream_bw=units.gigabytes_per_second(10.0),
+        launch_overhead_s=1e-6,
+        efficiency=cal.JETSON_CPU_EFFICIENCY,
+    )
+    kwargs.update(overrides)
+    return ProcessorSpec(**kwargs)
+
+
+class TestProcessorSpec:
+    def test_peak_flops_derived(self):
+        proc = _cpu()
+        assert proc.peak_flops == pytest.approx(4 * 2.0e9 * 8.0)
+
+    def test_peak_flops_override(self):
+        proc = _cpu(peak_flops_override=123e9)
+        assert proc.peak_flops == 123e9
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(SpecError):
+            _cpu(cores=0)
+
+    def test_rejects_negative_launch_overhead(self):
+        with pytest.raises(SpecError):
+            _cpu(launch_overhead_s=-1.0)
+
+    def test_rejects_missing_kernel_class(self):
+        with pytest.raises(SpecError, match="missing efficiency"):
+            _cpu(efficiency={"conv": cal.KernelEfficiency(0.1, 0.1)})
+
+    def test_efficiency_for_unknown_class(self):
+        with pytest.raises(SpecError, match="unknown kernel class"):
+            _cpu().efficiency_for("fft")
+
+    def test_efficiency_for_known_class(self):
+        eff = _cpu().efficiency_for("conv")
+        assert 0 < eff.compute <= 1
+        assert 0 < eff.memory <= 1
+
+
+class TestMemoryAndInterconnect:
+    def test_memory_spec_validation(self):
+        with pytest.raises(SpecError):
+            MemorySpec("m", MemoryKind.UNIFIED, capacity_bytes=0, bandwidth=1)
+        with pytest.raises(SpecError):
+            MemorySpec("m", MemoryKind.UNIFIED, capacity_bytes=1, bandwidth=0)
+
+    def test_interconnect_validation(self):
+        with pytest.raises(SpecError):
+            InterconnectSpec("x", rate=0, latency_s=0)
+        with pytest.raises(SpecError):
+            InterconnectSpec("x", rate=1e9, latency_s=-1)
+
+
+class TestPowerSpec:
+    def test_linear_model(self):
+        p = PowerSpec(idle_w=2.0, cpu_dynamic_w=3.0, gpu_dynamic_w=4.0)
+        assert p.power(0.0, 0.0) == 2.0
+        assert p.power(1.0, 1.0) == 9.0
+        assert p.power(0.5, 0.25) == pytest.approx(2.0 + 1.5 + 1.0)
+
+    def test_rejects_out_of_range_utilization(self):
+        p = PowerSpec(idle_w=1.0, cpu_dynamic_w=1.0)
+        with pytest.raises(SpecError):
+            p.power(1.5)
+        with pytest.raises(SpecError):
+            p.power(0.5, -0.1)
+
+    def test_rejects_negative_terms(self):
+        with pytest.raises(SpecError):
+            PowerSpec(idle_w=-1.0, cpu_dynamic_w=0.0)
+
+
+class TestDeviceSpec:
+    def test_jetson_is_integrated(self):
+        assert JETSON_AGX_XAVIER.is_integrated
+        assert JETSON_AGX_XAVIER.has_gpu
+
+    def test_rpi_is_cpu_only(self):
+        assert not RASPBERRY_PI_4.is_integrated
+        assert not RASPBERRY_PI_4.has_gpu
+
+    def test_discrete_host_is_not_integrated(self):
+        assert RTX_2080TI_HOST.has_gpu
+        assert not RTX_2080TI_HOST.is_integrated
+
+    def test_gpu_without_interconnect_rejected(self):
+        with pytest.raises(SpecError, match="interconnect"):
+            DeviceSpec(
+                name="bad",
+                cpu=JETSON_AGX_XAVIER.cpu,
+                gpu=JETSON_AGX_XAVIER.gpu,
+                memory=JETSON_AGX_XAVIER.memory,
+                power=JETSON_AGX_XAVIER.power,
+                price_usd=1.0,
+            )
+
+    def test_unified_device_cannot_have_vram(self):
+        with pytest.raises(SpecError, match="VRAM"):
+            DeviceSpec(
+                name="bad",
+                cpu=JETSON_AGX_XAVIER.cpu,
+                gpu=JETSON_AGX_XAVIER.gpu,
+                gpu_memory=RTX_2080TI_HOST.gpu_memory,
+                interconnect=JETSON_AGX_XAVIER.interconnect,
+                memory=JETSON_AGX_XAVIER.memory,
+                power=JETSON_AGX_XAVIER.power,
+                price_usd=1.0,
+            )
+
+    def test_stream_bandwidth_capped_by_dram(self):
+        spec = JETSON_AGX_XAVIER
+        bw = spec.stream_bandwidth(spec.gpu)
+        assert bw <= spec.memory.bandwidth
+        assert bw <= spec.gpu.max_stream_bw
+
+    def test_discrete_gpu_streams_from_vram(self):
+        spec = RTX_2080TI_HOST
+        assert spec.stream_bandwidth(spec.gpu) <= spec.gpu_memory.bandwidth
+        assert spec.stream_bandwidth(spec.cpu) <= spec.memory.bandwidth
+
+
+class TestCatalog:
+    def test_catalog_contains_the_four_paper_platforms(self):
+        assert set(DEVICE_CATALOG) == {
+            "jetson-agx-xavier",
+            "raspberry-pi-4",
+            "dimensity-8100",
+            "rtx-2080ti-host",
+        }
+
+    def test_lookup_by_name(self):
+        assert device("jetson-agx-xavier") is JETSON_AGX_XAVIER
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(SpecError, match="unknown device"):
+            device("tpu-v4")
+
+    def test_paper_prices(self):
+        assert JETSON_AGX_XAVIER.price_usd == 699.0
+        assert RASPBERRY_PI_4.price_usd == 75.0
+
+    def test_paper_memory_bandwidths(self):
+        assert JETSON_AGX_XAVIER.memory.bandwidth == units.gigabytes_per_second(137)
+        assert RTX_2080TI_HOST.gpu_memory.bandwidth == units.gigabytes_per_second(616)
+
+    def test_jetson_core_counts(self):
+        assert JETSON_AGX_XAVIER.cpu.cores == 8
+        assert JETSON_AGX_XAVIER.gpu.cores == 512
+        assert RTX_2080TI_HOST.gpu.cores == 4352
+
+    def test_dimensity_uses_heterogeneous_peak_override(self):
+        assert DIMENSITY_8100.cpu.peak_flops_override is not None
+        assert DIMENSITY_8100.cpu.peak_flops < (
+            DIMENSITY_8100.cpu.cores
+            * DIMENSITY_8100.cpu.clock_hz
+            * DIMENSITY_8100.cpu.flops_per_cycle
+        )
+
+    def test_gpus_have_saturation_tables(self):
+        assert JETSON_AGX_XAVIER.gpu.saturation_elements is not None
+        assert RTX_2080TI_HOST.gpu.saturation_elements is not None
+        assert JETSON_AGX_XAVIER.cpu.saturation_elements is None
+
+    def test_discrete_needs_more_parallelism(self):
+        jetson_sat = JETSON_AGX_XAVIER.gpu.saturation_elements["conv"]
+        discrete_sat = RTX_2080TI_HOST.gpu.saturation_elements["conv"]
+        assert discrete_sat == jetson_sat * cal.DISCRETE_SATURATION_SCALE

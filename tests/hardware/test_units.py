@@ -1,0 +1,41 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_decimal_byte_units():
+    assert units.kilobytes(1) == 1e3
+    assert units.megabytes(2) == 2e6
+    assert units.gigabytes(0.5) == 5e8
+
+
+def test_binary_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+
+
+def test_bandwidth_units():
+    assert units.gigabytes_per_second(137) == 137e9
+    assert units.megabytes_per_second(1) == 1e6
+
+
+def test_compute_units():
+    assert units.gigaflops(3) == 3e9
+    assert units.teraflops(1.41) == pytest.approx(1.41e12)
+    assert units.gigahertz(2.26) == pytest.approx(2.26e9)
+
+
+def test_time_units_roundtrip():
+    assert units.microseconds(18) == pytest.approx(18e-6)
+    assert units.milliseconds(100) == pytest.approx(0.1)
+    assert units.to_milliseconds(0.25) == pytest.approx(250.0)
+    assert units.to_microseconds(1e-3) == pytest.approx(1000.0)
+
+
+def test_to_from_inverse():
+    for value in (1e-6, 3.7e-3, 2.0):
+        assert units.milliseconds(units.to_milliseconds(value)) == pytest.approx(value)
+        assert units.microseconds(units.to_microseconds(value)) == pytest.approx(value)

@@ -1,0 +1,86 @@
+"""Platform variants: Jetson power modes and other integrated SoCs."""
+
+import pytest
+
+from repro.baselines import run_gpu_only
+from repro.core.engine import EdgeNN
+from repro.errors import SpecError
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.hardware.variants import (
+    AMD_RYZEN_APU,
+    APPLE_M1_STYLE,
+    JETSON_POWER_MODES,
+    VARIANT_CATALOG,
+    jetson_power_mode,
+)
+
+from ..conftest import make_chain_net
+
+
+class TestJetsonPowerModes:
+    def test_30w_is_the_catalog_device(self):
+        assert jetson_power_mode("30W") is JETSON_AGX_XAVIER
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SpecError, match="power mode"):
+            jetson_power_mode("50W")
+
+    @pytest.mark.parametrize("mode", ["10W", "15W"])
+    def test_capped_modes_scale_down(self, mode):
+        capped = jetson_power_mode(mode)
+        assert capped.cpu.clock_hz < JETSON_AGX_XAVIER.cpu.clock_hz
+        assert capped.gpu.clock_hz < JETSON_AGX_XAVIER.gpu.clock_hz
+        assert capped.memory.bandwidth < JETSON_AGX_XAVIER.memory.bandwidth
+        assert capped.is_integrated
+
+    def test_mode_ordering(self):
+        ten = jetson_power_mode("10W")
+        fifteen = jetson_power_mode("15W")
+        assert ten.gpu.clock_hz < fifteen.gpu.clock_hz
+        assert ten.memory.bandwidth < fifteen.memory.bandwidth
+
+    def test_peak_power_respects_budget(self):
+        for mode, (_, _, _, budget) in JETSON_POWER_MODES.items():
+            spec = jetson_power_mode(mode)
+            peak = spec.power.power(1.0, 1.0)
+            assert peak <= budget + 1e-9
+
+    def test_lower_mode_is_slower_but_frugal(self, chain_net):
+        full = run_gpu_only(make_chain_net("f"), JETSON_AGX_XAVIER)
+        capped = run_gpu_only(make_chain_net("c"), jetson_power_mode("10W"))
+        assert capped.total_s > full.total_s
+        assert capped.energy.average_power_w < full.energy.average_power_w
+
+    def test_edgenn_runs_on_capped_modes(self, chain_net):
+        report = EdgeNN(chain_net, jetson_power_mode("15W")).run()
+        assert report.total_s > 0
+        assert report.device == "jetson-agx-xavier-15w"
+
+
+class TestOtherIntegratedPlatforms:
+    @pytest.mark.parametrize("spec", [AMD_RYZEN_APU, APPLE_M1_STYLE],
+                             ids=lambda s: s.name)
+    def test_are_integrated_devices(self, spec):
+        assert spec.is_integrated
+
+    @pytest.mark.parametrize("spec", [AMD_RYZEN_APU, APPLE_M1_STYLE],
+                             ids=lambda s: s.name)
+    def test_edgenn_beats_gpu_only_baseline(self, spec):
+        # §V-G: "the idea behind EdgeNN is applicable to similar
+        # platforms, such as AMD's APU and Apple Silicon".
+        net = make_chain_net()
+        baseline = run_gpu_only(make_chain_net("b"), spec)
+        edgenn = EdgeNN(net, spec).run()
+        assert edgenn.total_s <= baseline.total_s * 1.001
+
+    def test_variant_catalog_contents(self):
+        assert set(VARIANT_CATALOG) == {
+            "jetson-agx-xavier-10w",
+            "jetson-agx-xavier-15w",
+            "amd-ryzen-apu",
+            "apple-m1-style",
+        }
+
+    def test_variants_disjoint_from_paper_catalog(self):
+        from repro.hardware.specs import DEVICE_CATALOG
+        assert not set(VARIANT_CATALOG) & set(DEVICE_CATALOG)

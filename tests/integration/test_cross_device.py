@@ -1,0 +1,38 @@
+"""EdgeNN across every integrated platform (paper device + variants)."""
+
+import pytest
+
+from repro.baselines import run_gpu_only
+from repro.core.engine import EdgeNN
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.hardware.variants import VARIANT_CATALOG
+
+INTEGRATED = [JETSON_AGX_XAVIER] + [
+    spec for spec in VARIANT_CATALOG.values() if spec.is_integrated
+]
+
+
+@pytest.mark.parametrize("spec", INTEGRATED, ids=lambda s: s.name)
+@pytest.mark.parametrize("network", ["lenet", "squeezenet"])
+class TestEveryIntegratedPlatform:
+    def test_edgenn_never_loses_to_the_original_program(self, spec, network):
+        edgenn = EdgeNN(network, spec).run()
+        baseline = run_gpu_only(network, spec)
+        assert edgenn.total_s <= baseline.total_s * 1.001
+
+    def test_power_within_device_envelope(self, spec, network):
+        report = EdgeNN(network, spec).run()
+        peak = spec.power.power(1.0, 1.0)
+        assert spec.power.idle_w <= report.energy.average_power_w <= peak
+
+
+def test_devices_rank_plausibly_on_squeezenet():
+    """Cross-device ordering sanity: the desktop APU and the M1-class SoC
+    outrun the Jetson (more capable memory systems / clocks), and every
+    capped Jetson mode is slower than the full-power Jetson."""
+    times = {
+        spec.name: EdgeNN("squeezenet", spec).run().total_s
+        for spec in INTEGRATED
+    }
+    assert times["jetson-agx-xavier-10w"] > times["jetson-agx-xavier-15w"]
+    assert times["jetson-agx-xavier-15w"] > times["jetson-agx-xavier"]

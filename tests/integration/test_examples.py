@@ -1,0 +1,45 @@
+"""Every shipped example must run clean end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    # The README documents exactly these seven scenarios.
+    assert EXAMPLES == [
+        "custom_network.py",
+        "deployment_planner.py",
+        "device_comparison.py",
+        "multi_model_camera.py",
+        "quickstart.py",
+        "smart_camera.py",
+        "tuning_exploration.py",
+    ]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,  # any files the example writes land in tmp
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate their results"
+
+
+def test_quickstart_takes_network_argument(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "lenet"],
+        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "lenet" in result.stdout

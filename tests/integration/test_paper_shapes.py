@@ -1,0 +1,222 @@
+"""The headline paper-shape assertions: every table/figure's qualitative
+result must hold in the reproduction.
+
+Tolerances are deliberately loose — we assert *who wins, by roughly what
+factor, and where the crossovers fall* (see DESIGN.md §1), not the authors'
+absolute milliseconds.
+"""
+
+import pytest
+
+from repro.eval import experiments as ex
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    return ex.fig06_edge_cpu_speedups()
+
+
+@pytest.fixture(scope="module")
+def fig08():
+    return ex.fig08_ablation()
+
+
+@pytest.fixture(scope="module")
+def fig09():
+    return ex.fig09_memcpy_share()
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return ex.table1_layer_improvements()
+
+
+class TestFig06Shapes:
+    """Paper: averages 3.97x (Jetson CPU), 3.12x (phone), 8.80x (RPi)."""
+
+    def test_average_magnitudes(self, fig06):
+        assert 2.5 <= fig06.mean_jetson_cpu <= 5.5
+        assert 2.0 <= fig06.mean_mobile_cpu <= 4.5
+        assert 6.0 <= fig06.mean_raspberry_pi <= 12.0
+
+    def test_platform_ordering(self, fig06):
+        # RPi is slowest, the phone CPU is faster than the Jetson CPU.
+        assert fig06.mean_raspberry_pi > fig06.mean_jetson_cpu
+        assert fig06.mean_jetson_cpu > fig06.mean_mobile_cpu
+
+    def test_edgenn_beats_every_cpu_on_conv_networks(self, fig06):
+        for row in fig06.rows:
+            if row.network in ("alexnet", "vgg16", "squeezenet", "resnet18"):
+                assert row.jetson_cpu_speedup > 2.0
+                assert row.raspberry_pi_speedup > 5.0
+
+
+class TestFig08Shapes:
+    """Paper: memory avg 9.93%, hybrid avg 10.76%, EdgeNN avg 22.02%,
+    per-network total from 16.29% (VGG) to 27.22% (AlexNet)."""
+
+    def test_memory_average(self, fig08):
+        assert 5.0 <= fig08.mean_memory <= 15.0
+
+    def test_edgenn_average(self, fig08):
+        assert 15.0 <= fig08.mean_edgenn <= 40.0
+
+    def test_every_design_is_beneficial_on_average(self, fig08):
+        assert fig08.mean_memory > 0
+        assert fig08.mean_hybrid > 0
+        assert fig08.mean_edgenn > max(fig08.mean_memory, 0)
+
+    def test_alexnet_near_paper_value(self, fig08):
+        row = next(r for r in fig08.rows if r.network == "alexnet")
+        # Paper: 27.22% total for AlexNet.
+        assert 18.0 <= row.edgenn_improvement_pct <= 35.0
+
+    def test_improvements_never_catastrophically_negative(self, fig08):
+        for row in fig08.rows:
+            assert row.edgenn_improvement_pct > -1.0
+
+
+class TestFig09Shapes:
+    """Paper: copy share avg 11.46% integrated vs 23.34% discrete
+    (max "even reaching 36%")."""
+
+    def test_integrated_average(self, fig09):
+        assert 7.0 <= fig09.mean_integrated <= 16.0
+
+    def test_discrete_average(self, fig09):
+        assert 15.0 <= fig09.mean_discrete <= 30.0
+
+    def test_discrete_exceeds_integrated_on_average(self, fig09):
+        assert fig09.mean_discrete > fig09.mean_integrated
+
+    def test_discrete_max_reaches_paper_extreme(self, fig09):
+        assert fig09.max_discrete >= 30.0
+
+    def test_improvement_always_below_copy_share(self, fig08, fig09):
+        # §V-C2 third observation: zero-copy's benefit never exceeds the
+        # copy share it eliminates (managed-access penalties eat into it).
+        for imp_row, share_row in zip(fig08.rows, fig09.rows):
+            assert imp_row.memory_improvement_pct <= share_row.integrated_share_pct + 1.0
+
+
+class TestFig10Shapes:
+    """Paper: with zero-copy, pooling kernels get slower; compute-bound
+    convolutions barely change."""
+
+    def test_pool_layers_slow_down(self):
+        result = ex.fig10_alexnet_zero_copy_layers()
+        pools = result.rows_of_class("pool")
+        assert pools, "pool layers should be visible in Fig 10"
+        for row in pools:
+            assert row.with_ms > row.without_ms
+
+    def test_conv_layers_barely_change(self):
+        result = ex.fig10_alexnet_zero_copy_layers()
+        for row in result.rows_of_class("conv"):
+            assert abs(row.improvement_pct) < 8.0
+
+
+class TestFig11AndTable1Shapes:
+    """Paper Table I: AlexNet conv improvement = 0; AlexNet fc avg 53.81%
+    with zero-copy (31.71% without); LeNet conv up to 36%."""
+
+    def test_alexnet_conv_zero(self, table1):
+        cell = table1.cell("alexnet", "conv")
+        assert cell.max_pct <= 3.0
+
+    def test_vgg_conv_negligible(self, table1):
+        assert table1.cell("vgg16", "conv").avg_pct <= 8.0
+
+    def test_alexnet_fc_strong(self, table1):
+        cell = table1.cell("alexnet", "dense")
+        assert 40.0 <= cell.avg_pct <= 70.0
+
+    def test_lenet_conv_benefits(self, table1):
+        cell = table1.cell("lenet", "conv")
+        assert cell.max_pct >= 10.0
+
+    def test_lenet_fc_benefits(self, table1):
+        assert table1.cell("lenet", "dense").avg_pct >= 25.0
+
+    def test_zero_copy_amplifies_fc_gains(self):
+        # Paper: 31.71% without vs 53.80% with zero-copy on AlexNet fc.
+        with_zc = ex.fig11_alexnet_hybrid_layers(zero_copy=True)
+        without = ex.fig11_alexnet_hybrid_layers(zero_copy=False)
+        fc_with = [r.improvement_pct for r in with_zc.rows_of_class("dense")]
+        fc_without = [r.improvement_pct for r in without.rows_of_class("dense")]
+        assert sum(fc_with) / len(fc_with) > sum(fc_without) / len(fc_without)
+
+
+class TestFig12Shapes:
+    """Paper: EdgeNN beats the cloud on average; compute-heavy VGG is the
+    one loss."""
+
+    def test_vgg_loses_to_cloud(self):
+        result = ex.fig12_cloud_comparison()
+        vgg = next(r for r in result.rows if r.network == "vgg16")
+        assert not vgg.edgenn_wins
+
+    def test_everything_else_wins(self):
+        result = ex.fig12_cloud_comparison()
+        for row in result.rows:
+            if row.network != "vgg16":
+                assert row.edgenn_wins
+
+    def test_positive_average_improvement(self):
+        assert ex.fig12_cloud_comparison().mean_improvement > 0
+
+
+class TestFig7And13Shapes:
+    """Paper: massively better energy efficiency than both comparisons;
+    cost-effectiveness below the RPi (geomean 0.61) but above the discrete
+    GPU (1.25x)."""
+
+    def test_power_efficiency_beats_rpi(self):
+        result = ex.fig07_efficiency_vs_edge_cpu()
+        assert result.geomean_power > 2.0
+
+    def test_rpi_wins_cost_effectiveness(self):
+        result = ex.fig07_efficiency_vs_edge_cpu()
+        assert result.geomean_price < 1.0
+
+    def test_power_efficiency_beats_discrete_gpu(self):
+        result = ex.fig13_efficiency_vs_discrete_gpu()
+        assert result.geomean_power > 3.0
+
+    def test_cost_effectiveness_beats_discrete_gpu(self):
+        result = ex.fig13_efficiency_vs_discrete_gpu()
+        assert 0.9 <= result.geomean_price <= 2.0
+
+
+class TestSec5FShapes:
+    """Paper: inter-kernel-only helps SqueezeNet (+8.27%) and nothing
+    else; EdgeNN is needed for the rest."""
+
+    def test_squeezenet_gains(self):
+        result = ex.sec5f_interkernel_only()
+        assert result.row("squeezenet").interkernel_improvement_pct >= 3.0
+
+    def test_chains_gain_nothing(self):
+        result = ex.sec5f_interkernel_only()
+        for name in ("fcnn", "lenet", "alexnet", "vgg16"):
+            assert abs(result.row(name).interkernel_improvement_pct) < 1.0
+
+    def test_edgenn_dominates_interkernel_only(self):
+        result = ex.sec5f_interkernel_only()
+        for row in result.rows:
+            assert row.edgenn_improvement_pct >= row.interkernel_improvement_pct - 0.5
+
+
+class TestSec5B2Shapes:
+    """Paper: EdgeNN's Jetson power draws 5.5-7.9 W; both processors kept
+    busy (avg CPU 75%, GPU 62%)."""
+
+    def test_power_window(self):
+        result = ex.sec5b2_utilization()
+        for row in result.rows:
+            assert 4.0 <= row.power_w <= 8.0
+
+    def test_both_processors_utilized(self):
+        result = ex.sec5b2_utilization()
+        assert result.mean_cpu_util >= 50.0
+        assert result.mean_gpu_util >= 50.0

@@ -1,0 +1,115 @@
+"""Depthwise convolutions and MobileNetV1 (extension substrate)."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.errors import ShapeError
+from repro.nn.layers import DepthwiseConv2D
+from repro.nn.models import build, build_mobilenet_v1
+
+
+class TestDepthwiseShapes:
+    def test_channels_preserved(self):
+        layer = DepthwiseConv2D("dw", kernel_size=3, padding=1)
+        assert layer.infer_shape([(32, 28, 28)]) == (32, 28, 28)
+
+    def test_stride(self):
+        layer = DepthwiseConv2D("dw", kernel_size=3, stride=2, padding=1)
+        assert layer.infer_shape([(64, 112, 112)]) == (64, 56, 56)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            DepthwiseConv2D("dw", 3).infer_shape([(10,)])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ShapeError):
+            DepthwiseConv2D("dw", kernel_size=0)
+
+
+class TestDepthwiseWork:
+    def test_param_shapes(self):
+        layer = DepthwiseConv2D("dw", kernel_size=3)
+        params = layer.param_shapes([(32, 8, 8)])
+        assert params["weight"] == (32, 3, 3)
+        assert params["bias"] == (32,)
+
+    def test_flops_linear_in_channels(self):
+        layer = DepthwiseConv2D("dw", kernel_size=3, padding=1)
+        shape = (32, 8, 8)
+        flops = layer.flops([shape], layer.infer_shape([shape]))
+        assert flops == 2 * 32 * 8 * 8 * 9 + 32 * 8 * 8
+
+    def test_far_cheaper_than_standard_conv(self):
+        from repro.nn.layers import Conv2D
+        shape = (64, 14, 14)
+        dw = DepthwiseConv2D("dw", kernel_size=3, padding=1)
+        full = Conv2D("c", out_channels=64, kernel_size=3, padding=1)
+        dw_flops = dw.flops([shape], dw.infer_shape([shape]))
+        full_flops = full.flops([shape], full.infer_shape([shape]))
+        assert full_flops / dw_flops > 30  # ~C_in times cheaper
+
+    def test_low_arithmetic_intensity(self):
+        layer = DepthwiseConv2D("dw", kernel_size=3, padding=1)
+        shape = (64, 14, 14)
+        work = layer.work([shape], layer.infer_shape([shape]))
+        assert work.arithmetic_intensity < 5.0  # memory-bound regime
+
+
+class TestDepthwiseNumerics:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_per_channel_scipy(self, rng, stride, padding):
+        layer = DepthwiseConv2D("dw", kernel_size=3, stride=stride,
+                                padding=padding)
+        x = rng.normal(size=(4, 10, 10)).astype(np.float32)
+        weight = rng.normal(size=(4, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=(4,)).astype(np.float32)
+        out = layer.forward([x], {"weight": weight, "bias": bias})
+        for c in range(4):
+            padded = np.pad(x[c], padding) if padding else x[c]
+            ref = signal.correlate2d(padded, weight[c], mode="valid")
+            ref = ref[::stride, ::stride] + bias[c]
+            np.testing.assert_allclose(out[c], ref, rtol=1e-4, atol=1e-5)
+
+
+class TestMobileNet:
+    def test_published_size(self):
+        net = build_mobilenet_v1()
+        # MobileNetV1: ~4.2M params, ~1.1 GFLOPs (569M MACs).
+        assert net.total_param_bytes() / 4 == pytest.approx(4.23e6, rel=0.03)
+        assert net.total_flops() == pytest.approx(1.15e9, rel=0.05)
+
+    def test_width_multiplier_shrinks_model(self):
+        full = build_mobilenet_v1()
+        half = build_mobilenet_v1(width_multiplier=0.5)
+        assert half.total_param_bytes() < full.total_param_bytes() / 2.5
+
+    def test_width_multiplier_validated(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_v1(width_multiplier=0.0)
+
+    def test_buildable_by_name_but_not_a_paper_benchmark(self):
+        from repro.nn.models import benchmark_names
+        assert build("mobilenet-v1").name == "mobilenet-v1"
+        assert "mobilenet-v1" not in benchmark_names()
+
+    def test_numeric_forward(self, rng):
+        net = build_mobilenet_v1(classes=10, width_multiplier=0.25)
+        out = net.forward(rng.random(net.input_shape, dtype=np.float32))
+        assert out.shape == (10,)
+        assert out.sum() == pytest.approx(1.0, rel=1e-3)
+
+    def test_edgenn_tunes_mobilenet(self):
+        from repro import EdgeNN
+        from repro.baselines import run_gpu_only
+        from repro.hardware.specs import JETSON_AGX_XAVIER
+        engine = EdgeNN("mobilenet-v1")
+        report = engine.run()
+        baseline = run_gpu_only("mobilenet-v1", JETSON_AGX_XAVIER)
+        assert report.total_s <= baseline.total_s * 1.001
+
+    def test_spec_round_trip(self):
+        from repro.nn.spec import network_from_spec, network_to_spec
+        net = build_mobilenet_v1(classes=10, width_multiplier=0.25)
+        rebuilt = network_from_spec(network_to_spec(net))
+        assert rebuilt.total_flops() == pytest.approx(net.total_flops())

@@ -1,0 +1,73 @@
+"""ReLU, Add, Softmax."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Add, ReLU, Softmax
+
+
+class TestReLU:
+    def test_shape_preserved(self):
+        assert ReLU("r").infer_shape([(3, 8, 8)]) == (3, 8, 8)
+        assert ReLU("r").infer_shape([(10,)]) == (10,)
+
+    def test_rejects_two_inputs(self):
+        with pytest.raises(ShapeError):
+            ReLU("r").infer_shape([(3,), (3,)])
+
+    def test_numerics(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(ReLU("r").forward([x], {}), [0, 0, 2])
+
+    def test_flops_one_per_element(self):
+        assert ReLU("r").flops([(4, 4, 4)], (4, 4, 4)) == 64
+
+
+class TestAdd:
+    def test_shape(self):
+        assert Add("a").infer_shape([(3, 8, 8), (3, 8, 8)]) == (3, 8, 8)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ShapeError):
+            Add("a").infer_shape([(3, 8, 8), (4, 8, 8)])
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ShapeError):
+            Add("a").infer_shape([(3, 8, 8)])
+
+    def test_numerics(self, rng):
+        a = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(Add("x").forward([a, b], {}), a + b)
+
+    def test_not_partitionable(self):
+        # Add is a DAG join point, executed after branch synchronization.
+        assert not Add("a").partitionable
+
+
+class TestSoftmax:
+    def test_shape(self):
+        assert Softmax("s").infer_shape([(10,)]) == (10,)
+
+    def test_rejects_feature_map(self):
+        with pytest.raises(ShapeError):
+            Softmax("s").infer_shape([(3, 8, 8)])
+
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=(100,)).astype(np.float32)
+        out = Softmax("s").forward([x], {})
+        assert out.sum() == pytest.approx(1.0, rel=1e-5)
+        assert (out >= 0).all()
+
+    def test_numerically_stable_for_large_logits(self):
+        x = np.array([1000.0, 1001.0, 999.0], dtype=np.float32)
+        out = Softmax("s").forward([x], {})
+        assert np.isfinite(out).all()
+        assert out.argmax() == 1
+
+    def test_matches_reference(self, rng):
+        x = rng.normal(size=(10,)).astype(np.float32)
+        out = Softmax("s").forward([x], {})
+        e = np.exp(x - x.max())
+        np.testing.assert_allclose(out, e / e.sum(), rtol=1e-5)

@@ -1,0 +1,122 @@
+"""Conv2D: shapes, work accounting, and numerics against scipy."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.errors import ShapeError
+from repro.nn.layers import Conv2D, im2col
+
+
+def reference_conv(x, weight, bias, stride, padding):
+    """Direct scipy cross-correlation reference."""
+    o, c, k, _ = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    h = (x.shape[1] - k) // stride + 1
+    w = (x.shape[2] - k) // stride + 1
+    out = np.zeros((o, h, w), dtype=np.float64)
+    for oc in range(o):
+        acc = np.zeros((x.shape[1] - k + 1, x.shape[2] - k + 1))
+        for ic in range(c):
+            acc += signal.correlate2d(x[ic], weight[oc, ic], mode="valid")
+        out[oc] = acc[::stride, ::stride] + bias[oc]
+    return out.astype(np.float32)
+
+
+class TestShapes:
+    def test_basic_shape(self):
+        layer = Conv2D("c", out_channels=8, kernel_size=3, padding=1)
+        assert layer.infer_shape([(3, 16, 16)]) == (8, 16, 16)
+
+    def test_strided_shape(self):
+        layer = Conv2D("c", out_channels=96, kernel_size=11, stride=4)
+        assert layer.infer_shape([(3, 227, 227)]) == (96, 55, 55)
+
+    def test_rejects_vector_input(self):
+        layer = Conv2D("c", out_channels=8, kernel_size=3)
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(10,)])
+
+    def test_rejects_multiple_inputs(self):
+        layer = Conv2D("c", out_channels=8, kernel_size=3)
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(3, 8, 8), (3, 8, 8)])
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=0, kernel_size=3)
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=8, kernel_size=3, stride=0)
+
+
+class TestWork:
+    def test_param_shapes(self):
+        layer = Conv2D("c", out_channels=8, kernel_size=3)
+        params = layer.param_shapes([(3, 16, 16)])
+        assert params["weight"] == (8, 3, 3, 3)
+        assert params["bias"] == (8,)
+
+    def test_flops_formula(self):
+        layer = Conv2D("c", out_channels=8, kernel_size=3, padding=1)
+        out_shape = layer.infer_shape([(3, 16, 16)])
+        flops = layer.flops([(3, 16, 16)], out_shape)
+        macs = 8 * 16 * 16 * 3 * 3 * 3
+        assert flops == pytest.approx(2 * macs + 8 * 16 * 16)
+
+    def test_work_bytes(self):
+        layer = Conv2D("c", out_channels=8, kernel_size=3, padding=1)
+        out_shape = layer.infer_shape([(3, 16, 16)])
+        work = layer.work([(3, 16, 16)], out_shape)
+        assert work.act_in_bytes == 3 * 16 * 16 * 4
+        assert work.out_bytes == 8 * 16 * 16 * 4
+        assert work.weight_bytes == (8 * 3 * 3 * 3 + 8) * 4
+        assert work.out_elements == 8 * 16 * 16
+        assert work.kernel_class == "conv"
+
+    def test_partitionable(self):
+        assert Conv2D("c", 8, 3).partitionable
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 2)])
+    def test_matches_scipy(self, rng, stride, padding):
+        layer = Conv2D("c", out_channels=4, kernel_size=3,
+                       stride=stride, padding=padding)
+        x = rng.normal(size=(3, 12, 12)).astype(np.float32)
+        weight = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=(4,)).astype(np.float32)
+        out = layer.forward([x], {"weight": weight, "bias": bias})
+        ref = reference_conv(x, weight, bias, stride, padding)
+        assert out.shape == ref.shape
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        layer = Conv2D("c", out_channels=2, kernel_size=1)
+        x = rng.normal(size=(3, 4, 4)).astype(np.float32)
+        weight = rng.normal(size=(2, 3, 1, 1)).astype(np.float32)
+        bias = np.zeros(2, dtype=np.float32)
+        out = layer.forward([x], {"weight": weight, "bias": bias})
+        ref = np.einsum("oc,chw->ohw", weight[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+    def test_output_dtype_float32(self, rng):
+        layer = Conv2D("c", out_channels=2, kernel_size=3)
+        x = rng.normal(size=(1, 5, 5)).astype(np.float32)
+        params = {
+            "weight": rng.normal(size=(2, 1, 3, 3)).astype(np.float32),
+            "bias": np.zeros(2, dtype=np.float32),
+        }
+        assert layer.forward([x], params).dtype == np.float32
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(3, 8, 8)).astype(np.float32)
+        cols = im2col(x, kernel=3, stride=1, padding=0)
+        assert cols.shape == (3 * 9, 6 * 6)
+
+    def test_identity_kernel1(self, rng):
+        x = rng.normal(size=(2, 4, 4)).astype(np.float32)
+        cols = im2col(x, kernel=1, stride=1, padding=0)
+        np.testing.assert_array_equal(cols, x.reshape(2, 16))

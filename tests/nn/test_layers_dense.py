@@ -1,0 +1,60 @@
+"""Dense (fully connected) layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Dense
+
+
+class TestShapes:
+    def test_output_shape(self):
+        assert Dense("fc", 32).infer_shape([(100,)]) == (32,)
+
+    def test_rejects_feature_map_input(self):
+        with pytest.raises(ShapeError, match="Flatten"):
+            Dense("fc", 32).infer_shape([(3, 8, 8)])
+
+    def test_rejects_nonpositive_features(self):
+        with pytest.raises(ShapeError):
+            Dense("fc", 0)
+
+
+class TestWork:
+    def test_param_shapes(self):
+        params = Dense("fc", 32).param_shapes([(100,)])
+        assert params["weight"] == (32, 100)
+        assert params["bias"] == (32,)
+
+    def test_flops(self):
+        layer = Dense("fc", 32)
+        assert layer.flops([(100,)], (32,)) == pytest.approx(2 * 100 * 32 + 32)
+
+    def test_work_is_weight_dominated(self):
+        # At batch 1 the GEMV moves far more weight bytes than activations —
+        # the memory-bound regime the paper's fc observations rest on.
+        layer = Dense("fc", 4096)
+        work = layer.work([(9216,)], (4096,))
+        assert work.weight_bytes > 100 * (work.act_in_bytes + work.out_bytes)
+        assert work.kernel_class == "dense"
+
+    def test_partitionable(self):
+        assert Dense("fc", 8).partitionable
+
+
+class TestNumerics:
+    def test_matches_matmul(self, rng):
+        layer = Dense("fc", 8)
+        x = rng.normal(size=(20,)).astype(np.float32)
+        weight = rng.normal(size=(8, 20)).astype(np.float32)
+        bias = rng.normal(size=(8,)).astype(np.float32)
+        out = layer.forward([x], {"weight": weight, "bias": bias})
+        np.testing.assert_allclose(out, weight @ x + bias, rtol=1e-5)
+
+    def test_zero_weight_gives_bias(self, rng):
+        layer = Dense("fc", 4)
+        x = rng.normal(size=(10,)).astype(np.float32)
+        bias = np.array([1, 2, 3, 4], dtype=np.float32)
+        out = layer.forward([x], {"weight": np.zeros((4, 10), np.float32),
+                                  "bias": bias})
+        np.testing.assert_array_equal(out, bias)

@@ -1,0 +1,77 @@
+"""LRN and BatchNorm2D."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import LRN, BatchNorm2D
+
+
+class TestLRN:
+    def test_shape_preserved(self):
+        assert LRN("n").infer_shape([(96, 55, 55)]) == (96, 55, 55)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            LRN("n").infer_shape([(10,)])
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ShapeError):
+            LRN("n", size=0)
+
+    def test_matches_reference(self, rng):
+        layer = LRN("n", size=3, alpha=1e-2, beta=0.5, k=1.0)
+        x = rng.normal(size=(5, 4, 4)).astype(np.float32)
+        out = layer.forward([x], {})
+        # Reference: per channel window sum of squares.
+        sq = x * x
+        for ch in range(5):
+            lo, hi = max(0, ch - 1), min(5, ch + 2)
+            denom = (1.0 + (1e-2 / 3) * sq[lo:hi].sum(axis=0)) ** 0.5
+            np.testing.assert_allclose(out[ch], x[ch] / denom, rtol=1e-5)
+
+    def test_identity_at_zero_alpha_limit(self, rng):
+        layer = LRN("n", size=5, alpha=0.0, beta=0.75, k=1.0)
+        x = rng.normal(size=(8, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward([x], {}), x, rtol=1e-6)
+
+    def test_kernel_class(self):
+        assert LRN("n").kernel_class == "norm"
+
+
+class TestBatchNorm:
+    def test_shape_preserved(self):
+        assert BatchNorm2D("bn").infer_shape([(64, 56, 56)]) == (64, 56, 56)
+
+    def test_param_shapes(self):
+        params = BatchNorm2D("bn").param_shapes([(64, 56, 56)])
+        assert set(params) == {"gamma", "beta", "mean", "var"}
+        assert all(shape == (64,) for shape in params.values())
+
+    def test_identity_with_default_stats(self, rng):
+        layer = BatchNorm2D("bn", eps=0.0)
+        x = rng.normal(size=(4, 3, 3)).astype(np.float32)
+        params = {
+            "gamma": np.ones(4, np.float32),
+            "beta": np.zeros(4, np.float32),
+            "mean": np.zeros(4, np.float32),
+            "var": np.ones(4, np.float32),
+        }
+        np.testing.assert_allclose(layer.forward([x], params), x, rtol=1e-6)
+
+    def test_normalizes_with_stats(self, rng):
+        layer = BatchNorm2D("bn", eps=0.0)
+        x = rng.normal(size=(2, 4, 4)).astype(np.float32)
+        params = {
+            "gamma": np.array([2.0, 1.0], np.float32),
+            "beta": np.array([0.0, 5.0], np.float32),
+            "mean": np.array([1.0, -1.0], np.float32),
+            "var": np.array([4.0, 1.0], np.float32),
+        }
+        out = layer.forward([x], params)
+        np.testing.assert_allclose(out[0], (x[0] - 1.0) / 2.0 * 2.0, rtol=1e-5)
+        np.testing.assert_allclose(out[1], (x[1] + 1.0) + 5.0, rtol=1e-5)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            BatchNorm2D("bn").infer_shape([(10,)])

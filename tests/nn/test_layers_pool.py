@@ -1,0 +1,90 @@
+"""Pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import AvgPool2D, GlobalAvgPool, MaxPool2D
+
+
+class TestShapes:
+    def test_maxpool_default_stride_equals_kernel(self):
+        layer = MaxPool2D("p", kernel_size=2)
+        assert layer.infer_shape([(8, 16, 16)]) == (8, 8, 8)
+
+    def test_overlapping_pool(self):
+        layer = MaxPool2D("p", kernel_size=3, stride=2)
+        assert layer.infer_shape([(96, 55, 55)]) == (96, 27, 27)
+
+    def test_padded_pool(self):
+        layer = MaxPool2D("p", kernel_size=3, stride=2, padding=1)
+        assert layer.infer_shape([(64, 112, 112)]) == (64, 56, 56)
+
+    def test_global_avg_pool_shape(self):
+        layer = GlobalAvgPool("gap")
+        assert layer.infer_shape([(512, 7, 7)]) == (512,)
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D("p", 2).infer_shape([(10,)])
+        with pytest.raises(ShapeError):
+            GlobalAvgPool("gap").infer_shape([(10,)])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D("p", kernel_size=0)
+        with pytest.raises(ShapeError):
+            MaxPool2D("p", kernel_size=2, stride=0)
+
+
+class TestWork:
+    def test_pool_has_no_params(self):
+        layer = MaxPool2D("p", 2)
+        assert layer.param_shapes([(8, 8, 8)]) == {}
+        assert layer.param_bytes([(8, 8, 8)]) == 0
+
+    def test_kernel_class(self):
+        assert MaxPool2D("p", 2).kernel_class == "pool"
+        assert GlobalAvgPool("g").kernel_class == "pool"
+
+    def test_flops_scale_with_window(self):
+        small = MaxPool2D("p", kernel_size=2)
+        big = MaxPool2D("q", kernel_size=3, stride=2)
+        shape = (8, 12, 12)
+        f_small = small.flops([shape], small.infer_shape([shape]))
+        f_big = big.flops([shape], big.infer_shape([shape]))
+        assert f_small > 0 and f_big > 0
+
+    def test_global_pool_not_partitionable(self):
+        assert not GlobalAvgPool("g").partitionable
+        assert MaxPool2D("p", 2).partitionable
+
+
+class TestNumerics:
+    def test_maxpool_simple(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = MaxPool2D("p", 2).forward([x], {})
+        np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_avgpool_simple(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = AvgPool2D("p", 2).forward([x], {})
+        np.testing.assert_allclose(out[0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_padding_uses_neg_inf(self, rng):
+        x = -np.abs(rng.normal(size=(1, 4, 4))).astype(np.float32) - 1.0
+        out = MaxPool2D("p", kernel_size=3, stride=2, padding=1).forward([x], {})
+        # All values are negative; padding must never win the max.
+        assert out.max() < 0
+
+    def test_overlapping_maxpool(self, rng):
+        x = rng.normal(size=(2, 5, 5)).astype(np.float32)
+        out = MaxPool2D("p", kernel_size=3, stride=2).forward([x], {})
+        assert out.shape == (2, 2, 2)
+        assert out[0, 0, 0] == pytest.approx(x[0, :3, :3].max())
+        assert out[1, 1, 1] == pytest.approx(x[1, 2:5, 2:5].max())
+
+    def test_global_avg_pool_values(self, rng):
+        x = rng.normal(size=(3, 4, 4)).astype(np.float32)
+        out = GlobalAvgPool("gap").forward([x], {})
+        np.testing.assert_allclose(out, x.mean(axis=(1, 2)), rtol=1e-6)

@@ -1,0 +1,73 @@
+"""Flatten, Dropout, Concat."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Concat, Dropout, Flatten
+
+
+class TestFlatten:
+    def test_shape(self):
+        assert Flatten("f").infer_shape([(3, 4, 5)]) == (60,)
+
+    def test_is_noop(self):
+        assert Flatten("f").is_noop
+        assert Flatten("f").flops([(3, 4, 5)], (60,)) == 0.0
+
+    def test_numerics(self, rng):
+        x = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        out = Flatten("f").forward([x], {})
+        np.testing.assert_array_equal(out, x.reshape(-1))
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        x = rng.normal(size=(10,)).astype(np.float32)
+        out = Dropout("d", rate=0.5).forward([x], {})
+        np.testing.assert_array_equal(out, x)
+
+    def test_is_noop(self):
+        assert Dropout("d").is_noop
+
+    def test_shape_preserved(self):
+        assert Dropout("d").infer_shape([(3, 8, 8)]) == (3, 8, 8)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ShapeError):
+            Dropout("d", rate=1.0)
+        with pytest.raises(ShapeError):
+            Dropout("d", rate=-0.1)
+
+
+class TestConcat:
+    def test_channel_concat_shape(self):
+        layer = Concat("c")
+        assert layer.infer_shape([(64, 55, 55), (64, 55, 55)]) == (128, 55, 55)
+
+    def test_three_way(self):
+        layer = Concat("c")
+        assert layer.infer_shape([(2, 4, 4), (3, 4, 4), (5, 4, 4)]) == (10, 4, 4)
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ShapeError):
+            Concat("c").infer_shape([(2, 4, 4)])
+
+    def test_rejects_spatial_mismatch(self):
+        with pytest.raises(ShapeError):
+            Concat("c").infer_shape([(2, 4, 4), (2, 5, 5)])
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ShapeError):
+            Concat("c").infer_shape([(4,), (4,)])
+
+    def test_numerics(self, rng):
+        a = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(4, 3, 3)).astype(np.float32)
+        out = Concat("c").forward([a, b], {})
+        np.testing.assert_array_equal(out[:2], a)
+        np.testing.assert_array_equal(out[2:], b)
+
+    def test_not_a_noop(self):
+        # Concat moves bytes (memcpy-like); it is scheduled, unlike Flatten.
+        assert not Concat("c").is_noop

@@ -1,0 +1,138 @@
+"""The six paper benchmark networks: structure and published parameter
+counts."""
+
+import pytest
+
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    benchmark_names,
+    build,
+    build_alexnet,
+    build_fcnn,
+    build_lenet,
+    build_resnet18,
+    build_squeezenet,
+    build_vgg16,
+)
+
+
+class TestRegistry:
+    def test_benchmark_names_in_paper_order(self):
+        assert benchmark_names() == [
+            "fcnn", "lenet", "alexnet", "vgg16", "squeezenet", "resnet18",
+        ]
+
+    def test_build_by_name(self):
+        assert build("lenet").name == "lenet"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            build("transformer")
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_every_builder_yields_valid_graph(self, name):
+        net = MODEL_BUILDERS[name]()
+        assert net.output_name == "softmax"
+        assert len(net.segments()) >= 1
+
+
+class TestFCNN:
+    def test_three_hidden_layers(self):
+        # The paper: "The FCNN in this work has three hidden layers."
+        net = build_fcnn()
+        dense = net.layers_of_class("dense")
+        assert len(dense) == 4  # 3 hidden + output
+        assert net.output_shape == (10,)
+
+    def test_configurable_geometry(self):
+        net = build_fcnn(input_features=100, hidden=32, num_hidden=2, classes=5)
+        assert net.input_shape == (100,)
+        assert net.output_shape == (5,)
+        assert len(net.layers_of_class("dense")) == 3
+
+
+class TestLeNet:
+    def test_structure(self):
+        net = build_lenet()
+        assert net.input_shape == (1, 28, 28)
+        assert len(net.layers_of_class("conv")) == 2
+        assert len(net.layers_of_class("dense")) == 3
+        assert net.node("conv1").out_shape == (6, 28, 28)
+        assert net.node("conv2").out_shape == (16, 10, 10)
+
+    def test_parameter_count(self):
+        # Classic LeNet-5: ~61.7k parameters.
+        assert build_lenet().total_param_bytes() / 4 == pytest.approx(61706, rel=0.01)
+
+
+class TestAlexNet:
+    def test_structure(self):
+        net = build_alexnet()
+        assert len(net) == 24  # paper: "AlexNet has 25 layers" (incl. input)
+        assert net.node("conv1").out_shape == (96, 55, 55)
+        assert net.node("pool5").out_shape == (256, 6, 6)
+        assert net.node("fc6").out_shape == (4096,)
+
+    def test_parameter_count(self):
+        # Single-tower AlexNet: ~62.37M parameters.
+        params = build_alexnet().total_param_bytes() / 4
+        assert params == pytest.approx(62.37e6, rel=0.01)
+
+    def test_flops(self):
+        # ~2.27 GFLOPs MAC-counted-as-2 forward pass.
+        assert build_alexnet().total_flops() == pytest.approx(2.28e9, rel=0.05)
+
+
+class TestVGG16:
+    def test_structure(self):
+        net = build_vgg16()
+        assert len(net) == 40  # paper: "VGG has 40 layers"
+        assert len(net.layers_of_class("conv")) == 13
+        assert len(net.layers_of_class("dense")) == 3
+        assert net.node("pool5").out_shape == (512, 7, 7)
+
+    def test_parameter_count(self):
+        # Published VGG-16: ~138.36M parameters.
+        params = build_vgg16().total_param_bytes() / 4
+        assert params == pytest.approx(138.36e6, rel=0.01)
+
+    def test_flops(self):
+        # ~30.9 GFLOPs forward pass.
+        assert build_vgg16().total_flops() == pytest.approx(30.9e9, rel=0.05)
+
+
+class TestSqueezeNet:
+    def test_structure(self):
+        net = build_squeezenet()
+        assert len(net) > 60  # paper: "more than 60 layers"
+        assert len(net.layers_of_class("conv")) == 26  # conv1 + 8 fires x3 + conv10
+
+    def test_parameter_count(self):
+        # SqueezeNet v1.0: ~1.25M parameters ("50x fewer than AlexNet").
+        squeezenet = build_squeezenet().total_param_bytes() / 4
+        alexnet = build_alexnet().total_param_bytes() / 4
+        assert squeezenet == pytest.approx(1.25e6, rel=0.02)
+        assert alexnet / squeezenet == pytest.approx(50, rel=0.05)
+
+    def test_fire_module_concat_width(self):
+        net = build_squeezenet()
+        assert net.node("fire2/concat").out_shape[0] == 128
+        assert net.node("fire9/concat").out_shape[0] == 512
+
+
+class TestResNet18:
+    def test_structure(self):
+        net = build_resnet18()
+        assert len(net.layers_of_class("conv")) == 20  # stem + 16 block + 3 proj
+        assert net.node("pool1").out_shape == (64, 56, 56)
+        assert net.node("gap").out_shape == (512,)
+
+    def test_parameter_count(self):
+        # Published ResNet-18: ~11.69M parameters.
+        params = build_resnet18().total_param_bytes() / 4
+        assert params == pytest.approx(11.69e6, rel=0.01)
+
+    def test_stage_downsampling(self):
+        net = build_resnet18()
+        assert net.node("layer2.1/add").out_shape == (128, 28, 28)
+        assert net.node("layer4.2/add").out_shape == (512, 7, 7)

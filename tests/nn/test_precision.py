@@ -1,0 +1,90 @@
+"""Reduced-precision performance modeling."""
+
+import pytest
+
+from repro.core.engine import EdgeNN, EdgeNNConfig
+from repro.errors import ReproError
+from repro.hardware.roofline import KernelWork
+from repro.hardware.specs import ProcessorKind
+from repro.nn.precision import Precision, scale_work
+
+from ..conftest import make_chain_net
+
+
+def work():
+    return KernelWork("conv", flops=1e9, act_in_bytes=1e6, weight_bytes=2e6,
+                      out_bytes=4e6, out_elements=1e6)
+
+
+class TestPrecisionEnum:
+    def test_byte_widths(self):
+        assert Precision.FP32.bytes_per_element == 4
+        assert Precision.FP16.bytes_per_element == 2
+        assert Precision.INT8.bytes_per_element == 1
+
+    def test_byte_ratio(self):
+        assert Precision.INT8.byte_ratio == 0.25
+
+    def test_fp32_speedup_is_identity(self):
+        for proc in ProcessorKind:
+            assert Precision.FP32.compute_speedup(proc) == 1.0
+
+    def test_narrower_is_faster(self):
+        for proc in ProcessorKind:
+            assert (Precision.INT8.compute_speedup(proc)
+                    > Precision.FP16.compute_speedup(proc)
+                    > 1.0)
+
+
+class TestScaleWork:
+    def test_fp32_is_noop(self):
+        w = work()
+        assert scale_work(w, Precision.FP32) is w
+
+    def test_bytes_shrink_flops_stay(self):
+        w = scale_work(work(), Precision.INT8)
+        assert w.act_in_bytes == 0.25e6
+        assert w.weight_bytes == 0.5e6
+        assert w.out_bytes == 1e6
+        assert w.flops == 1e9
+        assert w.out_elements == 1e6
+
+    def test_rejects_non_precision(self):
+        with pytest.raises(ReproError):
+            scale_work(work(), "int8")
+
+
+class TestEndToEnd:
+    def _latency(self, precision):
+        config = EdgeNNConfig(precision=precision)
+        return EdgeNN(make_chain_net(f"prec-{precision.value}"),
+                      config=config).run().total_s
+
+    def test_narrower_precision_is_faster(self):
+        fp32 = self._latency(Precision.FP32)
+        fp16 = self._latency(Precision.FP16)
+        int8 = self._latency(Precision.INT8)
+        assert int8 < fp16 < fp32
+
+    def test_quantization_does_not_reach_ideal_speedup(self):
+        # Launch overheads and copy latencies don't shrink with the data.
+        fp32 = self._latency(Precision.FP32)
+        int8 = self._latency(Precision.INT8)
+        assert fp32 / int8 < 4.0
+
+    def test_numerics_unaffected(self):
+        from repro.workloads import input_for
+        import numpy as np
+        net = make_chain_net("prec-num")
+        x = input_for(net, seed=5)
+        base = EdgeNN(net).infer(x)
+        quant = EdgeNN(net, config=EdgeNNConfig(precision=Precision.INT8))
+        np.testing.assert_array_equal(quant.infer(x), base)
+
+    @pytest.mark.parametrize("name", ["alexnet", "squeezenet"])
+    def test_paper_networks_speed_up(self, name):
+        fp32 = EdgeNN(name).run().total_s
+        int8 = EdgeNN(
+            name, config=EdgeNNConfig(precision=Precision.INT8)
+        ).run().total_s
+        assert 1.5 < fp32 / int8 < 4.5

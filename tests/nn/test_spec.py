@@ -1,0 +1,122 @@
+"""Config-driven network definition (spec <-> graph round trip)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.models import build
+from repro.nn.spec import (
+    layer_from_spec,
+    network_from_json,
+    network_from_spec,
+    network_to_spec,
+)
+
+TINY_SPEC = {
+    "name": "tiny-cnn",
+    "input": [3, 16, 16],
+    "layers": [
+        {"type": "conv", "name": "c1", "out_channels": 8,
+         "kernel_size": 3, "padding": 1},
+        {"type": "relu", "name": "r1"},
+        {"type": "maxpool", "name": "p1", "kernel_size": 2},
+        {"type": "flatten", "name": "f"},
+        {"type": "dense", "name": "fc", "out_features": 10},
+        {"type": "softmax", "name": "s"},
+    ],
+}
+
+FIRE_SPEC = {
+    "name": "fire-spec",
+    "input": [4, 8, 8],
+    "layers": [
+        {"type": "conv", "name": "squeeze", "out_channels": 2,
+         "kernel_size": 1},
+        {"type": "conv", "name": "e1", "out_channels": 4, "kernel_size": 1,
+         "inputs": ["squeeze"]},
+        {"type": "conv", "name": "e3", "out_channels": 4, "kernel_size": 3,
+         "padding": 1, "inputs": ["squeeze"]},
+        {"type": "concat", "name": "cat", "inputs": ["e1", "e3"]},
+        {"type": "globalavgpool", "name": "gap"},
+        {"type": "dense", "name": "fc", "out_features": 5},
+        {"type": "softmax", "name": "s"},
+    ],
+}
+
+
+class TestLayerFromSpec:
+    def test_conv(self):
+        layer = layer_from_spec(
+            {"type": "conv", "name": "c", "out_channels": 4, "kernel_size": 3}
+        )
+        assert layer.out_channels == 4
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(GraphError, match="'type' and 'name'"):
+            layer_from_spec({"type": "relu"})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(GraphError, match="unknown layer type"):
+            layer_from_spec({"type": "attention", "name": "a"})
+
+    def test_unexpected_keys_rejected(self):
+        with pytest.raises(GraphError, match="unexpected keys"):
+            layer_from_spec({"type": "relu", "name": "r", "slope": 0.1})
+
+
+class TestNetworkFromSpec:
+    def test_builds_valid_graph(self):
+        net = network_from_spec(TINY_SPEC)
+        assert net.name == "tiny-cnn"
+        assert net.output_shape == (10,)
+        assert len(net) == 6
+
+    def test_forward_pass_works(self, rng):
+        net = network_from_spec(TINY_SPEC)
+        out = net.forward(rng.random(net.input_shape, dtype=np.float32))
+        assert out.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_fork_join_via_inputs(self):
+        net = network_from_spec(FIRE_SPEC)
+        from repro.nn.graph import BranchSegment
+        assert any(isinstance(s, BranchSegment) for s in net.segments())
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(GraphError):
+            network_from_spec({"name": "x", "layers": []})
+        with pytest.raises(GraphError, match="no layers"):
+            network_from_spec({"name": "x", "input": [4], "layers": []})
+
+    def test_edgenn_accepts_spec_network(self):
+        from repro import EdgeNN
+        report = EdgeNN(network_from_spec(TINY_SPEC)).run()
+        assert report.total_s > 0
+
+
+class TestJsonAndRoundTrip:
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(TINY_SPEC))
+        net = network_from_json(path)
+        assert net.name == "tiny-cnn"
+
+    @pytest.mark.parametrize("spec", [TINY_SPEC, FIRE_SPEC],
+                             ids=["chain", "fire"])
+    def test_round_trip_preserves_structure(self, spec):
+        net = network_from_spec(spec)
+        rebuilt = network_from_spec(network_to_spec(net))
+        assert rebuilt.topo_order() == net.topo_order()
+        assert rebuilt.output_shape == net.output_shape
+        for name in net.topo_order():
+            assert rebuilt.node(name).input_names == net.node(name).input_names
+
+    @pytest.mark.parametrize("name", ["lenet", "alexnet", "squeezenet",
+                                      "resnet18"])
+    def test_paper_networks_round_trip(self, name):
+        net = build(name)
+        rebuilt = network_from_spec(network_to_spec(net))
+        assert len(rebuilt) == len(net)
+        assert rebuilt.total_flops() == pytest.approx(net.total_flops())
+        assert rebuilt.total_param_bytes() == net.total_param_bytes()

@@ -1,0 +1,65 @@
+"""Tensor shape helpers."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import tensor
+
+
+class TestValidateShape:
+    def test_normalizes_to_tuple(self):
+        assert tensor.validate_shape([3, 4]) == (3, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            tensor.validate_shape(())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ShapeError):
+            tensor.validate_shape((3, 0, 4))
+
+
+class TestSizes:
+    def test_numel(self):
+        assert tensor.numel((3, 4, 5)) == 60
+
+    def test_nbytes_float32(self):
+        assert tensor.nbytes((10,)) == 40
+        assert tensor.nbytes((3, 224, 224)) == 3 * 224 * 224 * 4
+
+
+class TestShapePredicates:
+    def test_is_chw(self):
+        assert tensor.is_chw((3, 8, 8))
+        assert not tensor.is_chw((10,))
+        assert not tensor.is_chw((1, 2, 3, 4))
+
+    def test_is_vector(self):
+        assert tensor.is_vector((10,))
+        assert not tensor.is_vector((3, 8, 8))
+
+
+class TestConvOutputHw:
+    def test_basic(self):
+        assert tensor.conv_output_hw((28, 28), kernel=5, stride=1, padding=2) == (28, 28)
+
+    def test_stride(self):
+        assert tensor.conv_output_hw((227, 227), kernel=11, stride=4, padding=0) == (55, 55)
+
+    def test_floor_semantics(self):
+        # SqueezeNet conv1: (224 - 7) // 2 + 1 = 109.
+        assert tensor.conv_output_hw((224, 224), kernel=7, stride=2, padding=0) == (109, 109)
+
+    def test_padded_pool(self):
+        # ResNet stem pool: (112 + 2 - 3) // 2 + 1 = 56.
+        assert tensor.conv_output_hw((112, 112), kernel=3, stride=2, padding=1) == (56, 56)
+
+    def test_window_does_not_fit(self):
+        with pytest.raises(ShapeError):
+            tensor.conv_output_hw((4, 4), kernel=7, stride=1, padding=0)
+
+    def test_bad_window_params(self):
+        with pytest.raises(ShapeError):
+            tensor.conv_output_hw((8, 8), kernel=0, stride=1, padding=0)
+        with pytest.raises(ShapeError):
+            tensor.conv_output_hw((8, 8), kernel=3, stride=1, padding=-1)

@@ -1,0 +1,79 @@
+"""Property-based tests of the bandwidth-sharing contention model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.contention import StreamJob, corun_finish_times, waterfill
+
+caps = st.lists(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    min_size=1, max_size=8,
+)
+bandwidth = st.floats(min_value=1.0, max_value=1e12, allow_nan=False)
+
+
+def job_strategy():
+    return st.builds(
+        StreamJob,
+        compute_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        bytes_total=st.floats(min_value=1.0, max_value=1e10, allow_nan=False),
+        solo_rate=st.floats(min_value=1e3, max_value=1e12, allow_nan=False),
+    )
+
+
+@given(caps=caps, total=bandwidth)
+def test_waterfill_never_exceeds_caps(caps, total):
+    rates = waterfill(caps, total)
+    for rate, cap in zip(rates, caps):
+        assert rate <= cap + 1e-6 * max(1.0, cap)
+
+
+@given(caps=caps, total=bandwidth)
+def test_waterfill_conserves_bandwidth(caps, total):
+    rates = waterfill(caps, total)
+    expected = min(sum(caps), total)
+    assert abs(sum(rates) - expected) <= 1e-6 * max(1.0, expected)
+
+
+@given(caps=caps, total=bandwidth)
+def test_waterfill_nonnegative(caps, total):
+    assert all(r >= 0 for r in waterfill(caps, total))
+
+
+@given(jobs=st.lists(job_strategy(), min_size=1, max_size=4),
+       total=bandwidth)
+@settings(max_examples=150, deadline=None)
+def test_corun_never_faster_than_solo(jobs, total):
+    times = corun_finish_times(jobs, total)
+    for t, job in zip(times, jobs):
+        assert t >= job.solo_time - 1e-9 * max(1.0, job.solo_time)
+
+
+@given(jobs=st.lists(job_strategy(), min_size=1, max_size=4),
+       total=bandwidth)
+@settings(max_examples=150, deadline=None)
+def test_corun_bounded_by_serial_execution(jobs, total):
+    """Co-running can never be slower than running everything serially at
+    the shared-bandwidth floor."""
+    times = corun_finish_times(jobs, total)
+    serial_bound = sum(
+        max(j.compute_s, j.bytes_total / min(j.solo_rate, total))
+        for j in jobs
+    )
+    assert max(times) <= serial_bound + 1e-6 * max(1.0, serial_bound)
+
+
+@given(job=job_strategy(), total=bandwidth)
+@settings(max_examples=100, deadline=None)
+def test_single_job_matches_solo_time_at_full_bandwidth(job, total):
+    times = corun_finish_times([job], max(total, job.solo_rate))
+    assert abs(times[0] - job.solo_time) <= 1e-9 * max(1.0, job.solo_time)
+
+
+@given(jobs=st.lists(job_strategy(), min_size=2, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_more_bandwidth_never_hurts(jobs):
+    tight = corun_finish_times(jobs, 1e8)
+    loose = corun_finish_times(jobs, 1e10)
+    for t_tight, t_loose in zip(tight, loose):
+        assert t_loose <= t_tight + 1e-9 * max(1.0, t_tight)

@@ -1,0 +1,99 @@
+"""Property-based tests on randomly generated network graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.nn.graph import BranchSegment, ChainSegment, NetworkGraph
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+# A random chain-with-fire-modules generator: alternates chain ops and
+# optional fork/join blocks, always ending in flatten+fc+softmax.
+
+chain_ops = st.lists(
+    st.sampled_from(["conv", "relu", "pool", "fire"]),
+    min_size=1, max_size=8,
+)
+
+
+def build_random_net(ops):
+    net = NetworkGraph("random-net", (4, 16, 16))
+    idx = 0
+    last_hw = 16
+    for op in ops:
+        idx += 1
+        if op == "conv":
+            net.add(Conv2D(f"conv{idx}", out_channels=4, kernel_size=3,
+                           padding=1))
+        elif op == "relu":
+            net.add(ReLU(f"relu{idx}"))
+        elif op == "pool" and last_hw >= 4:
+            net.add(MaxPool2D(f"pool{idx}", kernel_size=2))
+            last_hw //= 2
+        elif op == "fire":
+            fork = net.add(Conv2D(f"squeeze{idx}", out_channels=2,
+                                  kernel_size=1))
+            net.add(Conv2D(f"e1_{idx}", out_channels=4, kernel_size=1),
+                    inputs=[fork])
+            net.add(Conv2D(f"e3_{idx}", out_channels=4, kernel_size=3,
+                           padding=1), inputs=[fork])
+            net.add(Concat(f"cat{idx}"), inputs=[f"e1_{idx}", f"e3_{idx}"])
+    net.add(Flatten("flatten"))
+    net.add(Dense("fc", 10))
+    net.add(Softmax("softmax"))
+    return net
+
+
+@given(ops=chain_ops)
+@settings(max_examples=80, deadline=None)
+def test_segmentation_covers_every_layer_exactly_once(ops):
+    net = build_random_net(ops)
+    seen = []
+    for seg in net.segments():
+        if isinstance(seg, ChainSegment):
+            seen.extend(seg.layers)
+        else:
+            for branch in seg.branches:
+                seen.extend(branch)
+    assert sorted(seen) == sorted(net.topo_order())
+    assert len(seen) == len(set(seen))
+
+
+@given(ops=chain_ops)
+@settings(max_examples=80, deadline=None)
+def test_branch_segments_join_on_concat(ops):
+    net = build_random_net(ops)
+    for seg in net.segments():
+        if isinstance(seg, BranchSegment):
+            assert seg.join.startswith("cat")
+            assert len(seg.branches) == 2
+
+
+@given(ops=chain_ops)
+@settings(max_examples=40, deadline=None)
+def test_forward_shape_and_probability(ops):
+    net = build_random_net(ops)
+    x = np.random.default_rng(0).random(net.input_shape, dtype=np.float32)
+    out = net.forward(x)
+    assert out.shape == (10,)
+    assert abs(float(out.sum()) - 1.0) < 1e-3
+
+
+@given(ops=chain_ops)
+@settings(max_examples=40, deadline=None)
+def test_work_accounting_consistent(ops):
+    net = build_random_net(ops)
+    total = sum(net.work(n).flops for n in net.topo_order())
+    assert total == net.total_flops()
+    for name in net.topo_order():
+        work = net.work(name)
+        assert work.out_bytes == net.out_bytes(name)

@@ -1,0 +1,104 @@
+"""Stateful property test of the buffer validity protocol.
+
+Drives a REGULAR buffer through random read/write/merge/stage sequences
+and checks the coherence invariants after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import AllocKind, MemoryModel
+from repro.hardware.specs import JETSON_AGX_XAVIER, ProcessorKind
+
+CPU = ProcessorKind.CPU
+GPU = ProcessorKind.GPU
+
+operations = st.lists(
+    st.sampled_from(
+        ["read_cpu", "read_gpu", "write_cpu", "write_gpu", "merge", "stage",
+         "settle"]
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=200)
+def test_regular_buffer_coherence_invariants(ops):
+    mem = MemoryModel(JETSON_AGX_XAVIER)
+    buf = mem.allocate("b", 1e6, AllocKind.REGULAR)
+    for op in ops:
+        if op == "read_cpu":
+            cost = mem.read_cost(buf, CPU, "conv")
+            assert buf.host_valid  # a read must leave the copy valid
+            assert len(cost.transfers) <= 1
+        elif op == "read_gpu":
+            cost = mem.read_cost(buf, GPU, "conv")
+            assert buf.device_valid
+            assert len(cost.transfers) <= 1
+        elif op == "write_cpu":
+            mem.write_cost(buf, CPU, "conv")
+            assert buf.host_valid
+        elif op == "write_gpu":
+            mem.write_cost(buf, GPU, "conv")
+            assert buf.device_valid
+        elif op == "merge":
+            transfer = mem.merge_transfer(buf, 0.5)
+            if transfer is not None:
+                assert buf.device_valid
+        elif op == "stage":
+            mem.stage_out(buf)
+            assert buf.host_valid and not buf.device_valid
+        elif op == "settle":
+            assert mem.cowrite_penalty(buf) == 0.0  # REGULAR never pays
+        # Global invariant: at least one copy always holds the data.
+        assert buf.host_valid or buf.device_valid
+
+
+@given(ops=operations)
+@settings(max_examples=200)
+def test_managed_buffer_never_produces_transfers(ops):
+    mem = MemoryModel(JETSON_AGX_XAVIER)
+    buf = mem.allocate("b", 1e6, AllocKind.MANAGED)
+    writers_since_settle = set()
+    for op in ops:
+        if op == "read_cpu":
+            assert mem.read_cost(buf, CPU, "pool").transfers == ()
+        elif op == "read_gpu":
+            assert mem.read_cost(buf, GPU, "pool").transfers == ()
+        elif op == "write_cpu":
+            mem.write_cost(buf, CPU, "pool")
+            writers_since_settle.add(CPU)
+        elif op == "write_gpu":
+            mem.write_cost(buf, GPU, "pool")
+            writers_since_settle.add(GPU)
+        elif op == "merge":
+            assert mem.merge_transfer(buf, 0.5) is None
+        elif op == "stage":
+            assert mem.stage_out(buf) is None
+        elif op == "settle":
+            penalty = mem.cowrite_penalty(buf)
+            if len(writers_since_settle) > 1:
+                assert penalty > 0
+            else:
+                assert penalty == 0.0
+            writers_since_settle = set()
+
+
+@given(ops=operations)
+@settings(max_examples=100)
+def test_first_touch_charged_at_most_once(ops):
+    mem = MemoryModel(JETSON_AGX_XAVIER)
+    buf = mem.allocate("b", 1e6, AllocKind.MANAGED)
+    touches = 0
+    for op in ops:
+        if op in ("read_gpu", "write_gpu"):
+            cost = (
+                mem.read_cost(buf, GPU, "conv")
+                if op == "read_gpu"
+                else mem.write_cost(buf, GPU, "conv")
+            )
+            if cost.overhead_s > 0:
+                touches += 1
+    assert touches <= 1

@@ -1,0 +1,82 @@
+"""Property-based tests of the paper's partitioning equations (Eq. 1-4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import partition
+
+times = st.floats(min_value=1e-6, max_value=10.0,
+                  allow_nan=False, allow_infinity=False)
+volumes = st.floats(min_value=0.0, max_value=1e9,
+                    allow_nan=False, allow_infinity=False)
+rates = st.floats(min_value=1e6, max_value=1e12,
+                  allow_nan=False, allow_infinity=False)
+fractions = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+@given(t_cpu=times, t_gpu=times, p=fractions)
+def test_collaboration_bounded_by_solo_times(t_cpu, t_gpu, p):
+    co = partition.collaboration_time(t_cpu, t_gpu, p)
+    assert co <= max(t_cpu, t_gpu) + 1e-12
+    # Never faster than the perfectly parallel bound.
+    assert co >= (t_cpu * p + t_gpu * (1 - p)) / 2 - 1e-12
+
+
+@given(t_cpu=times, t_gpu=times)
+def test_collaboration_endpoints(t_cpu, t_gpu):
+    assert partition.collaboration_time(t_cpu, t_gpu, 0.0) == t_gpu
+    assert partition.collaboration_time(t_cpu, t_gpu, 1.0) == t_cpu
+
+
+@given(t_cpu=times, t_gpu=times)
+def test_balance_point_equalizes_sides(t_cpu, t_gpu):
+    p = partition.balance_point(t_cpu, t_gpu)
+    assert 0.0 <= p <= 1.0
+    assert abs(t_cpu * p - t_gpu * (1 - p)) < 1e-9 * max(t_cpu, t_gpu)
+
+
+@given(p=fractions, v=volumes, s=rates)
+def test_transfer_time_monotone_in_fraction(p, v, s):
+    t = partition.data_transfer_time(p, v, s)
+    assert t >= 0
+    assert t <= partition.data_transfer_time(1.0, v, s) + 1e-12
+
+
+@given(t_cpu=times, t_gpu=times, v=volumes, s=rates,
+       p=st.lists(fractions, min_size=1, max_size=10))
+@settings(max_examples=200)
+def test_eq4_optimum_minimizes_eq3(t_cpu, t_gpu, v, s, p):
+    """The paper's closed-form p_op is a global minimum of Eq. 3."""
+    p_op = partition.optimal_cpu_fraction(t_cpu, t_gpu, v, s)
+    best = partition.total_time(t_cpu, t_gpu, p_op, v, s)
+    for candidate in p:
+        alt = partition.total_time(t_cpu, t_gpu, candidate, v, s)
+        assert best <= alt + 1e-9 * max(1.0, alt)
+
+
+@given(t_cpu=times, t_gpu=times, v=volumes, s=rates)
+def test_eq4_split_never_worse_than_gpu_only(t_cpu, t_gpu, v, s):
+    p_op = partition.optimal_cpu_fraction(t_cpu, t_gpu, v, s)
+    total = partition.total_time(t_cpu, t_gpu, p_op, v, s)
+    assert total <= t_gpu + 1e-12
+
+
+@given(t_cpu=times, t_gpu=times, v=volumes, s=rates)
+def test_eq4_in_unit_interval(t_cpu, t_gpu, v, s):
+    p = partition.optimal_cpu_fraction(t_cpu, t_gpu, v, s)
+    assert 0.0 <= p <= 1.0
+
+
+@given(t_cpu=times, t_gpu=times, s=rates)
+def test_eq4_zero_when_transfer_dominates(t_cpu, t_gpu, s):
+    # Output so large that v/s >= t_gpu: Eq. 4's first case.
+    v = t_gpu * s * 1.5
+    assert partition.optimal_cpu_fraction(t_cpu, t_gpu, v, s) == 0.0
+
+
+@given(t_cpu=times, t_gpu=times, v=volumes, s=rates)
+def test_merge_free_optimum_ignores_volume(t_cpu, t_gpu, v, s):
+    p_free = partition.optimal_cpu_fraction(t_cpu, t_gpu, v, s,
+                                            merge_free=True)
+    assert p_free == partition.balance_point(t_cpu, t_gpu)

@@ -1,0 +1,88 @@
+"""Property-based tests of KernelWork scaling and roofline costs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.roofline import KernelWork, kernel_cost
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.hardware import calibration as cal
+
+SPEC = JETSON_AGX_XAVIER
+
+work_strategy = st.builds(
+    KernelWork,
+    kernel_class=st.sampled_from(cal.KERNEL_CLASSES),
+    flops=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    act_in_bytes=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    weight_bytes=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    out_bytes=st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+    out_elements=st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(work=work_strategy, f=fractions)
+def test_split_conserves_divisible_work(work, f):
+    """CPU part + GPU part must add back up to the whole layer for the
+    divisible terms (flops, weights, outputs)."""
+    cpu = work.scaled(f)
+    gpu = work.scaled(1.0 - f)
+    tol = 1e-9
+    assert abs(cpu.flops + gpu.flops - work.flops) <= tol * max(1.0, work.flops)
+    assert abs(cpu.weight_bytes + gpu.weight_bytes - work.weight_bytes) <= (
+        tol * max(1.0, work.weight_bytes)
+    )
+    assert abs(cpu.out_bytes + gpu.out_bytes - work.out_bytes) <= (
+        tol * max(1.0, work.out_bytes)
+    )
+
+
+@given(work=work_strategy, f=fractions)
+def test_split_duplicates_activation_reads(work, f):
+    assert work.scaled(f).act_in_bytes == work.act_in_bytes
+
+
+@given(work=work_strategy)
+@settings(max_examples=150)
+def test_cost_positive_and_finite(work):
+    for proc in (SPEC.cpu, SPEC.gpu):
+        cost = kernel_cost(SPEC, proc, work)
+        assert cost.total_s > 0
+        assert cost.total_s < 1e6
+
+
+@given(work=work_strategy)
+@settings(max_examples=150)
+def test_body_is_roofline_max(work):
+    cost = kernel_cost(SPEC, SPEC.gpu, work)
+    assert cost.body_s == max(cost.compute_s, cost.memory_s)
+
+
+@given(work=work_strategy, f=st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=150)
+def test_partial_work_never_costs_more_than_whole(work, f):
+    whole = kernel_cost(SPEC, SPEC.cpu, work, include_launch=False)
+    part = kernel_cost(SPEC, SPEC.cpu, work.scaled(f), include_launch=False)
+    assert part.total_s <= whole.total_s + 1e-12
+
+
+@given(work=work_strategy,
+       factor=st.floats(min_value=0.1, max_value=1.0, allow_nan=False))
+@settings(max_examples=150)
+def test_bandwidth_derating_monotone(work, factor):
+    base = kernel_cost(SPEC, SPEC.gpu, work)
+    derated = kernel_cost(SPEC, SPEC.gpu, work, mem_bw_factor=factor)
+    assert derated.memory_s >= base.memory_s - 1e-15
+    assert derated.total_s >= base.total_s - 1e-15
+
+
+@given(work=work_strategy)
+@settings(max_examples=150)
+def test_gpu_occupancy_monotone_in_output_size(work):
+    from dataclasses import replace
+    small = replace(work, out_elements=max(1.0, work.out_elements / 10))
+    c_small = kernel_cost(SPEC, SPEC.gpu, small, include_launch=False)
+    c_big = kernel_cost(SPEC, SPEC.gpu, work, include_launch=False)
+    # Same byte/flop volume at lower occupancy can only be slower.
+    assert c_small.total_s >= c_big.total_s - 1e-15

@@ -1,0 +1,76 @@
+"""Property-based tests of the inter-kernel branch scheduler."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    BranchCosts,
+    choose_assignment,
+    predict_assignment_time,
+)
+from repro.hardware.specs import ProcessorKind
+
+times = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+volumes = st.floats(min_value=0.0, max_value=1e8, allow_nan=False)
+
+branch_costs = st.builds(
+    BranchCosts,
+    layers=st.just(("layer",)),
+    cpu_s=times,
+    gpu_s=times,
+    out_bytes=volumes,
+)
+
+cost_lists = st.lists(branch_costs, min_size=1, max_size=4)
+rates = st.floats(min_value=1e6, max_value=1e12, allow_nan=False)
+handoff = st.booleans()
+
+
+@given(costs=cost_lists, rate=rates, free=handoff)
+@settings(max_examples=200)
+def test_choice_is_globally_optimal(costs, rate, free):
+    """The enumerated choice matches an exhaustive search."""
+    best = choose_assignment(costs, rate, handoff_free=free)
+    options = [(ProcessorKind.GPU, ProcessorKind.CPU)] * len(costs)
+    exhaustive = min(
+        predict_assignment_time(costs, combo, rate, handoff_free=free)
+        for combo in itertools.product(*options)
+    )
+    assert best.predicted_s <= exhaustive + 1e-12
+
+
+@given(costs=cost_lists, rate=rates, free=handoff)
+@settings(max_examples=200)
+def test_choice_never_worse_than_all_gpu(costs, rate, free):
+    best = choose_assignment(costs, rate, handoff_free=free)
+    all_gpu = predict_assignment_time(
+        costs, [ProcessorKind.GPU] * len(costs), rate, handoff_free=free
+    )
+    assert best.predicted_s <= all_gpu + 1e-12
+
+
+@given(costs=cost_lists, rate=rates)
+@settings(max_examples=200)
+def test_free_handoff_never_hurts(costs, rate):
+    with_copy = choose_assignment(costs, rate, handoff_free=False)
+    free = choose_assignment(costs, rate, handoff_free=True)
+    assert free.predicted_s <= with_copy.predicted_s + 1e-12
+
+
+@given(costs=cost_lists, rate=rates, free=handoff)
+@settings(max_examples=200)
+def test_prediction_lower_bound(costs, rate, free):
+    """No assignment beats the heaviest branch's best-side time."""
+    best = choose_assignment(costs, rate, handoff_free=free)
+    bound = max(min(c.cpu_s, c.gpu_s) for c in costs)
+    assert best.predicted_s >= bound - 1e-12
+
+
+@given(costs=cost_lists, rate=rates)
+@settings(max_examples=100)
+def test_allow_cpu_false_is_all_gpu(costs, rate):
+    best = choose_assignment(costs, rate, allow_cpu=False)
+    assert all(p is ProcessorKind.GPU for p in best.processors)
+    assert best.predicted_s == sum(c.gpu_s for c in costs)

@@ -1,0 +1,85 @@
+"""Property-based tests of the discrete-event timeline invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.timeline import COPY, CPU, GPU, Timeline
+
+RESOURCES = (CPU, GPU, COPY)
+
+# A random schedule program: each op is (resource_idx, duration,
+# dependency back-references).
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.lists(st.integers(min_value=1, max_value=5), max_size=3),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def run_program(program):
+    tl = Timeline(RESOURCES)
+    events = []
+    for res_idx, duration, dep_refs in program:
+        deps = [events[-ref] for ref in dep_refs if ref <= len(events)]
+        events.append(
+            tl.schedule(RESOURCES[res_idx], duration, "op", after=deps)
+        )
+    return tl, events
+
+
+@given(program=ops)
+@settings(max_examples=200)
+def test_no_overlap_per_resource(program):
+    tl, events = run_program(program)
+    for resource in RESOURCES:
+        res_events = sorted(
+            (e for e in events if e.resource == resource),
+            key=lambda e: e.start_s,
+        )
+        for prev, cur in zip(res_events, res_events[1:]):
+            assert cur.start_s >= prev.end_s - 1e-12
+
+
+@given(program=ops)
+@settings(max_examples=200)
+def test_dependencies_respected(program):
+    tl = Timeline(RESOURCES)
+    events = []
+    for res_idx, duration, dep_refs in program:
+        deps = [events[-ref] for ref in dep_refs if ref <= len(events)]
+        ev = tl.schedule(RESOURCES[res_idx], duration, "op", after=deps)
+        for dep in deps:
+            assert ev.start_s >= dep.end_s - 1e-12
+        events.append(ev)
+
+
+@given(program=ops)
+@settings(max_examples=200)
+def test_busy_time_never_exceeds_makespan(program):
+    tl, _ = run_program(program)
+    span = tl.trace.span()
+    for resource in RESOURCES:
+        assert tl.busy_time(resource) <= span + 1e-9
+
+
+@given(program=ops)
+@settings(max_examples=200)
+def test_makespan_bounded_by_total_work(program):
+    tl, events = run_program(program)
+    total_work = sum(e.duration_s for e in events)
+    # With dependencies the makespan can reach (but not exceed) the sum of
+    # all durations.
+    assert tl.trace.span() <= total_work + 1e-9
+
+
+@given(program=ops)
+@settings(max_examples=100)
+def test_events_nonnegative_and_ordered(program):
+    _, events = run_program(program)
+    for e in events:
+        assert e.start_s >= 0
+        assert e.end_s >= e.start_s

@@ -1,0 +1,43 @@
+"""Exception hierarchy: one catchable family, precise subtypes."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SpecError,
+    errors.MemoryModelError,
+    errors.AllocationError,
+    errors.ShapeError,
+    errors.GraphError,
+    errors.PlanError,
+    errors.SimulationError,
+    errors.TuningError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_every_error_is_a_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_allocation_error_is_a_memory_model_error():
+    assert issubclass(errors.AllocationError, errors.MemoryModelError)
+
+
+def test_library_raises_only_its_own_family():
+    """A representative misuse from each subsystem lands inside the
+    ReproError family (so callers can catch one type)."""
+    from repro.hardware.specs import device
+    from repro.nn.graph import NetworkGraph
+    from repro.nn.layers import Dense
+    from repro.core.partition import optimal_cpu_fraction
+
+    with pytest.raises(errors.ReproError):
+        device("abacus")
+    with pytest.raises(errors.ReproError):
+        NetworkGraph("n", (4,)).add(Dense("fc", 4), inputs=["ghost"])
+    with pytest.raises(errors.ReproError):
+        optimal_cpu_fraction(-1.0, 1.0, 0.0, 1.0)

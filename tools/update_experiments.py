@@ -1,0 +1,51 @@
+"""Refresh the measured tables embedded in EXPERIMENTS.md from the
+current `benchmarks/out/` artifacts.
+
+Usage:
+    python -m pytest benchmarks/ --benchmark-only   # regenerate artifacts
+    python tools/update_experiments.py              # print the fresh tables
+
+The script prints a ready-to-paste markdown section per artifact; the
+narrative commentary in EXPERIMENTS.md is maintained by hand.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+
+ORDER = (
+    "fig06", "fig07", "fig08", "fig09", "fig10",
+    "fig11_zero_copy", "fig11_no_zero_copy", "table1", "fig12", "fig13",
+    "sec5f", "sec5b2",
+    "ablation_memory_policy", "ablation_split_ratio",
+    "ablation_branch_scheduling", "ablation_adaptive_feedback",
+    "ablation_contention",
+    "ext_power_modes", "ext_service_warmup", "ext_sensitivity",
+    "ext_multitenant", "ext_mobilenet", "ext_precision", "ext_batching",
+)
+
+
+def main() -> int:
+    missing = []
+    for artifact in ORDER:
+        path = OUT / f"{artifact}.txt"
+        if not path.exists():
+            missing.append(artifact)
+            continue
+        print(f"### {artifact}\n")
+        print("```")
+        print(path.read_text().rstrip())
+        print("```\n")
+    if missing:
+        print(f"(missing artifacts: {', '.join(missing)} — run "
+              "`pytest benchmarks/ --benchmark-only` first)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
