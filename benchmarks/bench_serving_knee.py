@@ -1,0 +1,58 @@
+"""Serving — the latency/throughput knee.
+
+Open-loop Poisson sweep for AlexNet on the Jetson AGX Xavier.  Below the
+service capacity, throughput tracks the offered rate and p99 stays near
+the service time.  Past the knee the device saturates: throughput
+plateaus while queueing makes p99 explode super-linearly and admission
+control starts shedding.  This is the classic serving curve the paper's
+one-shot latency numbers cannot show.
+"""
+
+from repro.eval.formatting import format_serving_sweep
+from repro.serving import BatchPolicy, ServingConfig, simulate_poisson
+
+from conftest import run_once
+
+NETWORK = "alexnet"
+RATES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+DURATION_S = 10.0
+SEED = 11
+
+
+def test_serving_knee(benchmark, record_artifact):
+    def compute():
+        config = ServingConfig(policy=BatchPolicy(max_batch_size=8))
+        return [
+            (rate, simulate_poisson(NETWORK, rate, DURATION_S, seed=SEED,
+                                    config=config))
+            for rate in RATES
+        ]
+
+    rows = run_once(benchmark, compute)
+    record_artifact("serving_knee", format_serving_sweep(rows))
+
+    reports = {rate: r for rate, r in rows}
+
+    # Below the knee the service keeps up: everything is served and
+    # throughput tracks the offered rate.
+    light = reports[RATES[0]]
+    assert light.shed == 0
+    assert light.throughput_rps > 0.9 * RATES[0]
+
+    # Past the knee: p99 grows super-linearly in offered rate (measured
+    # from the last sustainable rate, 2 req/s, to 16 req/s: an 8x rate
+    # step must blow p99 up by much more than 8x)...
+    ref, heavy = reports[2.0], reports[16.0]
+    assert ref.shed == 0
+    rate_factor = 16.0 / 2.0
+    p99_factor = heavy.latency.p99_s / ref.latency.p99_s
+    assert p99_factor > 1.5 * rate_factor, (
+        f"p99 grew {p99_factor:.1f}x for a {rate_factor:.0f}x rate increase"
+    )
+    # ...while throughput plateaus at capacity instead of tracking it.
+    last, second_last = reports[RATES[-1]], reports[RATES[-2]]
+    assert last.throughput_rps < 1.1 * second_last.throughput_rps
+    assert last.throughput_rps < 0.5 * RATES[-1]
+    # Overload is resolved by shedding, not unbounded queues.
+    assert last.shed > 0
+    assert last.queue_depth_max <= BatchPolicy().max_queue_depth

@@ -1,0 +1,82 @@
+"""Request-stream serving: find the latency/throughput knee.
+
+Run with:  python examples/request_stream.py [network]
+
+The paper measures one-shot inference; a deployed service sees a
+sustained request stream.  This example sweeps the open-loop arrival
+rate for one model on the Jetson AGX Xavier and shows the classic
+serving curve: throughput tracks the offered rate until the device
+saturates, after which throughput plateaus while p99 latency explodes
+and admission control starts shedding.  It also shows what dynamic
+batching buys: the batched service sustains a higher plateau than
+batch=1 dispatch because weight traffic amortizes across the batch.
+"""
+
+import sys
+
+from repro.hardware import JETSON_AGX_XAVIER
+from repro.serving import BatchPolicy, ServingConfig, simulate_poisson
+
+DURATION_S = 8.0
+SEED = 7
+
+
+def sweep(network: str, rates, policy: BatchPolicy):
+    config = ServingConfig(policy=policy)
+    return [
+        (rate, simulate_poisson(network, rate, DURATION_S, seed=SEED,
+                                config=config))
+        for rate in rates
+    ]
+
+
+def find_knee(rows) -> float:
+    """Last rate the service still keeps up with: highest rate that sheds
+    nothing and whose p99 stays under 3x the lightest load's p99."""
+    base_p99 = rows[0][1].latency.p99_s
+    knee = rows[0][0]
+    for rate, report in rows:
+        if report.shed == 0 and report.latency.p99_s <= 3.0 * base_p99:
+            knee = rate
+    return knee
+
+
+def main(network: str = "alexnet") -> None:
+    device = JETSON_AGX_XAVIER
+    print(f"=== request-stream serving: {network} on {device.name} ===\n")
+
+    # Calibrate the sweep around the device's batch-1 capacity.
+    probe = simulate_poisson(
+        network, 2.0, 2.0, seed=SEED,
+        config=ServingConfig(policy=BatchPolicy(max_batch_size=1)),
+    )
+    service_ms = probe.latency.p50_s * 1e3
+    capacity = 1.0 / probe.latency.p50_s
+    rates = [max(0.5, capacity * f) for f in (0.25, 0.5, 0.75, 1.0, 1.5, 3.0)]
+    print(f"batch-1 service time ~{service_ms:.2f} ms "
+          f"=> nominal capacity ~{capacity:.1f} req/s\n")
+
+    batched = sweep(network, rates, BatchPolicy(max_batch_size=8))
+    single = sweep(network, rates, BatchPolicy(max_batch_size=1))
+
+    print(f"{'rate':>8}  {'-- dynamic batching (<=8) --':^34}  "
+          f"{'-- batch=1 --':^22}")
+    print(f"{'req/s':>8}  {'thr':>7} {'p99 ms':>10} {'shed':>6} {'mb':>5}  "
+          f"{'thr':>7} {'p99 ms':>10}")
+    for (rate, rb), (_, r1) in zip(batched, single):
+        print(f"{rate:8.1f}  {rb.throughput_rps:7.2f} "
+              f"{rb.latency.p99_s * 1e3:10.1f} {rb.shed_rate:6.1%} "
+              f"{rb.mean_batch_size:5.2f}  "
+              f"{r1.throughput_rps:7.2f} {r1.latency.p99_s * 1e3:10.1f}")
+
+    knee = find_knee(batched)
+    peak_batched = max(r.throughput_rps for _, r in batched)
+    peak_single = max(r.throughput_rps for _, r in single)
+    print(f"\nknee (last sustainable rate): ~{knee:.1f} req/s on {network}")
+    print(f"peak throughput: {peak_batched:.2f} req/s batched vs "
+          f"{peak_single:.2f} req/s at batch=1 "
+          f"({peak_batched / peak_single:.2f}x from dynamic batching)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "alexnet")

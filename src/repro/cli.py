@@ -154,6 +154,72 @@ def cmd_advise(args) -> int:
     return 0 if rec.feasible else 1
 
 
+def cmd_serve(args) -> int:
+    from .serving.batcher import BatchPolicy
+    from .serving.simulator import (
+        ServingConfig,
+        ServingSimulator,
+        TenantSpec,
+        poisson_tenant,
+    )
+    from .workloads.arrivals import ClosedLoopArrivals
+
+    policy = BatchPolicy(
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue_depth=args.queue_depth,
+    )
+    config = ServingConfig(
+        policy=policy,
+        precision=Precision(args.precision),
+        cold_start=args.cold_start,
+        seed=args.seed,
+    )
+    tenants = []
+    if args.tenant:
+        # --tenant network[:rate[:weight]], repeatable.
+        for i, spec in enumerate(args.tenant):
+            parts = spec.split(":")
+            network = parts[0]
+            if network not in MODEL_BUILDERS:
+                raise ReproError(
+                    f"unknown network {network!r} in --tenant {spec!r}"
+                )
+            try:
+                rate = float(parts[1]) if len(parts) > 1 else args.arrival_rate
+                weight = float(parts[2]) if len(parts) > 2 else 1.0
+            except ValueError:
+                raise ReproError(
+                    f"--tenant expects NET[:RATE[:WEIGHT]] with numeric "
+                    f"rate/weight, got {spec!r}"
+                ) from None
+            tenants.append(poisson_tenant(
+                network, rate, args.duration, seed=args.seed + i,
+                weight=weight, name=f"{network}#{i}",
+            ))
+    elif args.closed_loop:
+        tenants.append(TenantSpec(
+            network=args.network,
+            arrival=ClosedLoopArrivals(
+                clients=args.closed_loop,
+                think_s=args.think_ms / 1e3,
+                duration_s=args.duration,
+            ),
+        ))
+    else:
+        tenants.append(poisson_tenant(
+            args.network, args.arrival_rate, args.duration, seed=args.seed,
+        ))
+    simulator = ServingSimulator(_device_from(args), tenants, config)
+    report = simulator.run()
+    print(report.describe())
+    if args.trace:
+        with open(args.trace, "w") as f:
+            f.write(simulator.trace.to_chrome_trace())
+        print(f"trace     : {args.trace}")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from .eval import experiments as ex
     from .eval import formatting as fmt
@@ -257,6 +323,41 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--slo-ms", type=float, required=True,
                         help="latency target in milliseconds")
     advise.set_defaults(func=cmd_advise)
+
+    serve = sub.add_parser(
+        "serve", help="simulate a request-serving run (queue + batching)"
+    )
+    serve.add_argument("--network", default="alexnet",
+                       choices=list(MODEL_BUILDERS),
+                       help="model to serve (default alexnet)")
+    serve.add_argument("--device", default=None,
+                       help="integrated device name (default jetson)")
+    serve.add_argument("--arrival-rate", type=float, default=10.0,
+                       help="open-loop Poisson arrival rate, req/s")
+    serve.add_argument("--duration", type=float, default=10.0,
+                       help="admission horizon in virtual seconds")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batcher max batch size (default 8)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="max batching wait for the oldest request")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded queue depth before shedding")
+    serve.add_argument("--closed-loop", type=int, default=0, metavar="N",
+                       help="closed loop with N clients instead of Poisson")
+    serve.add_argument("--think-ms", type=float, default=100.0,
+                       help="closed-loop client think time")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NET[:RATE[:WEIGHT]]",
+                       help="add a tenant (repeatable; overrides --network)")
+    serve.add_argument("--precision", default="fp32",
+                       choices=[p_.value for p_ in Precision])
+    serve.add_argument("--cold-start", action="store_true",
+                       help="charge cold-start staging to the first batch")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="arrival-stream seed (runs replay exactly)")
+    serve.add_argument("--trace", default=None,
+                       help="write a Chrome trace of the batch schedule")
+    serve.set_defaults(func=cmd_serve)
 
     exp = sub.add_parser("experiments",
                          help="regenerate the paper's tables/figures")

@@ -26,6 +26,12 @@ from .plan import (
     gpu_layer,
     split_layer,
 )
+from .plan_cache import (
+    PlanCache,
+    PlanKey,
+    clear_plan_cache,
+    default_plan_cache,
+)
 from .profiler import LayerProfile, ProfileStore, SplitSample
 from .report import InferenceReport, LayerResult, improvement, speedup
 from .scheduler import (
@@ -41,6 +47,7 @@ from .multitenant import (
     TenantResult,
     concurrent_edgenn,
     run_concurrent,
+    serve_concurrent,
 )
 from .service import ServiceProfile, WarmExecutor, profile_service, warm_report
 from .semantics import (
@@ -68,6 +75,8 @@ __all__ = [
     "LayerResult",
     "MemoryPolicy",
     "MultiTenantReport",
+    "PlanCache",
+    "PlanKey",
     "ProfileStore",
     "ServiceProfile",
     "SplitSample",
@@ -80,6 +89,8 @@ __all__ = [
     "branch_costs",
     "choose_assignment",
     "classify_buffers",
+    "clear_plan_cache",
+    "default_plan_cache",
     "collaboration_time",
     "concurrent_edgenn",
     "cpu_layer",
@@ -92,6 +103,7 @@ __all__ = [
     "plan_allocations",
     "predict_assignment_time",
     "run_concurrent",
+    "serve_concurrent",
     "speedup",
     "profile_service",
     "split_layer",

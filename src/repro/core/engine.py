@@ -34,6 +34,7 @@ from ..nn.precision import Precision
 from .executor import HybridExecutor
 from .memory_manager import MemoryPolicy
 from .plan import ExecutionPlan
+from .plan_cache import PlanCache, PlanKey, default_plan_cache
 from .report import InferenceReport
 from .tuner import AdaptiveTuner, TunerConfig, TuningObjective, TuningResult
 
@@ -90,6 +91,8 @@ class EdgeNN:
         network: Union[str, NetworkGraph],
         device: Union[Device, DeviceSpec, None] = None,
         config: Optional[EdgeNNConfig] = None,
+        *,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.graph = build_model(network) if isinstance(network, str) else network
         if device is None:
@@ -103,14 +106,41 @@ class EdgeNN:
         self.config = config or EdgeNNConfig()
         self._tuning: Optional[TuningResult] = None
         self._params = None
+        # Plans are only shareable when the network is a catalog model
+        # named by string: a user-built NetworkGraph may reuse a name for
+        # a different topology, so it always tunes privately.
+        self._plan_cache = (
+            plan_cache if plan_cache is not None else default_plan_cache()
+        )
+        self._cache_key = (
+            PlanKey.from_config(network, self.device.name, self.config)
+            if isinstance(network, str)
+            else None
+        )
 
     # -- tuning & simulated execution ----------------------------------------
 
     def tune(self, force: bool = False) -> TuningResult:
-        """Run the adaptive tuning cycle (cached after the first call)."""
+        """Run the adaptive tuning cycle (cached after the first call).
+
+        Results for catalog networks are also memoized in the shared
+        :class:`~repro.core.plan_cache.PlanCache` keyed by (network,
+        device, batch size, precision, flags); ``force=True`` bypasses
+        both caches and re-tunes from scratch.
+        """
         if self._tuning is None or force:
-            tuner = AdaptiveTuner(self.graph, self.device, self.config.tuner_config())
-            self._tuning = tuner.tune()
+            def _tune_now() -> TuningResult:
+                tuner = AdaptiveTuner(
+                    self.graph, self.device, self.config.tuner_config()
+                )
+                return tuner.tune()
+
+            if self._cache_key is not None and not force:
+                self._tuning = self._plan_cache.get_or_tune(
+                    self._cache_key, _tune_now
+                )
+            else:
+                self._tuning = _tune_now()
         return self._tuning
 
     @property

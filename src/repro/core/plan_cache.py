@@ -1,0 +1,109 @@
+"""Shared cache of tuned execution plans.
+
+Tuning is by far the most expensive operation in the system (two
+profiling passes plus up to ``max_feedback_rounds`` measured runs), yet
+its result is fully determined by *(network, device, batch size,
+precision, ablation flags, objective)* — the simulator is deterministic.
+A serving system dispatching batches of varying sizes would otherwise
+re-tune the same (model, batch) pair on every dispatch.
+
+:class:`PlanCache` memoizes :class:`~repro.core.tuner.TuningResult`
+objects under exactly that key.  :class:`~repro.core.engine.EdgeNN`
+consults the process-wide default cache whenever the network was given
+by *name* (custom :class:`~repro.nn.graph.NetworkGraph` objects are
+never cached — two different user graphs may share a name).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tuner import TuningResult
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Cache key: everything the tuning outcome depends on."""
+
+    network: str
+    device: str
+    batch_size: int
+    precision: str
+    use_memory_management: bool
+    use_hybrid_execution: bool
+    use_inter_kernel: bool
+    use_intra_kernel: bool
+    objective: str
+
+    @classmethod
+    def from_config(cls, network: str, device: str, config) -> "PlanKey":
+        return cls(
+            network=network,
+            device=device,
+            batch_size=config.batch_size,
+            precision=config.precision.value,
+            use_memory_management=config.use_memory_management,
+            use_hybrid_execution=config.use_hybrid_execution,
+            use_inter_kernel=config.use_inter_kernel,
+            use_intra_kernel=config.use_intra_kernel,
+            objective=config.objective.value,
+        )
+
+
+class PlanCache:
+    """LRU cache of tuning results keyed by :class:`PlanKey`."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[PlanKey, TuningResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._entries
+
+    def get_or_tune(
+        self, key: PlanKey, tune: Callable[[], "TuningResult"]
+    ) -> "TuningResult":
+        """Return the cached result for ``key``, tuning on first use."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        result = tune()
+        self._entries[key] = result
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return result
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT: Optional[PlanCache] = None
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache :class:`~repro.core.engine.EdgeNN` uses."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PlanCache()
+    return _DEFAULT
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (tests / memory pressure)."""
+    if _DEFAULT is not None:
+        _DEFAULT.clear()

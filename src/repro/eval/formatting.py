@@ -157,6 +157,55 @@ def format_sec5b2(result: "ex.UtilizationResult") -> str:
     )
 
 
+def format_serving(report) -> str:
+    """Tabular rendering of a :class:`~repro.serving.report.ServingReport`
+    (aggregate line plus one row per tenant)."""
+    rows = [
+        (
+            t.name, t.weight, t.offered, t.served, t.shed,
+            t.shed_rate * 100.0,
+            t.latency.p50_s * 1e3, t.latency.p95_s * 1e3,
+            t.latency.p99_s * 1e3, t.mean_batch_size,
+        )
+        for t in report.tenants
+    ]
+    table = render_table(
+        ["tenant", "weight", "offered", "served", "shed", "shed %",
+         "p50 ms", "p95 ms", "p99 ms", "mean batch"],
+        rows,
+        title=f"Serving — {report.device}, {report.duration_s:g}s offered "
+              f"(makespan {report.makespan_s:.2f}s)",
+    )
+    return (
+        f"{table}\n"
+        f"throughput={report.throughput_rps:.2f} req/s "
+        f"shed={report.shed_rate:.1%} "
+        f"queue mean/max={report.queue_depth_mean:.2f}/"
+        f"{report.queue_depth_max} "
+        f"util cpu={report.cpu_utilization:.0%} "
+        f"gpu={report.gpu_utilization:.0%}"
+    )
+
+
+def format_serving_sweep(rows) -> str:
+    """Render an arrival-rate sweep: rows of
+    ``(rate, ServingReport)`` pairs, one line per rate."""
+    return render_table(
+        ["rate req/s", "throughput", "shed %", "p50 ms", "p95 ms",
+         "p99 ms", "mean batch", "gpu util %"],
+        [
+            (
+                rate, r.throughput_rps, r.shed_rate * 100.0,
+                r.latency.p50_s * 1e3, r.latency.p95_s * 1e3,
+                r.latency.p99_s * 1e3, r.mean_batch_size,
+                r.gpu_utilization * 100.0,
+            )
+            for rate, r in rows
+        ],
+        title="Serving — arrival-rate sweep",
+    )
+
+
 def format_all() -> str:
     """Render every experiment (the EXPERIMENTS.md generator's core)."""
     results = ex.run_all()

@@ -1,0 +1,122 @@
+"""Bounded request queue + dynamic batching policy for one tenant.
+
+The policy is the classic *max-batch-size / max-wait-time* rule used by
+production inference servers (Triton, TF-Serving):
+
+* a batch is **ready** the instant ``max_batch_size`` requests are
+  queued, or once the *oldest* queued request has waited ``max_wait_s``
+  (whichever comes first);
+* ``max_batch_size=1`` degenerates to immediate per-request dispatch
+  (the paper's one-shot regime);
+* ``max_wait_s=0`` dispatches whatever is queued the moment the device
+  is free — batches then form only while the device is busy.
+
+Admission control is a bounded queue: an arrival finding
+``max_queue_depth`` requests already waiting is **shed** immediately
+(fail fast beats queueing past the latency SLO — the load-shedding
+argument).  The queue never reorders requests within a tenant (FIFO).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..errors import ReproError
+from .request import Request, RequestStatus
+
+#: Tolerance when comparing virtual-clock instants (timer events fire at
+#: exactly the deadline; float round-off must not defer a ready batch).
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic batcher and the admission controller."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ReproError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_s < 0:
+            raise ReproError(
+                f"max_wait_s must be >= 0, got {self.max_wait_s}"
+            )
+        if self.max_queue_depth < 1:
+            raise ReproError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+
+
+class TenantQueue:
+    """FIFO queue of pending requests for one tenant, with batching."""
+
+    def __init__(self, name: str, policy: Optional[BatchPolicy] = None) -> None:
+        self.name = name
+        self.policy = policy or BatchPolicy()
+        self._pending: Deque[Request] = deque()
+        self.offered = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    # -- admission -----------------------------------------------------------
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request`` or shed it; returns True when admitted."""
+        self.offered += 1
+        if len(self._pending) >= self.policy.max_queue_depth:
+            request.status = RequestStatus.SHED
+            self.shed += 1
+            return False
+        self._pending.append(request)
+        return True
+
+    # -- batching ------------------------------------------------------------
+
+    @property
+    def oldest_arrival_s(self) -> Optional[float]:
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_s
+
+    def wait_deadline_s(self) -> Optional[float]:
+        """Instant the oldest pending request's wait budget expires
+        (None when the queue is empty)."""
+        oldest = self.oldest_arrival_s
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_s
+
+    def ready(self, now: float) -> bool:
+        """True when a batch should dispatch at virtual instant ``now``."""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.policy.max_batch_size:
+            return True
+        return now + _EPS >= self.wait_deadline_s()
+
+    def take_batch(self, now: float) -> List[Request]:
+        """Pop up to ``max_batch_size`` requests and mark them running."""
+        if not self._pending:
+            raise ReproError(f"tenant {self.name!r} has no pending requests")
+        batch: List[Request] = []
+        while self._pending and len(batch) < self.policy.max_batch_size:
+            request = self._pending.popleft()
+            request.status = RequestStatus.RUNNING
+            request.dispatch_s = now
+            batch.append(request)
+        for request in batch:
+            request.batch_size = len(batch)
+        return batch

@@ -1,0 +1,445 @@
+"""Virtual-clock inference-serving simulator.
+
+Turns the one-shot EdgeNN engine into a *service*: a discrete-event loop
+drives request arrivals (:mod:`repro.workloads.arrivals`) through
+per-tenant bounded queues (:mod:`.batcher`), forms dynamic batches, and
+executes them one at a time on the simulated device — GPU kernels are
+non-preemptive, so the device is a serial batch server; *within* a
+batch the CPU and GPU co-run under the shared-bandwidth contention
+model exactly as in one-shot mode.
+
+The service time of a batch of size ``b`` comes from the real machinery:
+the :class:`~repro.core.engine.EdgeNN` tuner produces a plan *re-tuned
+for that batch size* (memoized in the shared
+:class:`~repro.core.plan_cache.PlanCache`), and a warm executor
+(weights device-resident, the steady state of
+:mod:`repro.core.service`) measures it on the
+:mod:`repro.sim.timeline` device model.  Dynamic batching therefore
+helps exactly as much as the cost model says weight-traffic
+amortization is worth — fc-heavy networks batch nearly for free,
+conv-heavy ones almost linearly.
+
+Everything is deterministic: same tenants, seeds, and policy produce an
+identical :class:`~repro.serving.report.ServingReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.engine import EdgeNN, EdgeNNConfig
+from ..core.service import WarmExecutor
+from ..errors import ReproError
+from ..hardware.device import Device
+from ..hardware.specs import JETSON_AGX_XAVIER, DeviceSpec
+from ..nn.precision import Precision
+from ..sim.timeline import COPY, CPU, GPU, Timeline
+from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
+from .batcher import BatchPolicy, TenantQueue
+from .report import (
+    LatencyStats,
+    ServingReport,
+    TenantServingStats,
+    merge_histograms,
+)
+from .request import Request, RequestStatus
+from .scheduler import WeightedFairScheduler
+
+#: Serving-level timeline resource: the whole integrated device, which
+#: serves one batch at a time (non-preemptive kernels).
+DEVICE = "device"
+
+# Event kinds, in processing order at equal virtual instants: arrivals
+# join the queue before a same-instant completion triggers dispatch, and
+# wait-expiry timers run last (they only re-check readiness).
+_ARRIVAL, _COMPLETION, _TIMER = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a model plus its request stream and fair-share weight."""
+
+    network: str
+    arrival: ArrivalProcess
+    weight: float = 1.0
+    name: Optional[str] = None           # defaults to the network name
+    policy: Optional[BatchPolicy] = None  # overrides the run's policy
+
+    @property
+    def tenant_name(self) -> str:
+        return self.name if self.name is not None else self.network
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Run-wide serving knobs."""
+
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    precision: Precision = Precision.FP32
+    #: engine feature flags for tuning (batch_size is set per dispatch).
+    engine: Optional[EdgeNNConfig] = None
+    #: charge the cold-start premium (parameter staging) to each
+    #: tenant's first batch instead of assuming a pre-warmed service.
+    cold_start: bool = False
+    #: recorded in the report for replay bookkeeping.
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class BatchServiceTime:
+    """Simulated cost of one batch of a given size."""
+
+    total_s: float
+    cpu_busy_s: float
+    gpu_busy_s: float
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch (for the serving trace / debugging)."""
+
+    tenant: str
+    size: int
+    start_s: float
+    end_s: float
+
+
+class ServiceTimeModel:
+    """Warm (and cold) batched service times, memoized per (network, b).
+
+    Each distinct batch size is tuned through the shared plan cache, so
+    across sweeps and tenants every (network, device, batch, precision)
+    pair tunes exactly once per process.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        precision: Precision = Precision.FP32,
+        engine: Optional[EdgeNNConfig] = None,
+    ) -> None:
+        self._spec = spec
+        self._base = engine or EdgeNNConfig()
+        self._precision = precision
+        self._warm: Dict[Tuple[str, int], BatchServiceTime] = {}
+        self._cold: Dict[Tuple[str, int], BatchServiceTime] = {}
+
+    def _engine_for(self, network: str, batch: int) -> EdgeNN:
+        config = replace(
+            self._base, batch_size=batch, precision=self._precision
+        )
+        return EdgeNN(network, self._spec, config)
+
+    def warm(self, network: str, batch: int) -> BatchServiceTime:
+        key = (network, batch)
+        if key not in self._warm:
+            engine = self._engine_for(network, batch)
+            report = WarmExecutor(
+                engine.graph, engine.device, engine.plan,
+                precision=self._precision, batch_size=batch,
+            ).run()
+            self._warm[key] = BatchServiceTime(
+                total_s=report.total_s,
+                cpu_busy_s=report.cpu_busy_s,
+                gpu_busy_s=report.gpu_busy_s,
+            )
+        return self._warm[key]
+
+    def cold(self, network: str, batch: int) -> BatchServiceTime:
+        """First-batch cost: weights still have to reach the GPU."""
+        key = (network, batch)
+        if key not in self._cold:
+            engine = self._engine_for(network, batch)
+            report = engine.run()
+            self._cold[key] = BatchServiceTime(
+                total_s=report.total_s,
+                cpu_busy_s=report.cpu_busy_s,
+                gpu_busy_s=report.gpu_busy_s,
+            )
+        return self._cold[key]
+
+
+class ServingSimulator:
+    """Discrete-event loop over one device and one or more tenants."""
+
+    def __init__(
+        self,
+        device: Union[Device, DeviceSpec, None],
+        tenants: Sequence[TenantSpec],
+        config: Optional[ServingConfig] = None,
+        *,
+        service_model: Optional[ServiceTimeModel] = None,
+    ) -> None:
+        if not tenants:
+            raise ReproError("serving needs at least one tenant")
+        if device is None:
+            device = JETSON_AGX_XAVIER
+        self._spec = device.spec if isinstance(device, Device) else device
+        self._config = config or ServingConfig()
+        self._tenants = tuple(tenants)
+        names = [t.tenant_name for t in self._tenants]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate tenant names: {names}")
+        self._model = service_model or ServiceTimeModel(
+            self._spec, self._config.precision, self._config.engine
+        )
+
+    # -- the event loop -------------------------------------------------------
+
+    def run(self) -> ServingReport:
+        cfg = self._config
+        queues: Dict[str, TenantQueue] = {}
+        specs: Dict[str, TenantSpec] = {}
+        for spec in self._tenants:
+            name = spec.tenant_name
+            queues[name] = TenantQueue(name, spec.policy or cfg.policy)
+            specs[name] = spec
+        scheduler = WeightedFairScheduler(
+            {t.tenant_name: t.weight for t in self._tenants}
+        )
+        timeline = Timeline((DEVICE, CPU, GPU, COPY))
+
+        heap: List[Tuple[float, int, int, str]] = []
+        seq = 0
+
+        def push(time_s: float, kind: int, tenant: str) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time_s, kind, seq, tenant))
+            seq += 1
+
+        for spec in self._tenants:
+            for t in spec.arrival.initial_arrivals():
+                push(t, _ARRIVAL, spec.tenant_name)
+
+        requests: List[Request] = []
+        by_tenant: Dict[str, List[Request]] = {n: [] for n in queues}
+        batches: List[BatchRecord] = []
+        tenant_hist: Dict[str, Dict[int, int]] = {n: {} for n in queues}
+        in_flight: List[Request] = []
+        warmed: Dict[str, bool] = {n: not cfg.cold_start for n in queues}
+        armed_timers: Dict[str, float] = {}
+
+        device_busy = False
+        cpu_busy_total = 0.0
+        gpu_busy_total = 0.0
+        next_id = 0
+
+        # Time-weighted queue-depth accounting.
+        depth = 0
+        depth_max = 0
+        depth_integral = 0.0
+        last_t = 0.0
+
+        def advance(now: float) -> None:
+            nonlocal depth_integral, last_t
+            if now > last_t:
+                depth_integral += depth * (now - last_t)
+                last_t = now
+
+        def maybe_dispatch(now: float) -> None:
+            nonlocal device_busy, depth, cpu_busy_total, gpu_busy_total
+            if device_busy:
+                return
+            ready = [n for n, q in queues.items() if q.ready(now)]
+            chosen = scheduler.pick(ready)
+            if chosen is None:
+                # Nothing dispatchable yet: arm a wait-expiry timer per
+                # tenant still accumulating a batch.
+                for name, queue in queues.items():
+                    deadline = queue.wait_deadline_s()
+                    if deadline is None:
+                        continue
+                    if armed_timers.get(name) == deadline:
+                        continue
+                    armed_timers[name] = deadline
+                    push(max(deadline, now), _TIMER, name)
+                return
+            queue = queues[chosen]
+            batch = queue.take_batch(now)
+            depth -= len(batch)
+            size = len(batch)
+            if warmed[chosen]:
+                svc = self._model.warm(specs[chosen].network, size)
+            else:
+                svc = self._model.cold(specs[chosen].network, size)
+                warmed[chosen] = True
+            device_busy = True
+            scheduler.charge(chosen, svc.total_s)
+            cpu_busy_total += svc.cpu_busy_s
+            gpu_busy_total += svc.gpu_busy_s
+            end = now + svc.total_s
+            label = f"{chosen}:batch(n={size})"
+            timeline.schedule(DEVICE, svc.total_s, label, not_before=now)
+            timeline.schedule(CPU, svc.cpu_busy_s, label, not_before=now,
+                              category="kernel")
+            timeline.schedule(GPU, svc.gpu_busy_s, label, not_before=now,
+                              category="kernel")
+            batches.append(
+                BatchRecord(tenant=chosen, size=size, start_s=now, end_s=end)
+            )
+            tenant_hist[chosen][size] = tenant_hist[chosen].get(size, 0) + 1
+            in_flight.extend(batch)
+            push(end, _COMPLETION, chosen)
+
+        while heap:
+            now, kind, _, tenant = heapq.heappop(heap)
+            advance(now)
+            if kind == _ARRIVAL:
+                request = Request(
+                    request_id=next_id, tenant=tenant, arrival_s=now
+                )
+                next_id += 1
+                requests.append(request)
+                by_tenant[tenant].append(request)
+                if queues[tenant].offer(request):
+                    depth += 1
+                    depth_max = max(depth_max, depth)
+                else:
+                    # Shed: the client sees an immediate rejection; a
+                    # closed-loop client thinks, then retries.
+                    request.finish_s = now
+                    follow = specs[tenant].arrival.next_after(now)
+                    if follow is not None:
+                        push(follow, _ARRIVAL, tenant)
+                maybe_dispatch(now)
+            elif kind == _COMPLETION:
+                finished = [r for r in in_flight if r.tenant == tenant]
+                in_flight[:] = [r for r in in_flight if r.tenant != tenant]
+                for request in finished:
+                    request.status = RequestStatus.SERVED
+                    request.finish_s = now
+                    follow = specs[tenant].arrival.next_after(now)
+                    if follow is not None:
+                        push(follow, _ARRIVAL, tenant)
+                device_busy = False
+                maybe_dispatch(now)
+            else:  # _TIMER
+                if armed_timers.get(tenant) is not None:
+                    armed_timers.pop(tenant, None)
+                maybe_dispatch(now)
+
+        return self._build_report(
+            queues, by_tenant, tenant_hist, batches, timeline,
+            depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
+        )
+
+    # -- report assembly ------------------------------------------------------
+
+    def _horizon_s(self) -> float:
+        return max(
+            float(getattr(t.arrival, "duration_s", 0.0))
+            for t in self._tenants
+        )
+
+    def _build_report(
+        self, queues, by_tenant, tenant_hist, batches, timeline,
+        depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
+    ) -> ServingReport:
+        horizon = self._horizon_s()
+        last_end = max((b.end_s for b in batches), default=0.0)
+        makespan = max(horizon, last_end)
+        tenant_stats = []
+        for spec in self._tenants:
+            name = spec.tenant_name
+            latencies = [
+                r.latency_s for r in by_tenant[name]
+                if r.status is RequestStatus.SERVED
+            ]
+            tenant_stats.append(
+                TenantServingStats(
+                    name=name,
+                    network=spec.network,
+                    weight=spec.weight,
+                    offered=queues[name].offered,
+                    served=len(latencies),
+                    shed=queues[name].shed,
+                    latency=LatencyStats.from_latencies(latencies),
+                    batch_histogram=dict(tenant_hist[name]),
+                )
+            )
+        all_latencies = [
+            r.latency_s
+            for name in by_tenant
+            for r in by_tenant[name]
+            if r.status is RequestStatus.SERVED
+        ]
+        offered = sum(t.offered for t in tenant_stats)
+        served = sum(t.served for t in tenant_stats)
+        shed = sum(t.shed for t in tenant_stats)
+        report = ServingReport(
+            device=self._spec.name,
+            duration_s=horizon,
+            makespan_s=makespan,
+            offered=offered,
+            served=served,
+            shed=shed,
+            latency=LatencyStats.from_latencies(all_latencies),
+            batch_histogram=merge_histograms(
+                [t.batch_histogram for t in tenant_stats]
+            ),
+            queue_depth_mean=(
+                depth_integral / makespan if makespan > 0 else 0.0
+            ),
+            queue_depth_max=depth_max,
+            cpu_utilization=(
+                min(1.0, cpu_busy_total / makespan) if makespan > 0 else 0.0
+            ),
+            gpu_utilization=(
+                min(1.0, gpu_busy_total / makespan) if makespan > 0 else 0.0
+            ),
+            tenants=tuple(tenant_stats),
+            seed=self._config.seed,
+        )
+        report.extra["batch_count"] = float(len(batches))
+        report.extra["device_busy_s"] = timeline.busy_time(DEVICE)
+        self.trace = timeline.trace
+        return report
+
+
+# -- convenience entry points ---------------------------------------------------
+
+
+def poisson_tenant(
+    network: str,
+    rate_rps: float,
+    duration_s: float,
+    *,
+    seed: int = 0,
+    weight: float = 1.0,
+    name: Optional[str] = None,
+    policy: Optional[BatchPolicy] = None,
+) -> TenantSpec:
+    """An open-loop Poisson tenant (the common case)."""
+    return TenantSpec(
+        network=network,
+        arrival=PoissonArrivals(rate_rps, duration_s, seed=seed),
+        weight=weight,
+        name=name,
+        policy=policy,
+    )
+
+
+def simulate(
+    tenants: Sequence[TenantSpec],
+    device: Union[Device, DeviceSpec, None] = None,
+    config: Optional[ServingConfig] = None,
+) -> ServingReport:
+    """Run one serving simulation and return its report."""
+    return ServingSimulator(device, tenants, config).run()
+
+
+def simulate_poisson(
+    network: str,
+    rate_rps: float,
+    duration_s: float,
+    device: Union[Device, DeviceSpec, None] = None,
+    *,
+    seed: int = 0,
+    config: Optional[ServingConfig] = None,
+) -> ServingReport:
+    """Single-tenant open-loop run (what ``repro serve`` does)."""
+    cfg = config or ServingConfig(seed=seed)
+    tenant = poisson_tenant(network, rate_rps, duration_s, seed=seed)
+    return simulate([tenant], device, cfg)

@@ -1,5 +1,18 @@
-"""Workload generators."""
+"""Workload generators: synthetic inputs and request-arrival processes."""
 
+from .arrivals import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
 from .inputs import batch_of_inputs, input_for
 
-__all__ = ["batch_of_inputs", "input_for"]
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoopArrivals",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "batch_of_inputs",
+    "input_for",
+]

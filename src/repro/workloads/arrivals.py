@@ -1,0 +1,134 @@
+"""Request-arrival processes for the serving simulator.
+
+Two classic load models, both fully deterministic given their seed so a
+:class:`~repro.serving.simulator.ServingSimulator` run can be replayed
+bit-for-bit:
+
+* **open loop** (:class:`PoissonArrivals`) — requests arrive at a fixed
+  average rate regardless of how the server keeps up.  This is the
+  internet-facing regime: under overload the queue grows without bound
+  unless admission control sheds, which is exactly the behaviour the
+  latency/throughput knee sweeps probe.
+* **closed loop** (:class:`ClosedLoopArrivals`) — a fixed population of
+  clients, each with at most one request outstanding: issue, wait for the
+  response, think, repeat.  Offered load is self-limiting, so the closed
+  loop can never overload the server the way the open loop does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class ArrivalProcess:
+    """Interface the serving simulator drives.
+
+    ``initial_arrivals`` yields every arrival instant known up front;
+    ``next_after`` is consulted on each request completion and may yield
+    one follow-up arrival (closed-loop feedback).  Open-loop processes
+    simply return ``None`` from ``next_after``.
+    """
+
+    def initial_arrivals(self) -> List[float]:
+        raise NotImplementedError
+
+    def next_after(self, completion_s: float) -> Optional[float]:
+        return None
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson process: i.i.d. exponential inter-arrival gaps.
+
+    Generates every arrival in ``[0, duration_s)`` at construction from a
+    seeded :func:`numpy.random.default_rng`, so the same (rate, duration,
+    seed) triple always produces the same trace.
+    """
+
+    def __init__(self, rate_rps: float, duration_s: float, seed: int = 0) -> None:
+        if rate_rps <= 0:
+            raise ReproError(f"arrival rate must be positive, got {rate_rps}")
+        if duration_s <= 0:
+            raise ReproError(f"duration must be positive, got {duration_s}")
+        self.rate_rps = rate_rps
+        self.duration_s = duration_s
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        times: List[float] = []
+        t = 0.0
+        # Draw gaps in chunks: cheaper than one rng call per request and
+        # still deterministic (the stream of draws is fixed by the seed).
+        expected = max(16, int(rate_rps * duration_s * 1.2))
+        while True:
+            for gap in rng.exponential(1.0 / rate_rps, size=expected):
+                t += float(gap)
+                if t >= duration_s:
+                    self._times = times
+                    return
+                times.append(t)
+
+    def initial_arrivals(self) -> List[float]:
+        return list(self._times)
+
+
+class UniformArrivals(ArrivalProcess):
+    """Open-loop constant-rate process (one request every ``1/rate`` s).
+
+    The zero-variance counterpart of :class:`PoissonArrivals`: useful in
+    tests, where queueing effects should come from the policy under test
+    rather than from arrival burstiness.
+    """
+
+    def __init__(self, rate_rps: float, duration_s: float) -> None:
+        if rate_rps <= 0:
+            raise ReproError(f"arrival rate must be positive, got {rate_rps}")
+        if duration_s <= 0:
+            raise ReproError(f"duration must be positive, got {duration_s}")
+        self.rate_rps = rate_rps
+        self.duration_s = duration_s
+        gap = 1.0 / rate_rps
+        count = int(np.ceil(duration_s * rate_rps))
+        self._times = [
+            t for t in (i * gap for i in range(count)) if t < duration_s
+        ]
+
+    def initial_arrivals(self) -> List[float]:
+        return list(self._times)
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """Closed loop: ``clients`` users, each think-send-wait in sequence.
+
+    Client ``i`` issues its first request at ``i * think_s / clients``
+    (staggered so the population does not arrive as one burst), then
+    re-issues ``think_s`` after each response, until ``duration_s``.
+    """
+
+    def __init__(
+        self, clients: int, think_s: float, duration_s: float
+    ) -> None:
+        if clients < 1:
+            raise ReproError(f"need at least one client, got {clients}")
+        if think_s < 0:
+            raise ReproError(f"think time must be >= 0, got {think_s}")
+        if duration_s <= 0:
+            raise ReproError(f"duration must be positive, got {duration_s}")
+        self.clients = clients
+        self.think_s = think_s
+        self.duration_s = duration_s
+
+    def initial_arrivals(self) -> List[float]:
+        stagger = self.think_s / self.clients if self.clients else 0.0
+        return [
+            t for t in (i * stagger for i in range(self.clients))
+            if t < self.duration_s
+        ]
+
+    def next_after(self, completion_s: float) -> Optional[float]:
+        t = completion_s + self.think_s
+        if t >= self.duration_s:
+            return None
+        return t

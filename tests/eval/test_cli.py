@@ -20,6 +20,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "transformer"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.network == "alexnet"
+        assert args.arrival_rate == 10.0
+        assert args.max_batch == 8
+        assert args.tenant == []
+
 
 class TestCommands:
     def test_devices(self, capsys):
@@ -102,6 +109,38 @@ class TestCommands:
     def test_experiments_unknown_id(self, capsys):
         assert main(["experiments", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_serve_single_tenant(self, capsys):
+        assert main(["serve", "--network", "lenet", "--arrival-rate", "50",
+                     "--duration", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "throughput" in out and "shed" in out
+
+    def test_serve_multi_tenant(self, capsys):
+        assert main(["serve", "--duration", "1",
+                     "--tenant", "lenet:40:2",
+                     "--tenant", "fcnn:40:1"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet#0" in out and "fcnn#1" in out
+
+    def test_serve_closed_loop(self, capsys):
+        assert main(["serve", "--network", "lenet", "--duration", "1",
+                     "--closed-loop", "4", "--think-ms", "20"]) == 0
+        # A closed loop self-limits its offered load: nothing is shed.
+        assert "shed 0 (0.0%)" in capsys.readouterr().out
+
+    def test_serve_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "serve.json"
+        assert main(["serve", "--network", "lenet", "--duration", "1",
+                     "--trace", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_serve_bad_tenant_spec(self, capsys):
+        assert main(["serve", "--tenant", "nosuchnet:10"]) == 2
+
+    def test_serve_non_numeric_tenant_rate(self, capsys):
+        assert main(["serve", "--tenant", "lenet:abc"]) == 2
+        assert "numeric" in capsys.readouterr().err
 
     def test_export(self, tmp_path, capsys):
         # run_all is expensive; export into tmp and spot-check one artifact.

@@ -64,3 +64,47 @@ class TestJson:
     def test_fig09_max_included(self):
         doc = json.loads(to_json(ex.fig09_memcpy_share(("lenet",))))
         assert "max_discrete" in doc
+
+
+def _serving_report():
+    from repro.serving import BatchPolicy, ServingConfig, ServingSimulator, TenantSpec
+    from repro.serving.simulator import BatchServiceTime
+    from repro.hardware.specs import JETSON_AGX_XAVIER
+    from repro.workloads.arrivals import UniformArrivals
+
+    class Model:
+        def warm(self, network, batch):
+            t = 0.01 * batch
+            return BatchServiceTime(total_s=t, cpu_busy_s=0.2 * t,
+                                    gpu_busy_s=0.8 * t)
+
+        cold = warm
+
+    tenants = [TenantSpec(network="lenet", arrival=UniformArrivals(50, 1.0))]
+    sim = ServingSimulator(JETSON_AGX_XAVIER, tenants, ServingConfig(),
+                           service_model=Model())
+    return sim.run()
+
+
+class TestServingExport:
+    def test_rows_have_aggregate_sentinel(self):
+        from repro.eval.export import serving_rows
+
+        rows = serving_rows(_serving_report())
+        assert rows[-1]["tenant"] == "*"
+        assert rows[-1]["offered"] == sum(r["offered"] for r in rows[:-1])
+
+    def test_csv_parses_back(self):
+        from repro.eval.export import serving_to_csv
+
+        parsed = list(csv.DictReader(io.StringIO(
+            serving_to_csv(_serving_report()))))
+        assert parsed[0]["network"] == "lenet"
+        assert float(parsed[0]["p99_ms"]) >= float(parsed[0]["p50_ms"])
+
+    def test_json_round_trip(self):
+        from repro.eval.export import serving_to_json
+
+        doc = json.loads(serving_to_json(_serving_report()))
+        assert doc["offered"] == doc["served"] + doc["shed"]
+        assert doc["tenants"][0]["tenant"] == "lenet"

@@ -57,3 +57,36 @@ class TestFormatters:
     def test_sec5b2_formatter(self):
         text = fmt.format_sec5b2(ex.sec5b2_utilization(("lenet",)))
         assert "util" in text
+
+
+class TestServingFormatters:
+    def _report(self):
+        from repro.hardware.specs import JETSON_AGX_XAVIER
+        from repro.serving import ServingConfig, ServingSimulator, TenantSpec
+        from repro.serving.simulator import BatchServiceTime
+        from repro.workloads.arrivals import UniformArrivals
+
+        class Model:
+            def warm(self, network, batch):
+                t = 0.01 * batch
+                return BatchServiceTime(total_s=t, cpu_busy_s=0.2 * t,
+                                        gpu_busy_s=0.8 * t)
+
+            cold = warm
+
+        tenants = [TenantSpec(network="lenet",
+                              arrival=UniformArrivals(40, 1.0))]
+        sim = ServingSimulator(JETSON_AGX_XAVIER, tenants, ServingConfig(),
+                               service_model=Model())
+        return sim.run()
+
+    def test_format_serving(self):
+        text = fmt.format_serving(self._report())
+        assert "Serving" in text and "p99 ms" in text
+        assert "throughput=" in text and "lenet" in text
+
+    def test_format_serving_sweep(self):
+        report = self._report()
+        text = fmt.format_serving_sweep([(10.0, report), (20.0, report)])
+        assert "arrival-rate sweep" in text
+        assert "rate req/s" in text

@@ -1,23 +1,36 @@
 """Every shipped example must run clean end-to-end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+# The example subprocess must find `repro` even when the package is not
+# installed: prepend the repo's src/ to whatever PYTHONPATH exists.
+ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    ),
+}
 
 
 def test_example_inventory():
-    # The README documents exactly these seven scenarios.
+    # The README documents exactly these eight scenarios.
     assert EXAMPLES == [
         "custom_network.py",
         "deployment_planner.py",
         "device_comparison.py",
         "multi_model_camera.py",
         "quickstart.py",
+        "request_stream.py",
         "smart_camera.py",
         "tuning_exploration.py",
     ]
@@ -31,6 +44,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,  # any files the example writes land in tmp
+        env=ENV,
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "examples must narrate their results"
@@ -39,7 +53,17 @@ def test_example_runs(script, tmp_path):
 def test_quickstart_takes_network_argument(tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "lenet"],
-        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        capture_output=True, text=True, timeout=300, cwd=tmp_path, env=ENV,
     )
     assert result.returncode == 0, result.stderr
     assert "lenet" in result.stdout
+
+
+def test_request_stream_takes_network_argument(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "request_stream.py"), "lenet"],
+        capture_output=True, text=True, timeout=300, cwd=tmp_path, env=ENV,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "lenet" in result.stdout
+    assert "knee" in result.stdout

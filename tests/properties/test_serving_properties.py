@@ -1,0 +1,143 @@
+"""Property-based tests of the serving pipeline.
+
+Random policies and loads through a synthetic service-time model; every
+run must preserve the report invariants: request conservation
+(served + shed == offered), percentile ordering (p50 <= p95 <= p99 <=
+max), and bit-for-bit determinism under a fixed seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import (
+    BatchServiceTime,
+    ServingConfig,
+    ServingSimulator,
+    TenantSpec,
+)
+from repro.workloads.arrivals import PoissonArrivals, UniformArrivals
+
+
+class LinearServiceModel:
+    def __init__(self, base_s, incr_s):
+        self.base_s = base_s
+        self.incr_s = incr_s
+
+    def warm(self, network, batch):
+        t = self.base_s + self.incr_s * (batch - 1)
+        return BatchServiceTime(total_s=t, cpu_busy_s=0.3 * t,
+                                gpu_busy_s=0.8 * t)
+
+    def cold(self, network, batch):
+        warm = self.warm(network, batch)
+        return BatchServiceTime(total_s=2 * warm.total_s,
+                                cpu_busy_s=2 * warm.cpu_busy_s,
+                                gpu_busy_s=2 * warm.gpu_busy_s)
+
+
+policies = st.builds(
+    BatchPolicy,
+    max_batch_size=st.integers(min_value=1, max_value=16),
+    max_wait_s=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    max_queue_depth=st.integers(min_value=1, max_value=64),
+)
+rates = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+service = st.builds(
+    LinearServiceModel,
+    base_s=st.floats(min_value=1e-4, max_value=0.05, allow_nan=False),
+    incr_s=st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def run(policy, rate, model, seed, duration=1.0):
+    tenants = [TenantSpec(
+        network="lenet",
+        arrival=PoissonArrivals(rate, duration, seed=seed),
+    )]
+    sim = ServingSimulator(
+        JETSON_AGX_XAVIER, tenants,
+        ServingConfig(policy=policy, seed=seed),
+        service_model=model,
+    )
+    return sim.run()
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=policies, rate=rates, model=service, seed=seeds)
+def test_request_conservation(policy, rate, model, seed):
+    report = run(policy, rate, model, seed)
+    assert report.served + report.shed == report.offered
+    assert report.offered == len(
+        PoissonArrivals(rate, 1.0, seed=seed).initial_arrivals())
+    for tenant in report.tenants:
+        assert tenant.served + tenant.shed == tenant.offered
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=policies, rate=rates, model=service, seed=seeds)
+def test_percentiles_ordered(policy, rate, model, seed):
+    report = run(policy, rate, model, seed)
+    lat = report.latency
+    assert lat.p50_s <= lat.p95_s <= lat.p99_s <= lat.max_s
+    if report.served:
+        # No served request can be faster than its own batch's service
+        # time, which is at least the batch-1 service time.
+        assert lat.p50_s >= model.base_s - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=policies, rate=rates, model=service, seed=seeds)
+def test_histogram_accounts_for_every_served_request(policy, rate, model,
+                                                     seed):
+    report = run(policy, rate, model, seed)
+    served_from_hist = sum(size * count for size, count
+                           in report.batch_histogram.items())
+    assert served_from_hist == report.served
+    assert all(1 <= size <= policy.max_batch_size
+               for size in report.batch_histogram)
+
+
+@settings(max_examples=15, deadline=None)
+@given(policy=policies, rate=rates, model=service, seed=seeds)
+def test_deterministic_replay(policy, rate, model, seed):
+    assert run(policy, rate, model, seed).to_dict() == \
+        run(policy, rate, model, seed).to_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(policy=policies, model=service,
+       rate=st.floats(min_value=1.0, max_value=200.0, allow_nan=False))
+def test_queue_depth_bounded_by_policy(policy, rate, model):
+    report = run(policy, rate, model, seed=0)
+    assert report.queue_depth_max <= policy.max_queue_depth
+    assert 0.0 <= report.queue_depth_mean <= report.queue_depth_max \
+        or report.queue_depth_max == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(model=service, rate=rates, seed=seeds)
+def test_unbounded_queue_sheds_nothing(model, rate, seed):
+    policy = BatchPolicy(max_batch_size=8, max_queue_depth=10**6)
+    report = run(policy, rate, model, seed)
+    assert report.shed == 0
+    assert report.served == report.offered
+
+
+@settings(max_examples=20, deadline=None)
+@given(model=service,
+       rate=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+       batch=st.integers(min_value=1, max_value=8))
+def test_uniform_load_makespan_covers_horizon(model, rate, batch):
+    tenants = [TenantSpec(network="lenet",
+                          arrival=UniformArrivals(rate, 1.0))]
+    sim = ServingSimulator(
+        JETSON_AGX_XAVIER, tenants,
+        ServingConfig(policy=BatchPolicy(max_batch_size=batch)),
+        service_model=model,
+    )
+    report = sim.run()
+    assert report.makespan_s >= report.duration_s
+    assert report.throughput_rps >= 0.0

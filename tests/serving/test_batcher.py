@@ -1,0 +1,136 @@
+"""Dynamic-batcher policy edge cases and admission control."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.batcher import BatchPolicy, TenantQueue
+from repro.serving.request import Request, RequestStatus
+
+
+def req(i, t=0.0):
+    return Request(request_id=i, tenant="m", arrival_s=t)
+
+
+class TestBatchPolicy:
+    def test_defaults_valid(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_size >= 1
+        assert policy.max_wait_s >= 0
+        assert policy.max_queue_depth >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch_size": 0},
+        {"max_batch_size": -3},
+        {"max_wait_s": -0.001},
+        {"max_queue_depth": 0},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            BatchPolicy(**kwargs)
+
+
+class TestEmptyQueue:
+    def test_not_ready(self):
+        q = TenantQueue("m")
+        assert not q.ready(now=100.0)
+
+    def test_no_deadline(self):
+        q = TenantQueue("m")
+        assert q.wait_deadline_s() is None
+        assert q.oldest_arrival_s is None
+
+    def test_take_batch_raises(self):
+        q = TenantQueue("m")
+        with pytest.raises(ReproError):
+            q.take_batch(now=0.0)
+
+
+class TestMaxWaitExpiry:
+    def test_not_ready_before_deadline(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=4, max_wait_s=0.01))
+        q.offer(req(0, t=1.0))
+        assert not q.ready(now=1.0)
+        assert not q.ready(now=1.0099)
+
+    def test_ready_exactly_at_deadline(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=4, max_wait_s=0.01))
+        q.offer(req(0, t=1.0))
+        assert q.wait_deadline_s() == pytest.approx(1.01)
+        assert q.ready(now=1.01)
+
+    def test_deadline_follows_oldest(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=4, max_wait_s=0.01))
+        q.offer(req(0, t=1.0))
+        q.offer(req(1, t=1.005))
+        # The *oldest* request's budget governs.
+        assert q.wait_deadline_s() == pytest.approx(1.01)
+
+    def test_zero_wait_dispatches_immediately(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=4, max_wait_s=0.0))
+        q.offer(req(0, t=2.0))
+        assert q.ready(now=2.0)
+
+
+class TestBatchFormation:
+    def test_full_batch_ready_regardless_of_wait(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=2, max_wait_s=10.0))
+        q.offer(req(0))
+        assert not q.ready(now=0.0)
+        q.offer(req(1))
+        assert q.ready(now=0.0)
+
+    def test_batch_one_degenerate(self):
+        # max_batch_size=1 is per-request dispatch: ready the instant
+        # anything is queued, batches always size 1.
+        q = TenantQueue("m", BatchPolicy(max_batch_size=1, max_wait_s=5.0))
+        q.offer(req(0, t=3.0))
+        assert q.ready(now=3.0)
+        batch = q.take_batch(now=3.0)
+        assert [r.request_id for r in batch] == [0]
+        assert batch[0].batch_size == 1
+
+    def test_take_batch_caps_at_max_and_preserves_fifo(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=3))
+        for i in range(5):
+            q.offer(req(i, t=0.1 * i))
+        batch = q.take_batch(now=1.0)
+        assert [r.request_id for r in batch] == [0, 1, 2]
+        assert len(q) == 2
+        for r in batch:
+            assert r.status is RequestStatus.RUNNING
+            assert r.dispatch_s == 1.0
+            assert r.batch_size == 3
+
+    def test_partial_batch_size_stamped(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=8))
+        q.offer(req(0))
+        q.offer(req(1))
+        batch = q.take_batch(now=0.5)
+        assert [r.batch_size for r in batch] == [2, 2]
+
+
+class TestAdmissionControl:
+    def test_sheds_past_queue_depth(self):
+        q = TenantQueue("m", BatchPolicy(max_queue_depth=2))
+        assert q.offer(req(0))
+        assert q.offer(req(1))
+        rejected = req(2)
+        assert not q.offer(rejected)
+        assert rejected.status is RequestStatus.SHED
+        assert q.offered == 3
+        assert q.shed == 1
+        assert len(q) == 2
+
+    def test_depth_frees_after_dispatch(self):
+        q = TenantQueue("m", BatchPolicy(max_batch_size=2, max_queue_depth=2))
+        q.offer(req(0))
+        q.offer(req(1))
+        q.take_batch(now=0.0)
+        assert q.offer(req(2))
+        assert q.shed == 0
+
+    def test_counters_conserve(self):
+        q = TenantQueue("m", BatchPolicy(max_queue_depth=3))
+        admitted = sum(q.offer(req(i)) for i in range(10))
+        assert q.offered == 10
+        assert admitted + q.shed == q.offered

@@ -1,0 +1,129 @@
+"""ServingReport metrics: percentiles, conservation, histograms."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.report import (
+    LatencyStats,
+    ServingReport,
+    TenantServingStats,
+    merge_histograms,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            percentile([], 0.5)
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1])
+    def test_rank_out_of_range(self, q):
+        with pytest.raises(ReproError):
+            percentile([1.0], q)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.00) == 100
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_monotone_in_rank(self):
+        values = [0.3, 12.0, 1.5, 0.7, 4.4, 2.2]
+        qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0]
+        ps = [percentile(values, q) for q in qs]
+        assert ps == sorted(ps)
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats.from_latencies([])
+        assert stats.count == 0
+        assert stats.p99_s == 0.0
+
+    def test_ordering_invariant(self):
+        stats = LatencyStats.from_latencies([0.1, 0.5, 0.2, 0.9, 0.3])
+        assert stats.p50_s <= stats.p95_s <= stats.p99_s <= stats.max_s
+        assert stats.count == 5
+        assert stats.mean_s == pytest.approx(0.4)
+
+
+def _tenant(name="m", offered=10, served=8, shed=2, hist=None):
+    return TenantServingStats(
+        name=name, network="lenet", weight=1.0,
+        offered=offered, served=served, shed=shed,
+        latency=LatencyStats.from_latencies([0.01] * served),
+        batch_histogram=hist if hist is not None else {1: served},
+    )
+
+
+def _report(offered=10, served=8, shed=2, **kwargs):
+    defaults = dict(
+        device="jetson-agx-xavier",
+        duration_s=1.0,
+        makespan_s=1.2,
+        offered=offered,
+        served=served,
+        shed=shed,
+        latency=LatencyStats.from_latencies([0.01] * served),
+        batch_histogram={1: served},
+        queue_depth_mean=0.5,
+        queue_depth_max=3,
+        cpu_utilization=0.2,
+        gpu_utilization=0.6,
+        tenants=(_tenant(offered=offered, served=served, shed=shed),),
+    )
+    defaults.update(kwargs)
+    return ServingReport(**defaults)
+
+
+class TestServingReport:
+    def test_conservation_enforced(self):
+        with pytest.raises(ReproError):
+            _report(offered=10, served=5, shed=2)
+
+    def test_rates(self):
+        report = _report()
+        assert report.shed_rate == pytest.approx(0.2)
+        assert report.throughput_rps == pytest.approx(8 / 1.2)
+
+    def test_mean_batch_size(self):
+        report = _report(batch_histogram={1: 2, 4: 3})
+        assert report.mean_batch_size == pytest.approx((2 + 12) / 5)
+
+    def test_tenant_lookup(self):
+        report = _report()
+        assert report.tenant("m").network == "lenet"
+        with pytest.raises(ReproError):
+            report.tenant("nope")
+
+    def test_to_dict_keys(self):
+        d = _report().to_dict()
+        for key in ("p50_ms", "p95_ms", "p99_ms", "throughput_rps",
+                    "shed_rate", "batch_histogram", "queue_depth_mean"):
+            assert key in d
+
+    def test_describe_mentions_everything(self):
+        text = _report().describe()
+        for token in ("p50", "p99", "shed", "throughput", "histogram",
+                      "gpu util"):
+            assert token in text
+
+    def test_tenant_shed_rate_empty(self):
+        t = _tenant(offered=0, served=0, shed=0, hist={})
+        assert t.shed_rate == 0.0
+        assert t.mean_batch_size == 0.0
+
+
+def test_merge_histograms():
+    merged = merge_histograms([{1: 2, 4: 1}, {4: 3, 8: 5}, {}])
+    assert merged == {1: 2, 4: 4, 8: 5}

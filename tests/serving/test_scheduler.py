@@ -1,0 +1,85 @@
+"""Weighted fair-share scheduler invariants."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.scheduler import WeightedFairScheduler
+
+
+class TestValidation:
+    def test_needs_tenants(self):
+        with pytest.raises(ReproError):
+            WeightedFairScheduler({})
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0])
+    def test_rejects_nonpositive_weight(self, weight):
+        with pytest.raises(ReproError):
+            WeightedFairScheduler({"a": weight})
+
+    def test_unknown_tenant_rejected(self):
+        sched = WeightedFairScheduler({"a": 1.0})
+        with pytest.raises(ReproError):
+            sched.charge("b", 1.0)
+        with pytest.raises(ReproError):
+            sched.pick(["b"])
+
+    def test_negative_charge_rejected(self):
+        sched = WeightedFairScheduler({"a": 1.0})
+        with pytest.raises(ReproError):
+            sched.charge("a", -0.1)
+
+
+class TestPick:
+    def test_none_when_nothing_ready(self):
+        sched = WeightedFairScheduler({"a": 1.0, "b": 1.0})
+        assert sched.pick([]) is None
+
+    def test_only_ready_considered(self):
+        sched = WeightedFairScheduler({"a": 1.0, "b": 1.0})
+        sched.charge("b", 5.0)
+        # a is owed more service but only b is ready.
+        assert sched.pick(["b"]) == "b"
+
+    def test_tie_breaks_by_registration_order(self):
+        sched = WeightedFairScheduler({"x": 1.0, "y": 1.0})
+        assert sched.pick(["y", "x"]) == "x"
+
+    def test_least_attained_wins(self):
+        sched = WeightedFairScheduler({"a": 1.0, "b": 1.0})
+        sched.charge("a", 2.0)
+        assert sched.pick(["a", "b"]) == "b"
+        sched.charge("b", 3.0)
+        assert sched.pick(["a", "b"]) == "a"
+
+    def test_weights_scale_entitlement(self):
+        # Equal attained service: the heavier tenant is less "caught up"
+        # relative to its share, so it goes next.
+        sched = WeightedFairScheduler({"heavy": 2.0, "light": 1.0})
+        sched.charge("heavy", 1.0)
+        sched.charge("light", 1.0)
+        assert sched.pick(["heavy", "light"]) == "heavy"
+        # heavy only yields once it has consumed ~2x light's service.
+        sched.charge("heavy", 1.1)
+        assert sched.pick(["heavy", "light"]) == "light"
+
+
+class TestLongRunShares:
+    def test_backlogged_tenants_converge_to_weights(self):
+        # Emulate a saturated device: both tenants always ready, unit
+        # batches.  Grant counts must approach the 3:1 weight ratio.
+        sched = WeightedFairScheduler({"a": 3.0, "b": 1.0})
+        grants = {"a": 0, "b": 0}
+        for _ in range(400):
+            winner = sched.pick(["a", "b"])
+            grants[winner] += 1
+            sched.charge(winner, 1.0)
+        assert grants["a"] == pytest.approx(300, abs=2)
+        assert grants["b"] == pytest.approx(100, abs=2)
+
+    def test_work_conserving_when_one_idle(self):
+        sched = WeightedFairScheduler({"a": 1.0, "b": 10.0})
+        # b idle: a gets every grant regardless of weights.
+        for _ in range(5):
+            assert sched.pick(["a"]) == "a"
+            sched.charge("a", 1.0)
+        assert sched.attained_s("a") == 5.0

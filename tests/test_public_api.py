@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.core.multitenant",
     "repro.core.partition",
     "repro.core.plan",
+    "repro.core.plan_cache",
     "repro.core.profiler",
     "repro.core.report",
     "repro.core.scheduler",
@@ -51,12 +52,19 @@ PUBLIC_MODULES = [
     "repro.nn.spec",
     "repro.nn.tensor",
     "repro.nn.weights",
+    "repro.serving",
+    "repro.serving.batcher",
+    "repro.serving.report",
+    "repro.serving.request",
+    "repro.serving.scheduler",
+    "repro.serving.simulator",
     "repro.sim",
     "repro.sim.stats",
     "repro.sim.timeline",
     "repro.sim.trace",
     "repro.units",
     "repro.workloads",
+    "repro.workloads.arrivals",
 ]
 
 

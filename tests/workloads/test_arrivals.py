@@ -1,0 +1,93 @@
+"""Arrival-process determinism and shape."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.arrivals import (
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
+
+
+class TestPoisson:
+    def test_deterministic_given_seed(self):
+        a = PoissonArrivals(100, 2.0, seed=5).initial_arrivals()
+        b = PoissonArrivals(100, 2.0, seed=5).initial_arrivals()
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = PoissonArrivals(100, 2.0, seed=1).initial_arrivals()
+        b = PoissonArrivals(100, 2.0, seed=2).initial_arrivals()
+        assert a != b
+
+    def test_all_within_horizon_and_sorted(self):
+        times = PoissonArrivals(50, 3.0, seed=0).initial_arrivals()
+        assert all(0.0 <= t < 3.0 for t in times)
+        assert times == sorted(times)
+
+    def test_count_near_rate_times_duration(self):
+        times = PoissonArrivals(200, 10.0, seed=0).initial_arrivals()
+        # 2000 expected, sd ~45; 5 sigma leaves this test deterministic
+        # across numpy versions yet meaningful.
+        assert 1775 <= len(times) <= 2225
+
+    def test_open_loop_has_no_feedback(self):
+        assert PoissonArrivals(10, 1.0).next_after(0.5) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate_rps": 0, "duration_s": 1.0},
+        {"rate_rps": -5, "duration_s": 1.0},
+        {"rate_rps": 10, "duration_s": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            PoissonArrivals(**kwargs)
+
+
+class TestUniform:
+    def test_exact_spacing(self):
+        times = UniformArrivals(4, 1.0).initial_arrivals()
+        assert times == pytest.approx([0.0, 0.25, 0.5, 0.75])
+
+    def test_exact_count(self):
+        assert len(UniformArrivals(100, 2.0).initial_arrivals()) == 200
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            UniformArrivals(0, 1.0)
+        with pytest.raises(ReproError):
+            UniformArrivals(10, -1.0)
+
+
+class TestClosedLoop:
+    def test_staggered_starts(self):
+        arrivals = ClosedLoopArrivals(clients=4, think_s=0.4, duration_s=10)
+        assert arrivals.initial_arrivals() == pytest.approx(
+            [0.0, 0.1, 0.2, 0.3])
+
+    def test_one_initial_arrival_per_client(self):
+        arrivals = ClosedLoopArrivals(clients=7, think_s=0.01, duration_s=5)
+        assert len(arrivals.initial_arrivals()) == 7
+
+    def test_next_after_adds_think_time(self):
+        arrivals = ClosedLoopArrivals(clients=1, think_s=0.25, duration_s=10)
+        assert arrivals.next_after(1.0) == pytest.approx(1.25)
+
+    def test_next_after_respects_horizon(self):
+        arrivals = ClosedLoopArrivals(clients=1, think_s=0.25, duration_s=10)
+        assert arrivals.next_after(9.9) is None
+
+    def test_zero_think_time_allowed(self):
+        arrivals = ClosedLoopArrivals(clients=2, think_s=0.0, duration_s=1)
+        assert arrivals.initial_arrivals() == [0.0, 0.0]
+        assert arrivals.next_after(0.5) == 0.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"clients": 0, "think_s": 0.1, "duration_s": 1.0},
+        {"clients": 2, "think_s": -0.1, "duration_s": 1.0},
+        {"clients": 2, "think_s": 0.1, "duration_s": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            ClosedLoopArrivals(**kwargs)

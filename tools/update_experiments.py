@@ -25,6 +25,7 @@ ORDER = (
     "ablation_contention",
     "ext_power_modes", "ext_service_warmup", "ext_sensitivity",
     "ext_multitenant", "ext_mobilenet", "ext_precision", "ext_batching",
+    "serving_knee", "serving_batching", "serving_multitenant",
 )
 
 
