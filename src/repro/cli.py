@@ -154,6 +154,46 @@ def cmd_advise(args) -> int:
     return 0 if rec.feasible else 1
 
 
+def cmd_trace(args) -> int:
+    from .obs import Observability
+    from .obs.export import chrome_trace
+
+    obs = Observability.on()
+    engine = EdgeNN(
+        args.network, _device_from(args), _config_from(args), obs=obs
+    )
+    engine.tune(force=True)   # bypass the shared cache: trace the tuning
+    report = engine.run()
+    print(f"network   : {args.network} on {engine.device.name} "
+          f"({report.total_s * 1e3:.3f} ms)")
+    print()
+    print(obs.tracer.render(max_depth=args.depth))
+    print()
+    print(obs.provenance.summary())
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(chrome_trace(kernel_trace=report.trace))
+        print(f"\ntrace     : {args.out} (load in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from .obs import Observability
+    from .obs.export import metrics_json, prometheus_text
+
+    obs = Observability.on()
+    engine = EdgeNN(
+        args.network, _device_from(args), _config_from(args), obs=obs
+    )
+    engine.tune(force=True)
+    engine.run()
+    if args.format == "json":
+        print(metrics_json(obs.metrics, indent=2))
+    else:
+        print(prometheus_text(obs.metrics), end="")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .serving.batcher import BatchPolicy
     from .serving.simulator import (
@@ -210,13 +250,32 @@ def cmd_serve(args) -> int:
         tenants.append(poisson_tenant(
             args.network, args.arrival_rate, args.duration, seed=args.seed,
         ))
-    simulator = ServingSimulator(_device_from(args), tenants, config)
+    from .obs import Observability
+    from .obs.export import write_obs_artifacts
+
+    obs = Observability.on() if args.obs_out else Observability.off()
+    if args.obs_out:
+        # A warm plan cache would skip tuning entirely and leave the
+        # provenance log empty; an observed run re-tunes so every
+        # placement/partition decision is on record.
+        from .core.plan_cache import clear_plan_cache
+
+        clear_plan_cache()
+    simulator = ServingSimulator(
+        _device_from(args), tenants, config, obs=obs
+    )
     report = simulator.run()
     print(report.describe())
     if args.trace:
         with open(args.trace, "w") as f:
             f.write(simulator.trace.to_chrome_trace())
         print(f"trace     : {args.trace}")
+    if args.obs_out:
+        names = write_obs_artifacts(
+            args.obs_out, obs,
+            kernel_trace=simulator.trace, requests=simulator.requests,
+        )
+        print(f"obs       : {args.obs_out}/ ({', '.join(names)})")
     return 0
 
 
@@ -357,7 +416,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arrival-stream seed (runs replay exactly)")
     serve.add_argument("--trace", default=None,
                        help="write a Chrome trace of the batch schedule")
+    serve.add_argument("--obs-out", default=None, metavar="DIR",
+                       help="enable full observability and write trace/"
+                            "metrics/provenance artifacts to DIR")
     serve.set_defaults(func=cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="tune + run one network fully instrumented: span "
+                      "tree, decision provenance, Perfetto trace"
+    )
+    trace.add_argument("network", choices=list(MODEL_BUILDERS))
+    trace.add_argument("--device", default=None,
+                       help="integrated device name (default jetson)")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write the kernel timeline as Chrome-trace JSON")
+    trace.add_argument("--depth", type=int, default=None,
+                       help="limit the printed span tree depth")
+    add_engine_flags(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run one network and dump the metrics registry"
+    )
+    metrics.add_argument("network", choices=list(MODEL_BUILDERS))
+    metrics.add_argument("--device", default=None,
+                         help="integrated device name (default jetson)")
+    metrics.add_argument("--format", default="prom",
+                         choices=("prom", "json"),
+                         help="Prometheus text (default) or JSON")
+    add_engine_flags(metrics)
+    metrics.set_defaults(func=cmd_metrics)
 
     exp = sub.add_parser("experiments",
                          help="regenerate the paper's tables/figures")

@@ -31,6 +31,7 @@ from ..hardware.specs import JETSON_AGX_XAVIER, DeviceSpec
 from ..nn.graph import NetworkGraph
 from ..nn.models import build as build_model
 from ..nn.precision import Precision
+from ..obs import NOOP_OBS, Observability
 from .executor import HybridExecutor
 from .memory_manager import MemoryPolicy
 from .plan import ExecutionPlan
@@ -93,8 +94,10 @@ class EdgeNN:
         config: Optional[EdgeNNConfig] = None,
         *,
         plan_cache: Optional[PlanCache] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.graph = build_model(network) if isinstance(network, str) else network
+        self.obs = obs if obs is not None else NOOP_OBS
         if device is None:
             device = JETSON_AGX_XAVIER
         self.device = device if isinstance(device, Device) else Device(device)
@@ -129,18 +132,35 @@ class EdgeNN:
         both caches and re-tunes from scratch.
         """
         if self._tuning is None or force:
+            obs = self.obs
+
             def _tune_now() -> TuningResult:
                 tuner = AdaptiveTuner(
-                    self.graph, self.device, self.config.tuner_config()
+                    self.graph, self.device, self.config.tuner_config(),
+                    obs=obs,
                 )
                 return tuner.tune()
 
             if self._cache_key is not None and not force:
-                self._tuning = self._plan_cache.get_or_tune(
-                    self._cache_key, _tune_now
-                )
+                hits_before = self._plan_cache.hits
+                with obs.tracer.span(
+                    "plan:lookup", category="plan",
+                    network=self.graph.name, device=self.device.name,
+                    batch=self.config.batch_size,
+                ) as span:
+                    self._tuning = self._plan_cache.get_or_tune(
+                        self._cache_key, _tune_now
+                    )
+                    hit = self._plan_cache.hits > hits_before
+                    span.set_attribute("cache", "hit" if hit else "miss")
+                obs.metrics.counter(
+                    "repro_plan_cache_requests_total",
+                    "Plan-cache lookups by result", labels=("result",),
+                ).labels(result="hit" if hit else "miss").inc()
             else:
-                self._tuning = _tune_now()
+                with obs.tracer.span("plan:tune", category="plan",
+                                     network=self.graph.name):
+                    self._tuning = _tune_now()
         return self._tuning
 
     @property
@@ -154,8 +174,21 @@ class EdgeNN:
             self.graph, self.device, self.plan,
             precision=self.config.precision,
             batch_size=self.config.batch_size,
+            obs=self.obs,
         )
-        return executor.run()
+        if not self.obs.enabled:
+            return executor.run()
+        with self.obs.tracer.span(
+            f"execute:{self.graph.name}", category="execute",
+            device=self.device.name, batch=self.config.batch_size,
+        ) as span:
+            report = executor.run()
+            span.set_times(0.0, report.total_s)
+            span.set_attributes(
+                latency_ms=report.total_s * 1e3,
+                copy_share=round(report.copy_share, 4),
+            )
+        return report
 
     # -- numerics ---------------------------------------------------------------
 

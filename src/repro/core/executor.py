@@ -32,6 +32,7 @@ from ..hardware.specs import ProcessorKind
 from ..nn import tensor
 from ..nn.graph import INPUT, NetworkGraph
 from ..nn.precision import Precision, scale_work
+from ..obs import NOOP_OBS, Observability
 from ..sim.timeline import COPY, CPU, GPU, ScheduledEvent, Timeline
 from .plan import Assignment, ExecutionPlan
 from .report import InferenceReport, LayerResult
@@ -76,10 +77,12 @@ class HybridExecutor:
         precision: Precision = Precision.FP32,
         batch_size: int = 1,
         namespace: str = "",
+        obs: Optional[Observability] = None,
     ) -> None:
         self._graph = graph
         self._device = device
         self._plan = plan
+        self._obs = obs if obs is not None else NOOP_OBS
         self._serialize = serialize
         self._host_staging = host_staging
         # cudaMemPrefetchAsync (paper §IV-B implementation details): the
@@ -156,7 +159,20 @@ class HybridExecutor:
         if not self._pending:
             return False
         name = self._pending.pop(0)
-        result = self._exec_layer(name)
+        if self._obs.enabled:
+            with self._obs.tracer.span(
+                f"layer:{name}", category="layer",
+            ) as span:
+                result = self._exec_layer(name)
+                span.set_times(result.start_s, result.end_s)
+                span.set_attributes(
+                    assignment=result.assignment.value,
+                    cpu_fraction=round(result.cpu_fraction, 4),
+                    kernel_class=result.kernel_class,
+                    copy_ms=round(result.copy_s * 1e3, 6),
+                )
+        else:
+            result = self._exec_layer(name)
         self._completion_s = max(self._completion_s, result.end_s)
         self._results.append(result)
         return True
@@ -185,6 +201,24 @@ class HybridExecutor:
             self._device.spec, total_s, min(cpu_busy_for_power, total_s),
             min(gpu_busy, total_s) if self._device.has_gpu else 0.0,
         )
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            layers_total = metrics.counter(
+                "repro_layers_executed_total",
+                "Layers scheduled by assignment kind", labels=("assignment",),
+            )
+            for lr in self._results:
+                layers_total.labels(assignment=lr.assignment.value).inc()
+            metrics.counter(
+                "repro_copy_seconds_total",
+                "Explicit copy-engine seconds scheduled",
+            ).inc(self._copy_s_total)
+            busy = metrics.counter(
+                "repro_resource_busy_seconds_total",
+                "Simulated busy seconds per resource", labels=("resource",),
+            )
+            busy.labels(resource=CPU).inc(cpu_busy)
+            busy.labels(resource=GPU).inc(gpu_busy)
         return InferenceReport(
             network=self._graph.name,
             device=self._device.name,
@@ -350,6 +384,11 @@ class HybridExecutor:
         self._copy_s_total += duration
         self._completion_s = max(self._completion_s, ev.end_s)
         self._last_event = ev
+        if self._obs.enabled:
+            self._obs.tracer.record(
+                ev.label, ev.start_s, ev.end_s, category="memcpy",
+                bytes=transfer.nbytes, direction=transfer.direction.value,
+            )
         return ev
 
     def _exec_single(

@@ -29,6 +29,8 @@ from ..errors import TuningError
 from ..hardware.device import Device
 from ..hardware.specs import ProcessorKind
 from ..nn.graph import BranchSegment, ChainSegment, NetworkGraph
+from ..obs import NOOP_OBS, Observability
+from ..obs.provenance import PartitionCandidate, PartitionRecord
 from . import partition
 from .executor import HybridExecutor
 from .memory_manager import MemoryPolicy, plan_allocations
@@ -108,6 +110,8 @@ class AdaptiveTuner:
         graph: NetworkGraph,
         device: Device,
         config: Optional[TunerConfig] = None,
+        *,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not device.has_gpu:
             raise TuningError(
@@ -116,6 +120,8 @@ class AdaptiveTuner:
         self._graph = graph
         self._device = device
         self._config = config or TunerConfig()
+        self._obs = obs if obs is not None else NOOP_OBS
+        self._stage = "seed"     # provenance label for the current phase
         self.profiles = ProfileStore()
         self._branch_layers = {
             name
@@ -134,7 +140,8 @@ class AdaptiveTuner:
         for name in self._graph.topo_order():
             plan.set_layer(make(name))
         plan_allocations(self._graph, plan, self._device.spec,
-                         self._config.memory_policy)
+                         self._config.memory_policy,
+                         obs=self._obs, stage=f"profile:{proc.name.lower()}")
         report = self._executor_for(plan).run()
         for lr in report.layers:
             if proc is ProcessorKind.CPU:
@@ -152,7 +159,49 @@ class AdaptiveTuner:
             host_staging=self._config.memory_policy is MemoryPolicy.ALL_REGULAR,
             precision=self._config.precision,
             batch_size=self._config.batch_size,
+            obs=self._obs,
         )
+
+    def _record_partition(
+        self,
+        name: str,
+        chosen: LayerPlan,
+        candidates: List[Tuple[float, float]],
+        *,
+        t_cpu: float,
+        t_gpu: float,
+        out_bytes: float,
+        copy_rate: float,
+        measured_s: Optional[float] = None,
+        reason: str = "",
+    ) -> None:
+        """Provenance: one Eq. 1-4 comparison and the placement it chose."""
+        if not self._obs.provenance.enabled:
+            return
+
+        def label(p: float) -> str:
+            if p <= 0.0:
+                return "gpu"
+            if p >= 1.0:
+                return "cpu"
+            return "split"
+
+        self._obs.provenance.record_partition(PartitionRecord(
+            network=self._graph.name,
+            layer=name,
+            stage=self._stage,
+            chosen=chosen.assignment.value,
+            cpu_fraction=chosen.cpu_fraction,
+            t_cpu_s=t_cpu,
+            t_gpu_s=t_gpu,
+            out_bytes=out_bytes,
+            copy_rate=copy_rate,
+            candidates=tuple(
+                PartitionCandidate(label(p), p, t) for p, t in candidates
+            ),
+            measured_s=measured_s,
+            reason=reason,
+        ))
 
     # -- plan construction -----------------------------------------------------------
 
@@ -169,14 +218,21 @@ class AdaptiveTuner:
             return gpu_layer(name)
         t_cpu = self.profiles.cpu_time(name)
         t_gpu = self.profiles.gpu_time(name)
+        out_bytes = float(self._graph.out_bytes(name))
+        s = self._device.copy_rate()
         if t_gpu < cfg.min_split_layer_s:
             # Too small: launch/merge overheads exceed any possible gain,
             # except when the CPU alone wins outright (cheap launch).
             if t_cpu < t_gpu * (1.0 - cfg.improvement_threshold):
-                return cpu_layer(name)
-            return gpu_layer(name)
-        out_bytes = float(self._graph.out_bytes(name))
-        s = self._device.copy_rate()
+                chosen = cpu_layer(name)
+            else:
+                chosen = gpu_layer(name)
+            self._record_partition(
+                name, chosen, [(0.0, t_gpu), (1.0, t_cpu)],
+                t_cpu=t_cpu, t_gpu=t_gpu, out_bytes=out_bytes, copy_rate=s,
+                reason="below min_split_layer_s; overheads would dominate",
+            )
+            return chosen
         merge_free = False  # split outputs are always REGULAR + merged
         handoff_free = cfg.memory_policy is not MemoryPolicy.ALL_REGULAR
         p_op = partition.optimal_cpu_fraction(
@@ -191,8 +247,17 @@ class AdaptiveTuner:
         candidates.append((1.0, cpu_total))
         best_p, best_t = min(candidates, key=lambda c: c[1])
         if best_t >= t_gpu * (1.0 - cfg.improvement_threshold):
-            return gpu_layer(name)
-        return split_layer(name, best_p)
+            chosen = gpu_layer(name)
+            reason = "best candidate does not clear the improvement threshold"
+        else:
+            chosen = split_layer(name, best_p)
+            reason = "Eq. 4 optimum beats solo execution"
+        self._record_partition(
+            name, chosen, candidates,
+            t_cpu=t_cpu, t_gpu=t_gpu, out_bytes=out_bytes, copy_rate=s,
+            reason=reason,
+        )
+        return chosen
 
     def build_initial_plan(self) -> ExecutionPlan:
         """The analytic seed plan from the current profiles."""
@@ -210,7 +275,8 @@ class AdaptiveTuner:
                     plan.set_layer(self._chain_layer_plan(name))
             else:
                 self._plan_branch_segment(plan, segment, branch_assignments)
-        plan_allocations(self._graph, plan, self._device.spec, cfg.memory_policy)
+        plan_allocations(self._graph, plan, self._device.spec, cfg.memory_policy,
+                         obs=self._obs, stage=self._stage)
         return plan
 
     def _plan_branch_segment(
@@ -262,7 +328,7 @@ class AdaptiveTuner:
                 )
             new_plan.set_layer(updated)
         plan_allocations(self._graph, new_plan, self._device.spec,
-                         cfg.memory_policy)
+                         cfg.memory_policy, obs=self._obs, stage=self._stage)
         return new_plan, max_delta
 
     def _rebalance_split(self, name: str, old: LayerPlan, lr) -> LayerPlan:
@@ -270,27 +336,55 @@ class AdaptiveTuner:
         t_gpu_solo = self.profiles.gpu_time(name)
         t_cpu_solo = self.profiles.cpu_time(name)
         measured_now = lr.attributed_s
+        out_bytes = float(self._graph.out_bytes(name))
+        s = self._device.copy_rate()
         best_solo = min(t_gpu_solo, t_cpu_solo)
         if measured_now >= best_solo * (1.0 - cfg.improvement_threshold):
             # The split does not beat running the layer whole on the better
             # processor — measurements outrank any extrapolation here (the
             # co-run slowdowns and fixed overheads the equations ignore).
-            return self._better_solo(name, t_cpu_solo, t_gpu_solo)
+            chosen = self._better_solo(name, t_cpu_solo, t_gpu_solo)
+            self._record_partition(
+                name, chosen,
+                [(0.0, t_gpu_solo), (old.cpu_fraction, measured_now),
+                 (1.0, t_cpu_solo)],
+                t_cpu=t_cpu_solo, t_gpu=t_gpu_solo,
+                out_bytes=out_bytes, copy_rate=s, measured_s=measured_now,
+                reason="measured split lost to solo execution; demoted",
+            )
+            return chosen
         p = old.cpu_fraction
         # Measured per-unit rates under real co-run conditions.
         unit_cpu = lr.kernel_cpu_s / p
         unit_gpu = lr.kernel_gpu_s / (1.0 - p)
-        out_bytes = float(self._graph.out_bytes(name))
-        s = self._device.copy_rate()
         p_new = partition.optimal_cpu_fraction(unit_cpu, unit_gpu, out_bytes, s)
         # Extreme rebalances mean one side is a sliver whose per-unit rate
         # extrapolates badly (GPU occupancy is non-linear); run whole instead.
         if p_new <= 0.05 or p_new >= 0.95:
-            return self._better_solo(name, t_cpu_solo, t_gpu_solo)
+            chosen = self._better_solo(name, t_cpu_solo, t_gpu_solo)
+            self._record_partition(
+                name, chosen,
+                [(0.0, t_gpu_solo), (p_new, measured_now), (1.0, t_cpu_solo)],
+                t_cpu=t_cpu_solo, t_gpu=t_gpu_solo,
+                out_bytes=out_bytes, copy_rate=s, measured_s=measured_now,
+                reason="rebalance drove one side to a sliver; run whole",
+            )
+            return chosen
         self.profiles.record_split(
             name, p, lr.attributed_s, lr.kernel_cpu_s, lr.kernel_gpu_s
         )
-        return split_layer(name, p_new)
+        chosen = split_layer(name, p_new)
+        self._record_partition(
+            name, chosen,
+            [(0.0, t_gpu_solo), (p, measured_now),
+             (p_new, partition.total_time(unit_cpu, unit_gpu, p_new,
+                                          out_bytes, s)),
+             (1.0, t_cpu_solo)],
+            t_cpu=t_cpu_solo, t_gpu=t_gpu_solo,
+            out_bytes=out_bytes, copy_rate=s, measured_s=measured_now,
+            reason="rebalanced from measured per-unit co-run rates",
+        )
+        return chosen
 
     def _better_solo(self, name: str, t_cpu: float, t_gpu: float) -> LayerPlan:
         """Whole-layer placement on whichever processor is faster (CPU must
@@ -316,26 +410,54 @@ class AdaptiveTuner:
         partitioning strategy" (§IV-D).
         """
         cfg = self._config
-        gpu_report = self._profile_pass(ProcessorKind.GPU)
-        self._profile_pass(ProcessorKind.CPU)
-        plan = self.build_initial_plan()
-        result = TuningResult(plan=plan, rounds=[gpu_report])
-        best_plan, best_score = plan, float("inf")
-        for round_idx in range(1, cfg.max_feedback_rounds + 1):
-            report = self._executor_for(plan).run()
-            result.rounds.append(report)
-            score = cfg.objective.score(report)
-            if score < best_score:
-                best_plan, best_score = plan, score
-            new_plan, max_delta = self._apply_feedback(plan, report)
-            plan = new_plan
-            result.converged_after = round_idx
-            if max_delta < cfg.convergence_tol:
-                break
-        # One measurement of the final adapted plan so it can compete.
-        final_report = self._executor_for(plan).run()
-        result.rounds.append(final_report)
-        if cfg.objective.score(final_report) < best_score:
-            best_plan = plan
-        result.plan = best_plan
+        obs = self._obs
+        tracer = obs.tracer
+        rounds_total = obs.metrics.counter(
+            "repro_tuner_feedback_rounds_total",
+            "Adaptive-feedback rounds executed", labels=("network",),
+        )
+        with tracer.span("tune", category="tuner",
+                         network=self._graph.name,
+                         objective=cfg.objective.value):
+            with tracer.span("tune:profile", category="tuner",
+                             processor="gpu"):
+                gpu_report = self._profile_pass(ProcessorKind.GPU)
+            with tracer.span("tune:profile", category="tuner",
+                             processor="cpu"):
+                self._profile_pass(ProcessorKind.CPU)
+            self._stage = "seed"
+            with tracer.span("tune:seed", category="tuner"):
+                plan = self.build_initial_plan()
+            result = TuningResult(plan=plan, rounds=[gpu_report])
+            best_plan, best_score = plan, float("inf")
+            for round_idx in range(1, cfg.max_feedback_rounds + 1):
+                self._stage = f"round{round_idx}"
+                with tracer.span(f"tune:round{round_idx}",
+                                 category="tuner") as round_span:
+                    report = self._executor_for(plan).run()
+                    result.rounds.append(report)
+                    score = cfg.objective.score(report)
+                    if score < best_score:
+                        best_plan, best_score = plan, score
+                    new_plan, max_delta = self._apply_feedback(plan, report)
+                    round_span.set_attributes(
+                        score=score, max_delta=max_delta,
+                        latency_ms=report.total_s * 1e3,
+                    )
+                rounds_total.labels(network=self._graph.name).inc()
+                plan = new_plan
+                result.converged_after = round_idx
+                if max_delta < cfg.convergence_tol:
+                    break
+            # One measurement of the final adapted plan so it can compete.
+            with tracer.span("tune:final", category="tuner"):
+                final_report = self._executor_for(plan).run()
+            result.rounds.append(final_report)
+            if cfg.objective.score(final_report) < best_score:
+                best_plan = plan
+            result.plan = best_plan
+        obs.metrics.gauge(
+            "repro_tuner_converged_after_rounds",
+            "Feedback rounds until the tuner converged", labels=("network",),
+        ).labels(network=self._graph.name).set(result.converged_after)
         return result

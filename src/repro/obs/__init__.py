@@ -1,0 +1,94 @@
+"""repro.obs — unified tracing, metrics, and decision provenance.
+
+One :class:`Observability` object bundles the three instruments the rest
+of the library threads through its hot paths:
+
+* :class:`~repro.obs.spans.SpanTracer` — hierarchical spans on the
+  virtual clock (request → batch → plan lookup/tune → layer → memcpy);
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters,
+  gauges, and histograms with Prometheus-text and JSON exporters;
+* :class:`~repro.obs.provenance.ProvenanceLog` — every memory-placement
+  and partition decision with the candidate costs that were compared.
+
+The default everywhere is :data:`NOOP_OBS`, whose three members are
+shared no-op singletons — instrumented code paths cost one attribute
+check when observability is off, so benchmark numbers are unaffected.
+
+Typical use::
+
+    from repro.obs import Observability
+
+    obs = Observability.on()
+    engine = EdgeNN("alexnet", obs=obs)
+    engine.run()
+    print(obs.tracer.render())
+    print(obs.provenance.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .provenance import (
+    MemoryPlacementRecord,
+    NullProvenance,
+    NULL_PROVENANCE,
+    PartitionCandidate,
+    PartitionRecord,
+    PlacementCandidate,
+    ProvenanceLog,
+)
+from .spans import NoopTracer, NOOP_TRACER, Span, SpanTracer
+
+__all__ = [
+    "Observability", "NOOP_OBS",
+    "Span", "SpanTracer", "NoopTracer", "NOOP_TRACER",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NullRegistry", "NULL_REGISTRY",
+    "ProvenanceLog", "NullProvenance", "NULL_PROVENANCE",
+    "MemoryPlacementRecord", "PlacementCandidate",
+    "PartitionRecord", "PartitionCandidate",
+]
+
+
+@dataclass
+class Observability:
+    """The bundle of instruments one observed run shares."""
+
+    tracer: Union[SpanTracer, NoopTracer] = field(default_factory=SpanTracer)
+    metrics: Union[MetricsRegistry, NullRegistry] = field(
+        default_factory=MetricsRegistry
+    )
+    provenance: Union[ProvenanceLog, NullProvenance] = field(
+        default_factory=ProvenanceLog
+    )
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least the tracer records (hot paths gate on this)."""
+        return self.tracer.enabled
+
+    @classmethod
+    def on(cls) -> "Observability":
+        """A fresh, fully enabled bundle."""
+        return cls()
+
+    @classmethod
+    def off(cls) -> "Observability":
+        """The shared disabled bundle (identical to the default)."""
+        return NOOP_OBS
+
+
+#: Process-wide disabled bundle: the default obs everywhere.
+NOOP_OBS = Observability(
+    tracer=NOOP_TRACER, metrics=NULL_REGISTRY, provenance=NULL_PROVENANCE,
+)

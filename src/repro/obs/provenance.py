@@ -1,0 +1,198 @@
+"""Decision provenance: *why* the tuner and memory manager chose what they chose.
+
+EdgeNN's two headline mechanisms are decision procedures:
+
+* the semantic-aware memory manager picks zero-copy (MANAGED) or regular
+  allocation per buffer from its data-processing semantics (§IV-B);
+* the adaptive tuner picks GPU / CPU / SPLIT per layer by comparing the
+  candidate completion times of the paper's Eq. 1-4 (§IV-D), then
+  corrects the choice from measured feedback.
+
+A run with observability enabled records every one of those choices here
+together with the *candidates it compared* — the estimated cost of the
+road not taken — so a report's final numbers can be traced back to the
+individual placement decisions that produced them.
+
+The log is append-only and queryable after the run::
+
+    log.placements(buffer="conv1.weights")
+    log.partitions(layer="fc6", stage="seed")
+    print(log.summary())
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PlacementCandidate:
+    """One allocation mechanism considered for a buffer."""
+
+    kind: str            # "managed" | "regular"
+    est_cost_s: float    # estimated steady cost of this mechanism
+    note: str = ""       # what the estimate models
+
+
+@dataclass(frozen=True)
+class MemoryPlacementRecord:
+    """One semantic memory-placement decision (paper §IV-B)."""
+
+    network: str
+    buffer: str
+    role: str                     # BufferRole value
+    policy: str                   # MemoryPolicy value
+    chosen: str                   # AllocKind value
+    nbytes: float
+    stage: str                    # "profile:cpu" | "seed" | "round3" | ...
+    candidates: Tuple[PlacementCandidate, ...] = ()
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PartitionCandidate:
+    """One placement considered for a layer, with its predicted time."""
+
+    label: str           # "gpu" | "cpu" | "split"
+    cpu_fraction: float
+    predicted_s: float
+
+
+@dataclass(frozen=True)
+class PartitionRecord:
+    """One intra-kernel partitioning decision (paper Eq. 1-4, §IV-D)."""
+
+    network: str
+    layer: str
+    stage: str                    # "seed" | "round<N>"
+    chosen: str                   # "gpu" | "cpu" | "split"
+    cpu_fraction: float
+    t_cpu_s: float                # profiled whole-layer CPU time
+    t_gpu_s: float                # profiled whole-layer GPU time
+    out_bytes: float              # v_o of Eq. 2
+    copy_rate: float              # s of Eq. 2
+    candidates: Tuple[PartitionCandidate, ...] = ()
+    measured_s: Optional[float] = None   # feedback rounds: observed time
+    reason: str = ""
+
+
+class NullProvenance:
+    """Disabled log: recording is a no-op, queries are empty."""
+
+    enabled = False
+
+    def record_placement(self, record: MemoryPlacementRecord) -> None:
+        pass
+
+    def record_partition(self, record: PartitionRecord) -> None:
+        pass
+
+    def placements(self, **filters: Any) -> List[MemoryPlacementRecord]:
+        return []
+
+    def partitions(self, **filters: Any) -> List[PartitionRecord]:
+        return []
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps({"placements": [], "partitions": []})
+
+    def summary(self) -> str:
+        return "(provenance disabled)"
+
+
+#: Process-wide disabled log (the default everywhere).
+NULL_PROVENANCE = NullProvenance()
+
+
+@dataclass
+class ProvenanceLog:
+    """Append-only record of every placement / partition decision."""
+
+    enabled: bool = field(default=True, init=False)
+    _placements: List[MemoryPlacementRecord] = field(default_factory=list)
+    _partitions: List[PartitionRecord] = field(default_factory=list)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_placement(self, record: MemoryPlacementRecord) -> None:
+        self._placements.append(record)
+
+    def record_partition(self, record: PartitionRecord) -> None:
+        self._partitions.append(record)
+
+    # -- queries ---------------------------------------------------------------
+
+    @staticmethod
+    def _match(record: Any, filters: Dict[str, Any]) -> bool:
+        return all(getattr(record, k) == v for k, v in filters.items())
+
+    def placements(self, *, buffer: Optional[str] = None,
+                   stage: Optional[str] = None,
+                   network: Optional[str] = None,
+                   chosen: Optional[str] = None) -> List[MemoryPlacementRecord]:
+        filters = {k: v for k, v in (
+            ("buffer", buffer), ("stage", stage),
+            ("network", network), ("chosen", chosen),
+        ) if v is not None}
+        return [r for r in self._placements if self._match(r, filters)]
+
+    def partitions(self, *, layer: Optional[str] = None,
+                   stage: Optional[str] = None,
+                   network: Optional[str] = None,
+                   chosen: Optional[str] = None) -> List[PartitionRecord]:
+        filters = {k: v for k, v in (
+            ("layer", layer), ("stage", stage),
+            ("network", network), ("chosen", chosen),
+        ) if v is not None}
+        return [r for r in self._partitions if self._match(r, filters)]
+
+    def final_placements(self, network: str) -> Dict[str, MemoryPlacementRecord]:
+        """Last recorded decision per buffer — the plan actually executed."""
+        out: Dict[str, MemoryPlacementRecord] = {}
+        for r in self._placements:
+            if r.network == network:
+                out[r.buffer] = r
+        return out
+
+    def __len__(self) -> int:
+        return len(self._placements) + len(self._partitions)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "placements": [asdict(r) for r in self._placements],
+            "partitions": [asdict(r) for r in self._partitions],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Human-readable digest of what was decided and why."""
+        lines: List[str] = []
+        networks = sorted({r.network for r in self._placements}
+                          | {r.network for r in self._partitions})
+        for net in networks:
+            finals = self.final_placements(net)
+            managed = sum(1 for r in finals.values() if r.chosen == "managed")
+            lines.append(
+                f"{net}: {managed}/{len(finals)} buffers zero-copy "
+                f"(final plan)"
+            )
+            parts = self.partitions(network=net)
+            splits = [r for r in parts if r.chosen == "split"]
+            if parts:
+                lines.append(
+                    f"  partition decisions: {len(parts)} recorded, "
+                    f"{len(splits)} chose a CPU/GPU split"
+                )
+            for r in splits[-4:]:
+                lines.append(
+                    f"    {r.layer} [{r.stage}]: p_cpu={r.cpu_fraction:.3f} "
+                    f"(t_cpu={r.t_cpu_s * 1e3:.3f}ms, "
+                    f"t_gpu={r.t_gpu_s * 1e3:.3f}ms)"
+                )
+        return "\n".join(lines) if lines else "(no decisions recorded)"

@@ -1,0 +1,302 @@
+"""Hierarchical span tracer on the simulator's virtual clock.
+
+Every simulated run — a one-shot inference, a tuning cycle, or a whole
+serving simulation — can be narrated as a tree of *spans*: named
+intervals carrying attributes, nested by who-called-whom
+(request → batch → plan lookup/tune → per-layer execute → memcpy).
+
+Two things make this tracer different from a wall-clock tracer:
+
+* **Virtual time.**  The simulator computes start/end instants itself
+  (the discrete-event timeline), so spans take *explicit* virtual
+  timestamps via :meth:`Span.set_times` or :meth:`SpanTracer.record`.
+  A span whose times were never set inherits the envelope of its
+  children on exit — the natural semantics for "this phase covers
+  whatever was scheduled inside it".
+* **Zero cost when off.**  The default tracer everywhere is
+  :data:`NOOP_TRACER`: its ``span()`` returns one shared no-op context
+  manager and every mutator is a ``pass``, so instrumented code paths
+  add only an attribute access + call when observability is disabled.
+  Benchmark numbers must not move (see
+  ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One named interval of virtual time, with attributes and children."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "category",
+        "start_s", "end_s", "attrs", "children", "_tracer",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start_s = start_s
+        self.end_s = end_s
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.children: List[Span] = []
+        self._tracer: Optional["SpanTracer"] = None
+
+    # -- mutation --------------------------------------------------------------
+
+    def set_times(self, start_s: float, end_s: float) -> "Span":
+        self.start_s = start_s
+        self.end_s = end_s
+        return self
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def set_attributes(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def envelope(self) -> tuple:
+        """(start, end) covering this span and all descendants."""
+        starts = [self.start_s] if self.start_s is not None else []
+        ends = [self.end_s] if self.end_s is not None else []
+        for child in self.children:
+            s, e = child.envelope()
+            if s is not None:
+                starts.append(s)
+            if e is not None:
+                ends.append(e)
+        return (min(starts) if starts else None,
+                max(ends) if ends else None)
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._tracer is not None:
+            self._tracer._close(self)
+        return None
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.category!r}, "
+                f"[{self.start_s}, {self.end_s}], {len(self.children)} children)")
+
+
+class _NoopSpan:
+    """Shared do-nothing span: every mutator returns itself."""
+
+    __slots__ = ()
+
+    def set_times(self, start_s: float, end_s: float) -> "_NoopSpan":
+        return self
+
+    def set_attribute(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def set_attributes(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: all operations are no-ops.
+
+    ``enabled`` is False so hot paths can skip even argument building::
+
+        if obs.enabled:
+            obs.tracer.record(...)
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "span", **attrs: Any):
+        return _NOOP_SPAN
+
+    def record(self, name: str, start_s: float, end_s: float,
+               category: str = "span", **attrs: Any):
+        return _NOOP_SPAN
+
+    def event(self, name: str, t_s: float, **attrs: Any):
+        return _NOOP_SPAN
+
+    @property
+    def roots(self) -> List[Span]:
+        return []
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return "[]"
+
+    def render(self, *, max_depth: Optional[int] = None) -> str:
+        return "(tracing disabled)"
+
+
+#: Process-wide disabled tracer (the default everywhere).
+NOOP_TRACER = NoopTracer()
+
+
+class SpanTracer:
+    """Records a forest of nested spans for one observed run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording -------------------------------------------------------------
+
+    def _new_span(self, name: str, category: str,
+                  start_s: Optional[float], end_s: Optional[float],
+                  attrs: Dict[str, Any]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name, category=category,
+            start_s=start_s, end_s=end_s, attrs=attrs,
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self._roots.append(span)
+        return span
+
+    def span(self, name: str, category: str = "span", **attrs: Any) -> Span:
+        """Open a nested span (context manager).
+
+        Times may be set inside the ``with`` block; unset times default
+        to the envelope of the span's children on exit.
+        """
+        span = self._new_span(name, category, None, None, attrs)
+        span._tracer = self
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()       # tolerate missed exits of inner spans
+        if self._stack:
+            self._stack.pop()
+        if span.start_s is None or span.end_s is None:
+            start, end = span.envelope()
+            span.start_s = start if start is not None else 0.0
+            span.end_s = end if end is not None else span.start_s
+
+    def record(self, name: str, start_s: float, end_s: float,
+               category: str = "span", **attrs: Any) -> Span:
+        """Append a completed leaf span under the currently open span."""
+        return self._new_span(name, category, start_s, end_s, attrs)
+
+    def event(self, name: str, t_s: float, **attrs: Any) -> Span:
+        """A zero-duration marker (arrival, shed, timer...)."""
+        return self._new_span(name, "instant", t_s, t_s, attrs)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def roots(self) -> List[Span]:
+        return list(self._roots)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first walk over every recorded span."""
+        stack = list(reversed(self._roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> List[Span]:
+        """Every span whose name equals ``name`` or starts with ``name:``."""
+        prefix = name + ":"
+        return [
+            s for s in self.iter_spans()
+            if s.name == name or s.name.startswith(prefix)
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+    # -- export ----------------------------------------------------------------
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps([r.to_dict() for r in self._roots], indent=indent)
+
+    def render(self, *, max_depth: Optional[int] = None) -> str:
+        """ASCII tree of the span forest (for CLI output / debugging)."""
+        lines: List[str] = []
+
+        def fmt(span: Span, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            start = 0.0 if span.start_s is None else span.start_s
+            dur = span.duration_s
+            attrs = ""
+            if span.attrs:
+                inner = " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attrs.items())
+                )
+                attrs = f"  [{inner}]"
+            lines.append(
+                f"{'  ' * depth}{span.name} "
+                f"({start * 1e3:.3f}ms +{dur * 1e3:.3f}ms){attrs}"
+            )
+            for child in span.children:
+                fmt(child, depth + 1)
+
+        for root in self._roots:
+            fmt(root, 0)
+        return "\n".join(lines) if lines else "(no spans recorded)"

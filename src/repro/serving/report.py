@@ -104,6 +104,10 @@ class ServingReport:
     gpu_utilization: float
     tenants: Tuple[TenantServingStats, ...]
     seed: int = 0
+    #: shared plan-cache traffic this run caused (one miss per distinct
+    #: (network, batch, …) tuned; hits when a batch size recurs).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -167,6 +171,8 @@ class ServingReport:
             "cpu_utilization": self.cpu_utilization,
             "gpu_utilization": self.gpu_utilization,
             "batch_histogram": dict(sorted(self.batch_histogram.items())),
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
             "tenants": [t.name for t in self.tenants],
             "seed": self.seed,
         }
@@ -191,6 +197,8 @@ class ServingReport:
                         sorted(self.batch_histogram.items())) or "(none)"),
             f"device    : cpu util {self.cpu_utilization:.1%}, "
             f"gpu util {self.gpu_utilization:.1%}",
+            f"plan cache: {self.plan_cache_hits} hits, "
+            f"{self.plan_cache_misses} misses",
         ]
         if len(self.tenants) > 1:
             lines.append("tenants:")

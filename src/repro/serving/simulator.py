@@ -30,11 +30,14 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.engine import EdgeNN, EdgeNNConfig
+from ..core.plan_cache import default_plan_cache
 from ..core.service import WarmExecutor
 from ..errors import ReproError
 from ..hardware.device import Device
 from ..hardware.specs import JETSON_AGX_XAVIER, DeviceSpec
 from ..nn.precision import Precision
+from ..obs import NOOP_OBS, Observability
+from ..obs.metrics import DEFAULT_BUCKETS, SIZE_BUCKETS
 from ..sim.timeline import COPY, CPU, GPU, Timeline
 from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
 from .batcher import BatchPolicy, TenantQueue
@@ -119,10 +122,13 @@ class ServiceTimeModel:
         spec: DeviceSpec,
         precision: Precision = Precision.FP32,
         engine: Optional[EdgeNNConfig] = None,
+        *,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._spec = spec
         self._base = engine or EdgeNNConfig()
         self._precision = precision
+        self._obs = obs if obs is not None else NOOP_OBS
         self._warm: Dict[Tuple[str, int], BatchServiceTime] = {}
         self._cold: Dict[Tuple[str, int], BatchServiceTime] = {}
 
@@ -130,7 +136,7 @@ class ServiceTimeModel:
         config = replace(
             self._base, batch_size=batch, precision=self._precision
         )
-        return EdgeNN(network, self._spec, config)
+        return EdgeNN(network, self._spec, config, obs=self._obs)
 
     def warm(self, network: str, batch: int) -> BatchServiceTime:
         key = (network, batch)
@@ -139,6 +145,7 @@ class ServiceTimeModel:
             report = WarmExecutor(
                 engine.graph, engine.device, engine.plan,
                 precision=self._precision, batch_size=batch,
+                obs=self._obs,
             ).run()
             self._warm[key] = BatchServiceTime(
                 total_s=report.total_s,
@@ -171,6 +178,7 @@ class ServingSimulator:
         config: Optional[ServingConfig] = None,
         *,
         service_model: Optional[ServiceTimeModel] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not tenants:
             raise ReproError("serving needs at least one tenant")
@@ -178,18 +186,75 @@ class ServingSimulator:
             device = JETSON_AGX_XAVIER
         self._spec = device.spec if isinstance(device, Device) else device
         self._config = config or ServingConfig()
+        self._obs = obs if obs is not None else NOOP_OBS
         self._tenants = tuple(tenants)
         names = [t.tenant_name for t in self._tenants]
         if len(set(names)) != len(names):
             raise ReproError(f"duplicate tenant names: {names}")
         self._model = service_model or ServiceTimeModel(
-            self._spec, self._config.precision, self._config.engine
+            self._spec, self._config.precision, self._config.engine,
+            obs=self._obs,
         )
+        #: request/batch records of the last :meth:`run`, kept for the
+        #: unified Chrome-trace export (:mod:`repro.obs.export`).
+        self.requests: List[Request] = []
+        self.batches: List[BatchRecord] = []
 
     # -- the event loop -------------------------------------------------------
 
     def run(self) -> ServingReport:
+        """Run the simulation; returns the :class:`ServingReport`.
+
+        Plan-cache traffic caused by this run (service-time tuning per
+        distinct batch size) is exposed on the report as
+        ``plan_cache_hits`` / ``plan_cache_misses``.
+        """
+        obs = self._obs
+        cache = default_plan_cache()
+        hits_before, misses_before = cache.hits, cache.misses
+        if not obs.enabled:
+            report = self._run()
+        else:
+            with obs.tracer.span(
+                "serve", category="serve", device=self._spec.name,
+                tenants=",".join(t.tenant_name for t in self._tenants),
+            ) as span:
+                report = self._run()
+                span.set_times(0.0, report.makespan_s)
+                span.set_attributes(
+                    offered=report.offered, served=report.served,
+                    shed=report.shed,
+                )
+        report.plan_cache_hits = cache.hits - hits_before
+        report.plan_cache_misses = cache.misses - misses_before
+        return report
+
+    def _run(self) -> ServingReport:
         cfg = self._config
+        obs = self._obs
+        if obs.enabled:
+            requests_total = obs.metrics.counter(
+                "repro_serving_requests_total",
+                "Requests by tenant and outcome",
+                labels=("tenant", "outcome"),
+            )
+            batches_total = obs.metrics.counter(
+                "repro_serving_batches_total",
+                "Batches dispatched per tenant", labels=("tenant",),
+            )
+            batch_size_hist = obs.metrics.histogram(
+                "repro_serving_batch_size",
+                "Dispatched batch sizes", buckets=SIZE_BUCKETS,
+            )
+            latency_hist = obs.metrics.histogram(
+                "repro_serving_request_latency_seconds",
+                "End-to-end served-request latency",
+                labels=("tenant",), buckets=DEFAULT_BUCKETS,
+            )
+            depth_gauge = obs.metrics.gauge(
+                "repro_serving_queue_depth",
+                "Admitted requests waiting across all tenant queues",
+            )
         queues: Dict[str, TenantQueue] = {}
         specs: Dict[str, TenantSpec] = {}
         for spec in self._tenants:
@@ -260,6 +325,7 @@ class ServingSimulator:
             batch = queue.take_batch(now)
             depth -= len(batch)
             size = len(batch)
+            mode = "warm" if warmed[chosen] else "cold"
             if warmed[chosen]:
                 svc = self._model.warm(specs[chosen].network, size)
             else:
@@ -279,6 +345,14 @@ class ServingSimulator:
             batches.append(
                 BatchRecord(tenant=chosen, size=size, start_s=now, end_s=end)
             )
+            if obs.enabled:
+                obs.tracer.record(
+                    label, now, end, category="batch",
+                    tenant=chosen, size=size, mode=mode,
+                )
+                batches_total.labels(tenant=chosen).inc()
+                batch_size_hist.observe(size)
+                depth_gauge.set(depth)
             tenant_hist[chosen][size] = tenant_hist[chosen].get(size, 0) + 1
             in_flight.extend(batch)
             push(end, _COMPLETION, chosen)
@@ -296,10 +370,16 @@ class ServingSimulator:
                 if queues[tenant].offer(request):
                     depth += 1
                     depth_max = max(depth_max, depth)
+                    if obs.enabled:
+                        depth_gauge.set(depth)
                 else:
                     # Shed: the client sees an immediate rejection; a
                     # closed-loop client thinks, then retries.
                     request.finish_s = now
+                    if obs.enabled:
+                        requests_total.labels(
+                            tenant=tenant, outcome="shed"
+                        ).inc()
                     follow = specs[tenant].arrival.next_after(now)
                     if follow is not None:
                         push(follow, _ARRIVAL, tenant)
@@ -310,6 +390,13 @@ class ServingSimulator:
                 for request in finished:
                     request.status = RequestStatus.SERVED
                     request.finish_s = now
+                    if obs.enabled:
+                        requests_total.labels(
+                            tenant=tenant, outcome="served"
+                        ).inc()
+                        latency_hist.labels(tenant=tenant).observe(
+                            request.latency_s
+                        )
                     follow = specs[tenant].arrival.next_after(now)
                     if follow is not None:
                         push(follow, _ARRIVAL, tenant)
@@ -320,6 +407,8 @@ class ServingSimulator:
                     armed_timers.pop(tenant, None)
                 maybe_dispatch(now)
 
+        self.requests = requests
+        self.batches = batches
         return self._build_report(
             queues, by_tenant, tenant_hist, batches, timeline,
             depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
@@ -425,9 +514,11 @@ def simulate(
     tenants: Sequence[TenantSpec],
     device: Union[Device, DeviceSpec, None] = None,
     config: Optional[ServingConfig] = None,
+    *,
+    obs: Optional[Observability] = None,
 ) -> ServingReport:
     """Run one serving simulation and return its report."""
-    return ServingSimulator(device, tenants, config).run()
+    return ServingSimulator(device, tenants, config, obs=obs).run()
 
 
 def simulate_poisson(
@@ -438,8 +529,9 @@ def simulate_poisson(
     *,
     seed: int = 0,
     config: Optional[ServingConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> ServingReport:
     """Single-tenant open-loop run (what ``repro serve`` does)."""
     cfg = config or ServingConfig(seed=seed)
     tenant = poisson_tenant(network, rate_rps, duration_s, seed=seed)
-    return simulate([tenant], device, cfg)
+    return simulate([tenant], device, cfg, obs=obs)

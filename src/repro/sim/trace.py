@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from .. import units
+from ..errors import ReproError
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,13 @@ class TraceEvent:
     start_s: float
     end_s: float
     category: str = "kernel"   # kernel | copy | sync | overhead
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ReproError(
+                f"trace event {self.label!r} on {self.resource!r} ends "
+                f"before it starts ({self.end_s} < {self.start_s})"
+            )
 
     @property
     def duration_s(self) -> float:
@@ -87,14 +95,28 @@ class Trace:
                     "tid": tid,
                 }
             )
-        meta = [
+        meta: List[dict] = [
             {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "simulated device"},
+            }
+        ]
+        for resource, tid in pid_for.items():
+            meta.append({
                 "name": "thread_name",
                 "ph": "M",
                 "pid": 1,
                 "tid": tid,
                 "args": {"name": resource},
-            }
-            for resource, tid in pid_for.items()
-        ]
+            })
+            meta.append({
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            })
         return json.dumps({"traceEvents": meta + records})

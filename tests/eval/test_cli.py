@@ -135,6 +135,44 @@ class TestCommands:
                      "--trace", str(trace)]) == 0
         assert trace.exists()
 
+    def test_serve_obs_out_writes_artifact_bundle(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(["serve", "--network", "lenet", "--duration", "0.5",
+                     "--arrival-rate", "100", "--obs-out", str(out)]) == 0
+        for name in ("trace.json", "metrics.prom", "metrics.json",
+                     "provenance.json", "spans.json"):
+            assert (out / name).exists(), name
+        import json as _json
+
+        doc = _json.loads((out / "trace.json").read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "s" in phases and "f" in phases
+        assert "repro_serving_requests_total" in (
+            out / "metrics.prom"
+        ).read_text()
+        prov = _json.loads((out / "provenance.json").read_text())
+        assert prov["placements"]
+
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "kernel.json"
+        assert main(["trace", "lenet", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "tune" in printed and "layer:" in printed
+        assert "zero-copy" in printed   # provenance summary
+        assert out.exists()
+
+    def test_metrics_command_prom(self, capsys):
+        assert main(["metrics", "lenet"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_layers_executed_total counter" in out
+
+    def test_metrics_command_json(self, capsys):
+        assert main(["metrics", "lenet", "--format", "json"]) == 0
+        import json as _json
+
+        doc = _json.loads(capsys.readouterr().out)
+        assert "repro_layers_executed_total" in doc
+
     def test_serve_bad_tenant_spec(self, capsys):
         assert main(["serve", "--tenant", "nosuchnet:10"]) == 2
 

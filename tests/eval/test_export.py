@@ -108,3 +108,48 @@ class TestServingExport:
         doc = json.loads(serving_to_json(_serving_report()))
         assert doc["offered"] == doc["served"] + doc["shed"]
         assert doc["tenants"][0]["tenant"] == "lenet"
+
+
+def _parity(csv_text, json_rows):
+    """Assert CSV rows and JSON rows carry identical data field by field
+    (CSV stringifies everything, so compare through float where possible)."""
+    csv_rows = list(csv.DictReader(io.StringIO(csv_text)))
+    assert len(csv_rows) == len(json_rows)
+    for crow, jrow in zip(csv_rows, json_rows):
+        assert set(crow) == set(jrow)
+        for key, jval in jrow.items():
+            cval = crow[key]
+            if isinstance(jval, bool):
+                assert cval == str(jval)
+            elif isinstance(jval, (int, float)):
+                assert float(cval) == pytest.approx(jval), key
+            else:
+                assert cval == str(jval), key
+
+
+class TestCsvJsonRoundTripParity:
+    def test_figure_result_parity(self, fig06):
+        _parity(to_csv(fig06), json.loads(to_json(fig06))["rows"])
+
+    def test_table_result_parity(self):
+        result = ex.table1_layer_improvements(("lenet",))
+        _parity(to_csv(result), json.loads(to_json(result))["rows"])
+
+    def test_computed_properties_survive_both_paths(self):
+        result = ex.fig12_cloud_comparison(("lenet",))
+        _parity(to_csv(result), json.loads(to_json(result))["rows"])
+
+    def test_serving_parity(self):
+        from repro.eval.export import (
+            serving_rows,
+            serving_to_csv,
+            serving_to_json,
+        )
+
+        report = _serving_report()
+        json_tenants = json.loads(serving_to_json(report))["tenants"]
+        # The JSON document drops the aggregate "*" row; compare the
+        # per-tenant prefix, then the aggregate against the full rows.
+        all_rows = serving_rows(report)
+        _parity(serving_to_csv(report), all_rows)
+        assert json_tenants == all_rows[:-1]

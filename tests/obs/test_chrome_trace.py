@@ -1,0 +1,145 @@
+"""Merged Chrome-trace export: kernel timeline + request lifecycle."""
+
+import json
+
+from repro.obs.export import REQUEST_PID, SIM_PID, chrome_trace
+from repro.serving.request import Request, RequestStatus
+from repro.sim.trace import Trace, TraceEvent
+
+
+def kernel_trace():
+    trace = Trace()
+    trace.add(TraceEvent("gpu", "conv1", 0.0, 0.001, "kernel"))
+    trace.add(TraceEvent("cpu", "relu1", 0.001, 0.0015, "kernel"))
+    trace.add(TraceEvent("copy", "memcpy:x", 0.0015, 0.002, "copy"))
+    return trace
+
+
+def served_request(rid=0, arrival=0.0, dispatch=0.001, finish=0.002):
+    req = Request(request_id=rid, tenant="lenet", arrival_s=arrival)
+    req.status = RequestStatus.SERVED
+    req.dispatch_s = dispatch
+    req.finish_s = finish
+    req.batch_size = 2
+    return req
+
+
+def shed_request(rid=9, arrival=0.5):
+    req = Request(request_id=rid, tenant="lenet", arrival_s=arrival)
+    req.status = RequestStatus.SHED
+    req.finish_s = arrival
+    return req
+
+
+class TestMergedTrace:
+    def events(self, **kw):
+        doc = json.loads(chrome_trace(**kw))
+        assert "traceEvents" in doc
+        return doc["traceEvents"]
+
+    def test_valid_json_with_both_sides(self):
+        evs = self.events(kernel_trace=kernel_trace(),
+                          requests=[served_request()])
+        pids = {e["pid"] for e in evs}
+        assert pids == {SIM_PID, REQUEST_PID}
+
+    def test_kernel_only_degrades_gracefully(self):
+        evs = self.events(kernel_trace=kernel_trace())
+        assert {e["pid"] for e in evs} == {SIM_PID}
+        slices = [e for e in evs if e["ph"] == "X"]
+        assert {s["name"] for s in slices} == {"conv1", "relu1", "memcpy:x"}
+
+    def test_requests_only_degrades_gracefully(self):
+        evs = self.events(requests=[served_request()])
+        assert {e["pid"] for e in evs} == {REQUEST_PID}
+
+    def test_empty_trace_is_valid(self):
+        assert self.events() == []
+
+    def test_timestamps_monotone_after_metadata(self):
+        evs = self.events(kernel_trace=kernel_trace(),
+                          requests=[served_request(), shed_request()])
+        body = [e for e in evs if e["ph"] != "M"]
+        ts = [e["ts"] for e in body]
+        assert ts == sorted(ts)
+
+    def test_metadata_first(self):
+        evs = self.events(kernel_trace=kernel_trace(),
+                          requests=[served_request()])
+        phases = [e["ph"] for e in evs]
+        last_meta = max(i for i, p in enumerate(phases) if p == "M")
+        first_body = min(i for i, p in enumerate(phases) if p != "M")
+        assert last_meta < first_body
+
+    def test_flow_events_are_paired_by_id(self):
+        reqs = [served_request(rid=i, arrival=i * 0.01,
+                               dispatch=i * 0.01 + 0.005,
+                               finish=i * 0.01 + 0.008)
+                for i in range(5)]
+        evs = self.events(requests=reqs)
+        starts = {e["id"]: e["ts"] for e in evs if e["ph"] == "s"}
+        finishes = {e["id"]: e["ts"] for e in evs if e["ph"] == "f"}
+        assert set(starts) == set(finishes) == {str(i) for i in range(5)}
+        for rid in starts:
+            assert starts[rid] <= finishes[rid]
+        for e in evs:
+            if e["ph"] == "f":
+                assert e["bp"] == "e"
+
+    def test_async_track_spans_arrival_to_finish(self):
+        req = served_request(rid=3, arrival=0.25, finish=0.75)
+        evs = self.events(requests=[req])
+        begin = next(e for e in evs if e["ph"] == "b")
+        end = next(e for e in evs if e["ph"] == "e")
+        assert begin["id"] == end["id"] == "3"
+        assert begin["ts"] == 0.25e6
+        assert end["ts"] == 0.75e6
+
+    def test_shed_request_is_instant_event(self):
+        evs = self.events(requests=[shed_request(rid=7)])
+        instants = [e for e in evs if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "shed:req7"
+        assert instants[0]["s"] == "t"
+        assert not [e for e in evs if e["ph"] in ("s", "f")]
+
+    def test_microsecond_units(self):
+        evs = self.events(kernel_trace=kernel_trace())
+        import pytest
+
+        conv = next(e for e in evs if e.get("name") == "conv1")
+        assert conv["ts"] == 0
+        assert conv["dur"] == pytest.approx(1000)  # 0.001 s
+
+    def test_process_names_label_both_pids(self):
+        evs = self.events(kernel_trace=kernel_trace(),
+                          requests=[served_request()])
+        names = {e["pid"]: e["args"]["name"] for e in evs
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {SIM_PID: "simulator", REQUEST_PID: "requests"}
+
+
+class TestEndToEndServingTrace:
+    def test_simulated_run_exports_loadable_trace(self):
+        from repro.obs import Observability
+        from repro.serving.simulator import ServingSimulator, poisson_tenant
+
+        obs = Observability.on()
+        sim = ServingSimulator(
+            None, [poisson_tenant("lenet", 150.0, 0.3, seed=3)], obs=obs
+        )
+        report = sim.run()
+        doc = json.loads(chrome_trace(kernel_trace=sim.trace,
+                                      requests=sim.requests))
+        evs = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        # one flow pair per served request
+        starts = [e for e in evs if e["ph"] == "s"]
+        finishes = [e for e in evs if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == report.served
+        # kernel intervals exist alongside request events
+        assert any(e["pid"] == SIM_PID and e["ph"] == "X" for e in evs)
+        body = [e for e in evs if e["ph"] != "M"]
+        assert all(e["ts"] >= 0 for e in body)
+        ts = [e["ts"] for e in body]
+        assert ts == sorted(ts)

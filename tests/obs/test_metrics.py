@@ -1,0 +1,166 @@
+"""Metrics registry: counters, gauges, histograms, and the exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.export import metrics_to_dict, prometheus_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError):
+            Counter().inc(-1)
+
+    def test_gauge_tracks_max(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1)
+        g.inc(1)
+        assert g.value == 2
+        assert g.max_value == 3
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [
+            (1.0, 1), (2.0, 2), (4.0, 3), (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.mean() == pytest.approx(26.25)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ReproError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "help")
+        b = reg.counter("repro_x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ReproError):
+            reg.gauge("m")
+
+    def test_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("a",))
+        with pytest.raises(ReproError):
+            reg.counter("m", labels=("b",))
+
+    def test_labeled_children_are_distinct(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("reqs", labels=("tenant",))
+        fam.labels(tenant="a").inc()
+        fam.labels(tenant="a").inc()
+        fam.labels(tenant="b").inc(5)
+        assert fam.labels(tenant="a").value == 2
+        assert fam.labels(tenant="b").value == 5
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("reqs", labels=("tenant",))
+        with pytest.raises(ReproError):
+            fam.labels(nope="x")
+
+    def test_label_free_family_proxies(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.5)
+        assert reg.family("c").labels().value == 2
+        assert reg.family("g").labels().value == 7
+        assert reg.family("h").labels().count == 1
+
+    def test_families_sorted_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.counter("aa")
+        assert [f.name for f in reg.families()] == ["aa", "zz"]
+        assert "aa" in reg and "missing" not in reg
+        with pytest.raises(ReproError):
+            reg.family("missing")
+
+
+class TestNullRegistry:
+    def test_disabled_and_silent(self):
+        assert NULL_REGISTRY.enabled is False
+        c = NULL_REGISTRY.counter("x", "h", labels=("a",))
+        c.labels(a="1").inc()
+        c.inc(5)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.families() == []
+        assert prometheus_text(NULL_REGISTRY) == ""
+
+
+class TestPrometheusText:
+    def make(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_reqs_total", "Requests", labels=("tenant",))
+        fam.labels(tenant="lenet").inc(3)
+        reg.gauge("repro_depth", "Queue depth").set(2)
+        h = reg.histogram("repro_lat_seconds", "Latency",
+                          buckets=(0.001, 0.01))
+        h.observe(0.0005)
+        h.observe(0.5)
+        return reg
+
+    def test_exposition_shape(self):
+        text = prometheus_text(self.make())
+        assert "# HELP repro_reqs_total Requests" in text
+        assert "# TYPE repro_reqs_total counter" in text
+        assert 'repro_reqs_total{tenant="lenet"} 3' in text
+        assert "repro_depth 2" in text
+
+    def test_histogram_lines(self):
+        text = prometheus_text(self.make())
+        assert 'repro_lat_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_seconds_count 2" in text
+        assert "repro_lat_seconds_sum" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("l",)).labels(l='a"b\\c').inc()
+        text = prometheus_text(reg)
+        assert r'l="a\"b\\c"' in text
+
+    def test_json_dump_parses(self):
+        doc = json.loads(json.dumps(metrics_to_dict(self.make())))
+        assert doc["repro_reqs_total"]["kind"] == "counter"
+        assert doc["repro_reqs_total"]["series"][0]["labels"] == {
+            "tenant": "lenet"
+        }
+        hist = doc["repro_lat_seconds"]["series"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1]["le"] == "+Inf"
+        assert hist["buckets"][-1]["cumulative"] == 2

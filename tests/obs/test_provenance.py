@@ -1,0 +1,110 @@
+"""Decision-provenance log: recording, querying, summarizing."""
+
+import json
+
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    MemoryPlacementRecord,
+    PartitionCandidate,
+    PartitionRecord,
+    PlacementCandidate,
+    ProvenanceLog,
+)
+
+
+def placement(buffer="conv1.weights", stage="seed", chosen="managed",
+              network="lenet"):
+    return MemoryPlacementRecord(
+        network=network, buffer=buffer, role="read_only_param",
+        policy="semantic", chosen=chosen, nbytes=1024.0, stage=stage,
+        candidates=(
+            PlacementCandidate(kind="managed", est_cost_s=1e-6, note="ft"),
+            PlacementCandidate(kind="regular", est_cost_s=5e-5, note="h2d"),
+        ),
+        reason="single writer",
+    )
+
+
+def partition(layer="conv2", stage="seed", chosen="split"):
+    return PartitionRecord(
+        network="lenet", layer=layer, stage=stage, chosen=chosen,
+        cpu_fraction=0.6, t_cpu_s=3e-4, t_gpu_s=4e-4,
+        out_bytes=4096.0, copy_rate=2e10,
+        candidates=(
+            PartitionCandidate("gpu", 0.0, 4e-4),
+            PartitionCandidate("cpu", 1.0, 3e-4),
+            PartitionCandidate("split", 0.6, 2e-4),
+        ),
+        reason="Eq. 4 optimum beats solo execution",
+    )
+
+
+class TestQueries:
+    def test_filters_compose(self):
+        log = ProvenanceLog()
+        log.record_placement(placement(buffer="a", stage="seed"))
+        log.record_placement(placement(buffer="a", stage="round1"))
+        log.record_placement(placement(buffer="b", stage="seed"))
+        assert len(log.placements(buffer="a")) == 2
+        assert len(log.placements(buffer="a", stage="round1")) == 1
+        assert len(log.placements(stage="seed")) == 2
+        assert log.placements(buffer="zzz") == []
+
+    def test_partition_filters(self):
+        log = ProvenanceLog()
+        log.record_partition(partition(layer="conv2", chosen="split"))
+        log.record_partition(partition(layer="fc3", chosen="gpu"))
+        assert len(log.partitions(chosen="split")) == 1
+        assert log.partitions(layer="fc3")[0].chosen == "gpu"
+        assert len(log) == 2
+
+    def test_final_placements_keeps_last_record(self):
+        log = ProvenanceLog()
+        log.record_placement(placement(buffer="a", stage="seed",
+                                       chosen="regular"))
+        log.record_placement(placement(buffer="a", stage="round2",
+                                       chosen="managed"))
+        finals = log.final_placements("lenet")
+        assert finals["a"].chosen == "managed"
+        assert finals["a"].stage == "round2"
+
+    def test_candidates_carry_compared_costs(self):
+        rec = placement()
+        kinds = {c.kind for c in rec.candidates}
+        assert kinds == {"managed", "regular"}
+        assert all(c.est_cost_s >= 0 for c in rec.candidates)
+
+
+class TestExport:
+    def test_json_round_trip(self):
+        log = ProvenanceLog()
+        log.record_placement(placement())
+        log.record_partition(partition())
+        doc = json.loads(log.to_json())
+        assert doc["placements"][0]["buffer"] == "conv1.weights"
+        assert doc["placements"][0]["candidates"][0]["kind"] == "managed"
+        assert doc["partitions"][0]["candidates"][2]["label"] == "split"
+
+    def test_summary_mentions_decisions(self):
+        log = ProvenanceLog()
+        log.record_placement(placement())
+        log.record_partition(partition())
+        text = log.summary()
+        assert "lenet" in text
+        assert "zero-copy" in text
+        assert "split" in text
+
+    def test_empty_summary(self):
+        assert "no decisions" in ProvenanceLog().summary()
+
+
+class TestNullProvenance:
+    def test_disabled_and_silent(self):
+        assert NULL_PROVENANCE.enabled is False
+        NULL_PROVENANCE.record_placement(placement())
+        NULL_PROVENANCE.record_partition(partition())
+        assert NULL_PROVENANCE.placements() == []
+        assert NULL_PROVENANCE.partitions() == []
+        assert json.loads(NULL_PROVENANCE.to_json()) == {
+            "placements": [], "partitions": [],
+        }

@@ -1,0 +1,153 @@
+"""Hierarchical span tracer on the virtual clock."""
+
+import json
+
+from repro.obs.spans import NOOP_TRACER, NoopTracer, Span, SpanTracer
+
+
+class TestSpanTracer:
+    def test_nesting_follows_the_stack(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.record("leaf", 0.0, 1.0)
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_explicit_times_are_kept(self):
+        tracer = SpanTracer()
+        with tracer.span("a") as span:
+            span.set_times(1.0, 3.0)
+        assert tracer.roots[0].start_s == 1.0
+        assert tracer.roots[0].end_s == 3.0
+        assert tracer.roots[0].duration_s == 2.0
+
+    def test_unset_times_inherit_child_envelope(self):
+        tracer = SpanTracer()
+        with tracer.span("phase"):
+            tracer.record("a", 0.5, 1.0)
+            tracer.record("b", 2.0, 4.0)
+        (root,) = tracer.roots
+        assert root.start_s == 0.5
+        assert root.end_s == 4.0
+
+    def test_empty_span_defaults_to_zero(self):
+        tracer = SpanTracer()
+        with tracer.span("empty"):
+            pass
+        assert tracer.roots[0].start_s == 0.0
+        assert tracer.roots[0].end_s == 0.0
+
+    def test_attributes(self):
+        tracer = SpanTracer()
+        with tracer.span("a", network="lenet") as span:
+            span.set_attribute("k", 1)
+            span.set_attributes(x=2, y=3)
+        assert tracer.roots[0].attrs == {
+            "network": "lenet", "k": 1, "x": 2, "y": 3,
+        }
+
+    def test_event_is_zero_duration_instant(self):
+        tracer = SpanTracer()
+        ev = tracer.event("arrival", 1.5)
+        assert ev.category == "instant"
+        assert ev.start_s == ev.end_s == 1.5
+
+    def test_iter_spans_is_depth_first(self):
+        tracer = SpanTracer()
+        with tracer.span("r1"):
+            tracer.record("c1", 0, 1)
+            tracer.record("c2", 1, 2)
+        with tracer.span("r2"):
+            pass
+        assert [s.name for s in tracer.iter_spans()] == [
+            "r1", "c1", "c2", "r2",
+        ]
+        assert len(tracer) == 4
+
+    def test_find_matches_exact_and_prefix(self):
+        tracer = SpanTracer()
+        tracer.record("layer:conv1", 0, 1)
+        tracer.record("layer:conv2", 1, 2)
+        tracer.record("layered", 2, 3)
+        assert {s.name for s in tracer.find("layer")} == {
+            "layer:conv1", "layer:conv2",
+        }
+
+    def test_sibling_after_closed_span_is_a_sibling(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["first", "second"]
+
+    def test_to_json_round_trips(self):
+        tracer = SpanTracer()
+        with tracer.span("a", device="jetson"):
+            tracer.record("b", 0.0, 1.0)
+        doc = json.loads(tracer.to_json())
+        assert doc[0]["name"] == "a"
+        assert doc[0]["children"][0]["name"] == "b"
+
+    def test_render_shows_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            tracer.record("child", 0.0, 0.001)
+        text = tracer.render()
+        assert "root" in text
+        assert "  child" in text
+
+    def test_render_max_depth(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("mid"):
+                tracer.record("deep", 0, 1)
+        text = tracer.render(max_depth=1)
+        assert "mid" in text
+        assert "deep" not in text
+
+
+class TestNoopTracer:
+    def test_disabled_flag(self):
+        assert NOOP_TRACER.enabled is False
+        assert SpanTracer().enabled is True
+
+    def test_span_is_reusable_singleton(self):
+        a = NOOP_TRACER.span("x")
+        b = NOOP_TRACER.span("y", category="c", attr=1)
+        assert a is b
+        with a as s:
+            assert s.set_times(0, 1) is s
+            assert s.set_attribute("k", "v") is s
+            assert s.set_attributes(a=1) is s
+
+    def test_queries_are_empty(self):
+        assert NOOP_TRACER.roots == []
+        assert list(NOOP_TRACER.iter_spans()) == []
+        assert NOOP_TRACER.find("anything") == []
+        assert NOOP_TRACER.to_json() == "[]"
+        assert isinstance(NoopTracer().render(max_depth=2), str)
+
+    def test_record_and_event_do_nothing(self):
+        tracer = NoopTracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.event("b", 2.0)
+        assert tracer.roots == []
+
+
+class TestSpan:
+    def test_envelope_covers_descendants(self):
+        root = Span(1, None, "r", "span")
+        child = Span(2, 1, "c", "span", start_s=1.0, end_s=2.0)
+        grand = Span(3, 2, "g", "span", start_s=0.5, end_s=3.0)
+        child.children.append(grand)
+        root.children.append(child)
+        assert root.envelope() == (0.5, 3.0)
+
+    def test_duration_of_unset_times_is_zero(self):
+        assert Span(1, None, "r", "span").duration_s == 0.0

@@ -57,8 +57,29 @@ class TestChromeExport:
     def test_thread_names_metadata(self):
         doc = json.loads(make_trace().to_chrome_trace())
         meta = [r for r in doc["traceEvents"] if r.get("ph") == "M"]
-        names = {m["args"]["name"] for m in meta}
+        names = {m["args"]["name"] for m in meta
+                 if m["name"] == "thread_name"}
         assert names == {"cpu", "gpu", "copy"}
+
+    def test_process_name_and_sort_index_metadata(self):
+        doc = json.loads(make_trace().to_chrome_trace())
+        meta = [r for r in doc["traceEvents"] if r.get("ph") == "M"]
+        kinds = {m["name"] for m in meta}
+        assert {"process_name", "thread_name", "thread_sort_index"} <= kinds
+        for m in meta:
+            assert "pid" in m and "tid" in m
+        sort_indices = [m for m in meta if m["name"] == "thread_sort_index"]
+        assert all("sort_index" in m["args"] for m in sort_indices)
+
+    def test_rejects_negative_duration(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="ends\\s+before it starts"):
+            TraceEvent("cpu", "bad", 2.0, 1.0)
+
+    def test_zero_duration_event_allowed(self):
+        ev = TraceEvent("cpu", "instant", 1.0, 1.0)
+        assert ev.duration_s == 0.0
 
     def test_times_in_microseconds(self):
         doc = json.loads(make_trace().to_chrome_trace())
