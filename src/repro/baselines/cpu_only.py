@@ -9,24 +9,18 @@ from __future__ import annotations
 
 from typing import Union
 
-from ..core.executor import HybridExecutor
-from ..core.memory_manager import MemoryPolicy, plan_allocations
-from ..core.plan import ExecutionPlan, cpu_layer
+from ..compile import compile_fixed
+from ..core.plan import ExecutionPlan
 from ..core.report import InferenceReport
 from ..hardware.device import Device
 from ..hardware.specs import DeviceSpec
 from ..nn.graph import NetworkGraph
-from ..nn.models import build as build_model
 
 
 def cpu_only_plan(graph: NetworkGraph, device: DeviceSpec) -> ExecutionPlan:
     """All layers on the CPU; buffers are plain host memory (REGULAR with
     no device side ever touched, hence no transfers)."""
-    plan = ExecutionPlan(graph.name)
-    for name in graph.topo_order():
-        plan.set_layer(cpu_layer(name))
-    plan_allocations(graph, plan, device, MemoryPolicy.ALL_REGULAR)
-    return plan
+    return compile_fixed(graph, device, placement="cpu").plan
 
 
 def run_cpu_only(
@@ -34,8 +28,4 @@ def run_cpu_only(
     device: Union[Device, DeviceSpec],
 ) -> InferenceReport:
     """Simulate CPU-only inference on any device's CPU."""
-    graph = build_model(network) if isinstance(network, str) else network
-    dev = device if isinstance(device, Device) else Device(device)
-    plan = cpu_only_plan(graph, dev.spec)
-    executor = HybridExecutor(graph, dev, plan)
-    return executor.run()
+    return compile_fixed(network, device, placement="cpu").execute()

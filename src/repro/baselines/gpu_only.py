@@ -11,24 +11,19 @@ from __future__ import annotations
 
 from typing import Union
 
-from ..core.executor import HybridExecutor
-from ..core.memory_manager import MemoryPolicy, plan_allocations
-from ..core.plan import ExecutionPlan, gpu_layer
+from ..compile import compile_fixed
+from ..core.memory_manager import MemoryPolicy
+from ..core.plan import ExecutionPlan
 from ..core.report import InferenceReport
 from ..hardware.device import Device
 from ..hardware.specs import DeviceSpec
 from ..nn.graph import NetworkGraph
-from ..nn.models import build as build_model
 
 
 def gpu_only_plan(graph: NetworkGraph, device: DeviceSpec,
                   policy: MemoryPolicy = MemoryPolicy.ALL_REGULAR) -> ExecutionPlan:
     """All layers on the GPU under the requested memory policy."""
-    plan = ExecutionPlan(graph.name)
-    for name in graph.topo_order():
-        plan.set_layer(gpu_layer(name))
-    plan_allocations(graph, plan, device, policy)
-    return plan
+    return compile_fixed(graph, device, placement="gpu", policy=policy).plan
 
 
 def run_gpu_only(
@@ -45,15 +40,14 @@ def run_gpu_only(
     (zero-copy, still GPU-only); managed buffers need no staging copies, so
     serialization is irrelevant for them.
     """
-    graph = build_model(network) if isinstance(network, str) else network
-    dev = device if isinstance(device, Device) else Device(device)
-    plan = gpu_only_plan(graph, dev.spec, policy)
-    executor = HybridExecutor(
-        graph, dev, plan,
+    compiled = compile_fixed(
+        network, device,
+        placement="gpu",
+        policy=policy,
         serialize=serialize,
         # The original programs stage every layer output through the host
         # (self-contained memcpy-in / kernel / memcpy-out layer functions);
         # managed allocations make staging moot.
         host_staging=policy is MemoryPolicy.ALL_REGULAR,
     )
-    return executor.run()
+    return compiled.execute()

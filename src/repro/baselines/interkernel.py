@@ -11,14 +11,13 @@ from __future__ import annotations
 
 from typing import Union
 
-from ..core.executor import HybridExecutor
+from ..compile import compile_plan
 from ..core.memory_manager import MemoryPolicy
 from ..core.report import InferenceReport
-from ..core.tuner import AdaptiveTuner, TunerConfig
+from ..core.tuner import TunerConfig
 from ..hardware.device import Device
 from ..hardware.specs import DeviceSpec
 from ..nn.graph import NetworkGraph
-from ..nn.models import build as build_model
 
 
 def run_interkernel_only(
@@ -27,14 +26,9 @@ def run_interkernel_only(
 ) -> InferenceReport:
     """Simulate inter-kernel-only hybrid execution (branch assignment with
     zero-copy memory, but no layer splitting)."""
-    graph = build_model(network) if isinstance(network, str) else network
-    dev = device if isinstance(device, Device) else Device(device)
     config = TunerConfig(
         use_intra_kernel=False,
         use_inter_kernel=True,
         memory_policy=MemoryPolicy.SEMANTIC,
     )
-    tuner = AdaptiveTuner(graph, dev, config)
-    result = tuner.tune()
-    executor = HybridExecutor(graph, dev, result.plan)
-    return executor.run()
+    return compile_plan(network, device, config).execute()

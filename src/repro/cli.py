@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro experiments                  # regenerate all artifacts
     python -m repro experiments fig06 fig09      # a subset
     python -m repro export results/              # CSV+JSON for plotting
+    python -m repro plan compile alexnet -o alexnet.plan.json
+    python -m repro plan show alexnet.plan.json  # inspect a saved plan
+    python -m repro plan run alexnet.plan.json   # execute it (no re-tuning)
 """
 
 from __future__ import annotations
@@ -89,7 +92,13 @@ def _device_from(args):
 
 
 def cmd_run(args) -> int:
-    engine = EdgeNN(args.network, _device_from(args), _config_from(args))
+    plan_cache = None
+    if getattr(args, "plan_dir", None):
+        from .core.plan_cache import PlanCache
+
+        plan_cache = PlanCache(save_dir=args.plan_dir)
+    engine = EdgeNN(args.network, _device_from(args), _config_from(args),
+                    plan_cache=plan_cache)
     tuning = engine.tune()
     report = engine.run()
     print(f"network   : {args.network} on {engine.device.name}")
@@ -98,7 +107,9 @@ def cmd_run(args) -> int:
     print(f"power     : {report.energy.average_power_w:.2f} W "
           f"({report.energy.energy_j:.3f} J/inference)")
     print(f"plan      : {engine.plan.describe()}")
-    print(f"tuning    : converged after {tuning.converged_after} rounds")
+    print(f"tuning    : converged after {tuning.converged_after} rounds"
+          + (" (reloaded from artifact, 0 run here)"
+             if tuning.source == "artifact" else ""))
     if args.trace:
         with open(args.trace, "w") as f:
             f.write(report.trace.to_chrome_trace())
@@ -253,6 +264,13 @@ def cmd_serve(args) -> int:
     from .obs import Observability
     from .obs.export import write_obs_artifacts
 
+    if args.plan_dir:
+        # Warm-start serving: plans tuned in any earlier process are
+        # reloaded from DIR as artifacts (zero tuner rounds), and plans
+        # tuned here are persisted for the next run.
+        from .core.plan_cache import configure_default_plan_cache
+
+        configure_default_plan_cache(save_dir=args.plan_dir)
     obs = Observability.on() if args.obs_out else Observability.off()
     if args.obs_out:
         # A warm plan cache would skip tuning entirely and leave the
@@ -276,6 +294,66 @@ def cmd_serve(args) -> int:
             kernel_trace=simulator.trace, requests=simulator.requests,
         )
         print(f"obs       : {args.obs_out}/ ({', '.join(names)})")
+    return 0
+
+
+def cmd_plan_compile(args) -> int:
+    from .compile import compile_plan
+
+    compiled = compile_plan(
+        args.network, _device_from(args), _config_from(args)
+    )
+    artifact = compiled.artifact
+    print(artifact.describe())
+    if args.out:
+        path = artifact.save(args.out)
+        print(f"\nsaved     : {path}")
+    if args.plan_dir:
+        import pathlib
+
+        directory = pathlib.Path(args.plan_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = artifact.save(directory / f"{artifact.key.slug()}.json")
+        print(f"saved     : {path} (plan-cache layout)")
+    return 0
+
+
+def cmd_plan_show(args) -> int:
+    from .compile import PlanArtifact
+
+    artifact = PlanArtifact.load(args.artifact)
+    if args.json:
+        print(artifact.to_json(indent=2))
+        return 0
+    print(artifact.describe())
+    if args.layers:
+        print("\nlayer placements:")
+        for lp in artifact.plan.layers.values():
+            frac = (f"  cpu_fraction={lp.cpu_fraction:.3f}"
+                    if lp.assignment.value == "split" else "")
+            print(f"  {lp.layer:<14}{lp.assignment.value}{frac}")
+    return 0
+
+
+def cmd_plan_run(args) -> int:
+    from .compile import AnalyticBackend, CompiledPlan, PlanArtifact
+
+    artifact = PlanArtifact.load(args.artifact)
+    compiled = CompiledPlan.from_artifact(artifact)
+    report = AnalyticBackend().execute(compiled)
+    print(f"network   : {artifact.key.network} on {artifact.key.device} "
+          f"(artifact v{artifact.version}, no tuning run)")
+    print(f"latency   : {report.total_s * 1e3:.3f} ms")
+    print(f"copy share: {report.copy_share:.1%}")
+    print(f"power     : {report.energy.average_power_w:.2f} W "
+          f"({report.energy.energy_j:.3f} J/inference)")
+    print(f"plan      : {compiled.plan.describe()}")
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w") as f:
+            json.dump(report.to_dict(), f, indent=1)
+        print(f"report    : {args.report_json}")
     return 0
 
 
@@ -360,8 +438,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="integrated device name (default jetson)")
     run.add_argument("--trace", default=None,
                      help="write a Chrome trace of the schedule here")
+    run.add_argument("--plan-dir", default=None, metavar="DIR",
+                     help="persist/reuse tuned plans as artifacts in DIR")
     add_engine_flags(run)
     run.set_defaults(func=cmd_run)
+
+    plan = sub.add_parser(
+        "plan", help="compile, inspect, and execute serialized plan artifacts"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    plan_compile = plan_sub.add_parser(
+        "compile", help="run the compilation pipeline and save the artifact"
+    )
+    plan_compile.add_argument("network", choices=list(MODEL_BUILDERS))
+    plan_compile.add_argument("--device", default=None,
+                              help="integrated device name (default jetson)")
+    plan_compile.add_argument("-o", "--out", default=None, metavar="FILE",
+                              help="write the artifact JSON here")
+    plan_compile.add_argument("--plan-dir", default=None, metavar="DIR",
+                              help="also save under DIR with the plan-cache "
+                                   "file name (slug of the plan key)")
+    add_engine_flags(plan_compile)
+    plan_compile.set_defaults(func=cmd_plan_compile)
+
+    plan_show = plan_sub.add_parser(
+        "show", help="describe a saved plan artifact"
+    )
+    plan_show.add_argument("artifact", help="path to a plan-artifact JSON")
+    plan_show.add_argument("--json", action="store_true",
+                           help="dump the full artifact JSON")
+    plan_show.add_argument("--layers", action="store_true",
+                           help="list every layer placement")
+    plan_show.set_defaults(func=cmd_plan_show)
+
+    plan_run = plan_sub.add_parser(
+        "run", help="execute a saved plan artifact (no tuning)"
+    )
+    plan_run.add_argument("artifact", help="path to a plan-artifact JSON")
+    plan_run.add_argument("--report-json", default=None, metavar="FILE",
+                          help="write the full inference report as JSON")
+    plan_run.set_defaults(func=cmd_plan_run)
 
     compare = sub.add_parser("compare", help="compare against all baselines")
     compare.add_argument("network", choices=list(MODEL_BUILDERS))
@@ -419,6 +536,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--obs-out", default=None, metavar="DIR",
                        help="enable full observability and write trace/"
                             "metrics/provenance artifacts to DIR")
+    serve.add_argument("--plan-dir", default=None, metavar="DIR",
+                       help="persist/reuse tuned plans as artifacts in DIR "
+                            "(warm-start serving across processes)")
     serve.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser(

@@ -1,0 +1,58 @@
+"""repro.compile — the staged plan-compilation pipeline.
+
+Turns "derive a plan and execute it" into an explicit, inspectable
+compiler: five stages (``profile → place → partition → schedule →
+lower``) producing a versioned, JSON-serializable
+:class:`~repro.compile.artifact.PlanArtifact`, executed by pluggable
+backends (analytic simulator / NumPy numerics).
+
+Public surface:
+
+* :func:`compile_plan` / :func:`compile_fixed` — build a
+  :class:`CompiledPlan` (tuned, or fixed single-processor);
+* :class:`CompilerPipeline` — the stage driver (used by
+  :meth:`repro.core.tuner.AdaptiveTuner.tune` under the hood);
+* :class:`PlanArtifact` — save/load compiled plans across processes;
+* :func:`get_backend` / :class:`AnalyticBackend` /
+  :class:`NumpyBackend` — execute a compiled plan.
+"""
+
+from .artifact import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION,
+    STAGE_NAMES,
+    Lowering,
+    PlanArtifact,
+    TunerProvenance,
+)
+from .backends import (
+    BACKENDS,
+    AnalyticBackend,
+    ExecutionBackend,
+    NumpyBackend,
+    get_backend,
+)
+from .pipeline import (
+    CompiledPlan,
+    CompilerPipeline,
+    compile_fixed,
+    compile_plan,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_VERSION",
+    "BACKENDS",
+    "STAGE_NAMES",
+    "AnalyticBackend",
+    "CompiledPlan",
+    "CompilerPipeline",
+    "ExecutionBackend",
+    "Lowering",
+    "NumpyBackend",
+    "PlanArtifact",
+    "TunerProvenance",
+    "compile_fixed",
+    "compile_plan",
+    "get_backend",
+]

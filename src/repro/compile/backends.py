@@ -1,0 +1,190 @@
+"""Pluggable execution backends for compiled plans.
+
+A backend consumes a :class:`~repro.compile.pipeline.CompiledPlan` and
+executes it.  Two ship with the repository:
+
+* :class:`AnalyticBackend` — the deterministic virtual-clock simulator
+  (:class:`~repro.core.executor.HybridExecutor`): produces a full
+  :class:`~repro.core.report.InferenceReport` with per-layer timing,
+  memory traffic, and energy.  This is the cost-model path every
+  benchmark, baseline, and the serving simulator run on.
+* :class:`NumpyBackend` — real numeric inference via
+  :meth:`~repro.nn.graph.NetworkGraph.forward`: produces the output
+  logits as an :class:`numpy.ndarray`.  It validates that the compiled
+  plans are *functionally* executable — placement never changes math.
+
+Both honour the artifact's :class:`~repro.compile.artifact.Lowering`
+(stream serialization, host staging, precision, batch size); analytic
+callers can override per-execution concerns (warm weights, a buffer
+namespace) at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable, TYPE_CHECKING
+
+import numpy as np
+
+from ..core.executor import HybridExecutor
+from ..errors import ReproError
+from ..nn.graph import NetworkGraph
+from ..obs import NOOP_OBS, Observability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.report import InferenceReport
+    from .pipeline import CompiledPlan
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What it takes to execute a compiled plan."""
+
+    name: str
+
+    def execute(
+        self,
+        compiled: "CompiledPlan",
+        *,
+        payload: Optional[np.ndarray] = None,
+        obs: Optional[Observability] = None,
+    ):  # pragma: no cover - protocol signature
+        """Run one inference of ``compiled``; the return type is
+        backend-specific (report vs logits)."""
+        ...
+
+
+class AnalyticBackend:
+    """Deterministic cost-model execution on the virtual-clock simulator.
+
+    ``serialize``/``host_staging`` default to ``None`` meaning "use the
+    artifact's lowering"; pass booleans to override (the ablation
+    baselines pin their own execution semantics).  ``warm_weights``
+    starts with weights device-resident; ``namespace`` prefixes buffer
+    names so multiple plans can share one device (multi-tenant).
+    """
+
+    name = "analytic"
+
+    def __init__(
+        self,
+        *,
+        serialize: Optional[bool] = None,
+        host_staging: Optional[bool] = None,
+        warm_weights: bool = False,
+        namespace: str = "",
+    ) -> None:
+        self._serialize = serialize
+        self._host_staging = host_staging
+        self._warm_weights = warm_weights
+        self._namespace = namespace
+
+    def executor(
+        self,
+        compiled: "CompiledPlan",
+        *,
+        obs: Optional[Observability] = None,
+    ) -> HybridExecutor:
+        """The configured executor (exposed for timeline-sharing callers)."""
+        lowering = compiled.artifact.lowering
+        serialize = (
+            lowering.serialize if self._serialize is None else self._serialize
+        )
+        host_staging = (
+            lowering.host_staging
+            if self._host_staging is None
+            else self._host_staging
+        )
+        return HybridExecutor(
+            compiled.graph,
+            compiled.device,
+            compiled.plan,
+            serialize=serialize,
+            host_staging=host_staging,
+            warm_weights=self._warm_weights,
+            precision=compiled.precision,
+            batch_size=compiled.batch_size,
+            namespace=self._namespace,
+            obs=obs if obs is not None else NOOP_OBS,
+        )
+
+    def execute(
+        self,
+        compiled: "CompiledPlan",
+        *,
+        payload: Optional[np.ndarray] = None,
+        obs: Optional[Observability] = None,
+    ) -> "InferenceReport":
+        if payload is not None:
+            raise ReproError(
+                "the analytic backend simulates execution and takes no "
+                "input payload; use the numpy backend for real inference"
+            )
+        return self.executor(compiled, obs=obs).run()
+
+
+class NumpyBackend:
+    """Real numeric inference: forward-propagate the payload through the
+    graph with deterministically initialized parameters.
+
+    Parameters are materialized once per graph and cached on the backend
+    instance, so repeated inferences (an engine's ``infer`` loop) pay
+    the initialization cost once — same behaviour the engine had before
+    the backend split.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._params: Dict[int, dict] = {}
+
+    def params_for(self, graph: NetworkGraph) -> dict:
+        """Materialized (cached) parameters for ``graph``."""
+        key = id(graph)
+        if key not in self._params:
+            self._params[key] = graph.materialize_params()
+        return self._params[key]
+
+    def infer(self, graph: NetworkGraph, payload: np.ndarray) -> np.ndarray:
+        return graph.forward(payload, self.params_for(graph))
+
+    def execute(
+        self,
+        compiled: "CompiledPlan",
+        *,
+        payload: Optional[np.ndarray] = None,
+        obs: Optional[Observability] = None,
+    ) -> np.ndarray:
+        if payload is None:
+            raise ReproError(
+                "the numpy backend runs real inference and needs an input "
+                "array payload"
+            )
+        return self.infer(compiled.graph, payload)
+
+
+#: Registry of backend constructors by name.
+BACKENDS = {
+    AnalyticBackend.name: AnalyticBackend,
+    NumpyBackend.name: NumpyBackend,
+}
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a backend by registry name (``analytic`` or ``numpy``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown execution backend {name!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from exc
+    return factory(**options)
+
+
+__all__ = [
+    "AnalyticBackend",
+    "BACKENDS",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "get_backend",
+]

@@ -21,7 +21,7 @@ or the full system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Union, TYPE_CHECKING
 
 import numpy as np
 
@@ -32,12 +32,15 @@ from ..nn.graph import NetworkGraph
 from ..nn.models import build as build_model
 from ..nn.precision import Precision
 from ..obs import NOOP_OBS, Observability
-from .executor import HybridExecutor
 from .memory_manager import MemoryPolicy
 from .plan import ExecutionPlan
 from .plan_cache import PlanCache, PlanKey, default_plan_cache
 from .report import InferenceReport
 from .tuner import AdaptiveTuner, TunerConfig, TuningObjective, TuningResult
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime, fine for types
+    from ..compile.artifact import PlanArtifact
+    from ..compile.pipeline import CompiledPlan
 
 
 @dataclass(frozen=True)
@@ -108,7 +111,8 @@ class EdgeNN:
             )
         self.config = config or EdgeNNConfig()
         self._tuning: Optional[TuningResult] = None
-        self._params = None
+        self._compiled: Optional["CompiledPlan"] = None
+        self._numpy_backend = None
         # Plans are only shareable when the network is a catalog model
         # named by string: a user-built NetworkGraph may reuse a name for
         # a different topology, so it always tunes privately.
@@ -132,14 +136,20 @@ class EdgeNN:
         both caches and re-tunes from scratch.
         """
         if self._tuning is None or force:
+            from ..compile.pipeline import CompilerPipeline
+
             obs = self.obs
+            self._compiled = None
 
             def _tune_now() -> TuningResult:
                 tuner = AdaptiveTuner(
                     self.graph, self.device, self.config.tuner_config(),
                     obs=obs,
                 )
-                return tuner.tune()
+                self._compiled = CompilerPipeline().compile_with_tuner(
+                    tuner, key=self._cache_key
+                )
+                return self._compiled.tuning
 
             if self._cache_key is not None and not force:
                 hits_before = self._plan_cache.hits
@@ -168,21 +178,48 @@ class EdgeNN:
         """The tuned execution plan."""
         return self.tune().plan
 
+    def compiled(self) -> "CompiledPlan":
+        """The compiled plan (tunes on first use).
+
+        When the tuning came from a cache (memory or disk) rather than a
+        live pipeline run, the compiled plan is reassembled from the
+        cached result — the artifact then records the cached plan with
+        its round-free provenance.
+        """
+        tuning = self.tune()
+        if self._compiled is None:
+            from ..compile.artifact import PlanArtifact
+            from ..compile.pipeline import CompiledPlan, _key_for_tuner
+
+            key = self._cache_key
+            if key is None:
+                tuner_cfg = self.config.tuner_config()
+                key = _key_for_tuner(self.graph, self.device, tuner_cfg)
+            self._compiled = CompiledPlan(
+                graph=self.graph,
+                device=self.device,
+                artifact=PlanArtifact.from_tuning(key, tuning),
+                tuning=tuning,
+            )
+        return self._compiled
+
+    def artifact(self) -> "PlanArtifact":
+        """The serializable :class:`~repro.compile.artifact.PlanArtifact`."""
+        return self.compiled().artifact
+
     def run(self) -> InferenceReport:
-        """Simulate one inference under the tuned plan."""
-        executor = HybridExecutor(
-            self.graph, self.device, self.plan,
-            precision=self.config.precision,
-            batch_size=self.config.batch_size,
-            obs=self.obs,
-        )
+        """Simulate one inference under the tuned plan (analytic backend)."""
+        from ..compile.backends import AnalyticBackend
+
+        backend = AnalyticBackend()
+        compiled = self.compiled()
         if not self.obs.enabled:
-            return executor.run()
+            return backend.execute(compiled)
         with self.obs.tracer.span(
             f"execute:{self.graph.name}", category="execute",
             device=self.device.name, batch=self.config.batch_size,
         ) as span:
-            report = executor.run()
+            report = backend.execute(compiled, obs=self.obs)
             span.set_times(0.0, report.total_s)
             span.set_attributes(
                 latency_ms=report.total_s * 1e3,
@@ -193,14 +230,17 @@ class EdgeNN:
     # -- numerics ---------------------------------------------------------------
 
     def infer(self, x: np.ndarray) -> np.ndarray:
-        """Numerically execute the network on ``x`` (NumPy reference path).
+        """Numerically execute the network on ``x`` (NumPy backend).
 
         Independent of the timing simulation: the placement of a layer on
-        CPU or GPU never changes its mathematical result.
+        CPU or GPU never changes its mathematical result, so this path
+        needs no plan and never triggers tuning.
         """
-        if self._params is None:
-            self._params = self.graph.materialize_params()
-        return self.graph.forward(x, self._params)
+        from ..compile.backends import NumpyBackend
+
+        if self._numpy_backend is None:
+            self._numpy_backend = NumpyBackend()
+        return self._numpy_backend.infer(self.graph, x)
 
     def summary(self) -> str:
         """Engine + plan description for logs."""

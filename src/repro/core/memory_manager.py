@@ -106,6 +106,37 @@ def _placement_candidates(
     return (managed, regular)
 
 
+class MemoryPlacer:
+    """The place stage's bound memory manager: one (graph, device, policy)
+    binding whose per-buffer decisions are (re)applied whenever layer
+    placements evolve — a split layer forces its output to REGULAR, so
+    placement and allocation cannot be decided independently."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        device: DeviceSpec,
+        policy: MemoryPolicy = MemoryPolicy.SEMANTIC,
+        *,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.graph = graph
+        self.device = device
+        self.policy = policy
+        self._obs = obs
+
+    def buffer_catalog(self) -> Dict[str, float]:
+        """Every named buffer and its base (fp32, batch-1) byte size."""
+        return _buffer_sizes(self.graph)
+
+    def apply(self, plan: ExecutionPlan, *, stage: str = "") -> Dict[str, AllocKind]:
+        """Decide every buffer's mechanism for the plan's current placements."""
+        return plan_allocations(
+            self.graph, plan, self.device, self.policy,
+            obs=self._obs, stage=stage,
+        )
+
+
 def plan_allocations(
     graph: NetworkGraph,
     plan: ExecutionPlan,

@@ -3,13 +3,19 @@
 A plan assigns every layer to the GPU, the CPU, or a CPU/GPU split with a
 concrete CPU fraction (intra-kernel co-running), and records the memory
 mechanism chosen for every buffer (semantic-aware memory management).
+
+Plans serialize to plain dicts (:meth:`ExecutionPlan.to_dict` /
+:meth:`ExecutionPlan.from_dict`) so the compilation pipeline can persist
+them inside a :class:`~repro.compile.artifact.PlanArtifact`.  Layer order
+is preserved through the round-trip: downstream consumers (buffer
+classification, provenance) iterate plans in insertion order.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping
 
 from ..errors import PlanError
 from ..hardware.memory import AllocKind
@@ -65,6 +71,25 @@ class LayerPlan:
             if self.assignment is Assignment.CPU
             else ProcessorKind.GPU
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "layer": self.layer,
+            "assignment": self.assignment.value,
+            "cpu_fraction": self.cpu_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LayerPlan":
+        """Inverse of :meth:`to_dict` (raises PlanError on bad data)."""
+        try:
+            layer = data["layer"]
+            assignment = Assignment(data["assignment"])
+            cpu_fraction = float(data.get("cpu_fraction", 0.0))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise PlanError(f"malformed layer-plan record {data!r}") from exc
+        return cls(str(layer), assignment, cpu_fraction)
 
 
 def gpu_layer(name: str) -> LayerPlan:
@@ -139,3 +164,35 @@ class ExecutionPlan:
             f"plan[{self.network}]: gpu={c['gpu']} cpu={c['cpu']} "
             f"split={c['split']} managed_buffers={managed}/{len(self.alloc)}"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; layer and alloc order are preserved."""
+        layers: List[Dict[str, object]] = [
+            lp.to_dict() for lp in self.layers.values()
+        ]
+        return {
+            "network": self.network,
+            "layers": layers,
+            "alloc": {name: kind.value for name, kind in self.alloc.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExecutionPlan":
+        """Inverse of :meth:`to_dict` (raises PlanError on bad data)."""
+        try:
+            network = str(data["network"])
+            layer_records = data["layers"]
+            alloc_records = data.get("alloc", {})
+        except (KeyError, TypeError) as exc:
+            raise PlanError(f"malformed execution-plan record: {exc}") from exc
+        plan = cls(network)
+        for record in layer_records:
+            plan.set_layer(LayerPlan.from_dict(record))
+        try:
+            plan.alloc = {
+                str(name): AllocKind(kind)
+                for name, kind in alloc_records.items()
+            }
+        except ValueError as exc:
+            raise PlanError(f"unknown allocation kind: {exc}") from exc
+        return plan

@@ -1,4 +1,4 @@
-"""Shared cache of tuned execution plans.
+"""Shared cache of tuned execution plans (in-memory LRU + optional disk).
 
 Tuning is by far the most expensive operation in the system (two
 profiling passes plus up to ``max_feedback_rounds`` measured runs), yet
@@ -12,16 +12,39 @@ objects under exactly that key.  :class:`~repro.core.engine.EdgeNN`
 consults the process-wide default cache whenever the network was given
 by *name* (custom :class:`~repro.nn.graph.NetworkGraph` objects are
 never cached — two different user graphs may share a name).
+
+Two properties matter for serving:
+
+* **Thread safety** — the serving simulator and concurrent clients share
+  :func:`default_plan_cache`; every public operation (including the
+  hit/miss counters) runs under one lock, so a key is tuned exactly once
+  no matter how many threads race on it.
+* **Disk persistence** — give the cache a ``save_dir`` and every freshly
+  tuned result is written as a versioned
+  :class:`~repro.compile.artifact.PlanArtifact` JSON file; a later
+  process (or a pre-deploy ahead-of-time tuning step) warm-starts from
+  those files with *zero* tuner rounds.  Disk loads count as hits and
+  are additionally reported in :attr:`PlanCache.disk_hits`.
 """
 
 from __future__ import annotations
 
+import re
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Optional, TYPE_CHECKING
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Union, TYPE_CHECKING
+
+from ..errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tuner import TuningResult
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ReproError(f"PlanKey.from_config: {message}")
 
 
 @dataclass(frozen=True)
@@ -38,72 +61,249 @@ class PlanKey:
     use_intra_kernel: bool
     objective: str
 
+    _FLAGS = (
+        "use_memory_management",
+        "use_hybrid_execution",
+        "use_inter_kernel",
+        "use_intra_kernel",
+    )
+
     @classmethod
     def from_config(cls, network: str, device: str, config) -> "PlanKey":
+        """Build a key from an engine/tuner config object.
+
+        The config is duck-typed (:class:`~repro.core.engine.EdgeNNConfig`
+        or anything shaped like it), so every field is validated here and
+        a :class:`~repro.errors.ReproError` names exactly what is missing
+        or mistyped instead of a late ``AttributeError`` deep in a cache
+        lookup.
+        """
+        _require(isinstance(network, str) and bool(network),
+                 f"network must be a non-empty string, got {network!r}")
+        _require(isinstance(device, str) and bool(device),
+                 f"device must be a non-empty string, got {device!r}")
+        batch = getattr(config, "batch_size", None)
+        _require(isinstance(batch, int) and not isinstance(batch, bool)
+                 and batch >= 1,
+                 f"config.batch_size must be an int >= 1, got {batch!r}")
+        precision = getattr(config, "precision", None)
+        precision_value = getattr(precision, "value", None)
+        _require(isinstance(precision_value, str),
+                 f"config.precision must be a Precision enum, "
+                 f"got {precision!r}")
+        objective = getattr(config, "objective", None)
+        objective_value = getattr(objective, "value", None)
+        _require(isinstance(objective_value, str),
+                 f"config.objective must be a TuningObjective enum, "
+                 f"got {objective!r}")
+        flags = {}
+        for flag in cls._FLAGS:
+            value = getattr(config, flag, None)
+            _require(isinstance(value, bool),
+                     f"config.{flag} must be a bool, got {value!r}")
+            flags[flag] = value
         return cls(
             network=network,
             device=device,
-            batch_size=config.batch_size,
-            precision=config.precision.value,
-            use_memory_management=config.use_memory_management,
-            use_hybrid_execution=config.use_hybrid_execution,
-            use_inter_kernel=config.use_inter_kernel,
-            use_intra_kernel=config.use_intra_kernel,
-            objective=config.objective.value,
+            batch_size=batch,
+            precision=precision_value,
+            objective=objective_value,
+            **flags,
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PlanKey":
+        """Inverse of :meth:`to_dict`; raises ReproError on bad data."""
+        names = {f.name for f in fields(cls)}
+        missing = names - set(data)
+        if missing:
+            raise ReproError(
+                f"plan key record is missing fields {sorted(missing)}"
+            )
+        kwargs = {}
+        for f in fields(cls):
+            value = data[f.name]
+            if f.type == "str" and not isinstance(value, str):
+                raise ReproError(
+                    f"plan key field {f.name!r} must be a string, "
+                    f"got {value!r}"
+                )
+            if f.type == "bool" and not isinstance(value, bool):
+                raise ReproError(
+                    f"plan key field {f.name!r} must be a bool, got {value!r}"
+                )
+            if f.type == "int" and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ReproError(
+                    f"plan key field {f.name!r} must be an int, got {value!r}"
+                )
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+    def slug(self) -> str:
+        """Human-readable, filesystem-safe identifier for this key."""
+        flags = "".join(
+            "1" if getattr(self, flag) else "0" for flag in self._FLAGS
+        )
+        raw = (
+            f"{self.network}__{self.device}__b{self.batch_size}"
+            f"__{self.precision}__{self.objective}__{flags}"
+        )
+        return re.sub(r"[^A-Za-z0-9._-]+", "-", raw)
 
 
 class PlanCache:
-    """LRU cache of tuning results keyed by :class:`PlanKey`."""
+    """Thread-safe LRU cache of tuning results keyed by :class:`PlanKey`.
 
-    def __init__(self, capacity: int = 128) -> None:
+    ``save_dir`` adds a disk-persistence layer: tuned results are written
+    as :class:`~repro.compile.artifact.PlanArtifact` JSON files (one per
+    key, named by :meth:`PlanKey.slug`) and read back on a miss, so
+    tuning survives process restarts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        save_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: "OrderedDict[PlanKey, TuningResult]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._save_dir = Path(save_dir) if save_dir is not None else None
         self.hits = 0
         self.misses = 0
+        #: hits served from ``save_dir`` artifacts (subset of ``hits``).
+        self.disk_hits = 0
+
+    @property
+    def save_dir(self) -> Optional[Path]:
+        return self._save_dir
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get_or_tune(
         self, key: PlanKey, tune: Callable[[], "TuningResult"]
     ) -> "TuningResult":
-        """Return the cached result for ``key``, tuning on first use."""
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
-        result = tune()
+        """Return the cached result for ``key``, tuning on first use.
+
+        Lookup order: in-memory LRU, then the ``save_dir`` artifact (if
+        configured), then ``tune()``.  The whole operation holds the
+        cache lock, so concurrent callers of the same key tune once and
+        the counters stay consistent.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            loaded = self._load(key)
+            if loaded is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._store(key, loaded)
+                return loaded
+            self.misses += 1
+            result = tune()
+            self._store(key, result)
+            self._persist(key, result)
+            return result
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset the counters.
+
+        ``save_dir`` artifacts are left on disk (they are the whole point
+        of persistence); delete the directory to clear those too.
+        """
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _store(self, key: PlanKey, result: "TuningResult") -> None:
         self._entries[key] = result
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
-        return result
 
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+    def _artifact_path(self, key: PlanKey) -> Path:
+        assert self._save_dir is not None
+        return self._save_dir / f"{key.slug()}.json"
+
+    def _load(self, key: PlanKey) -> Optional["TuningResult"]:
+        """Rehydrate a TuningResult from the key's artifact, if present."""
+        if self._save_dir is None:
+            return None
+        path = self._artifact_path(key)
+        if not path.exists():
+            return None
+        from ..compile.artifact import PlanArtifact
+
+        artifact = PlanArtifact.load(path)
+        if artifact.key != key:
+            raise ReproError(
+                f"plan artifact {path} was compiled under a different key "
+                f"({artifact.key}) than requested ({key})"
+            )
+        return artifact.to_tuning_result()
+
+    def _persist(self, key: PlanKey, result: "TuningResult") -> None:
+        """Write the tuned result as a PlanArtifact JSON file."""
+        if self._save_dir is None:
+            return
+        # Duck-typed guard: unit tests exercise the LRU with plain
+        # sentinel values; only real tuning results are persistable.
+        if not hasattr(result, "plan") or not hasattr(result, "rounds"):
+            return
+        from ..compile.artifact import PlanArtifact
+
+        self._save_dir.mkdir(parents=True, exist_ok=True)
+        PlanArtifact.from_tuning(key, result).save(self._artifact_path(key))
 
 
 _DEFAULT: Optional[PlanCache] = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def default_plan_cache() -> PlanCache:
     """The process-wide cache :class:`~repro.core.engine.EdgeNN` uses."""
     global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = PlanCache()
-    return _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = PlanCache()
+        return _DEFAULT
+
+
+def configure_default_plan_cache(
+    save_dir: Optional[Union[str, Path]] = None,
+    capacity: int = 128,
+) -> PlanCache:
+    """Replace the process-wide cache (e.g. to point it at a plan
+    directory for ahead-of-time-tuned serving).  Returns the new cache."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = PlanCache(capacity=capacity, save_dir=save_dir)
+        return _DEFAULT
 
 
 def clear_plan_cache() -> None:
     """Drop every cached plan (tests / memory pressure)."""
-    if _DEFAULT is not None:
-        _DEFAULT.clear()
+    with _DEFAULT_LOCK:
+        cache = _DEFAULT
+    if cache is not None:
+        cache.clear()

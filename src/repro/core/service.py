@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
+from ..compile.backends import AnalyticBackend
 from ..hardware.device import Device
 from ..hardware.specs import DeviceSpec
 from ..nn.graph import NetworkGraph
@@ -30,7 +31,6 @@ from .engine import EdgeNN, EdgeNNConfig
 from .executor import HybridExecutor
 from .memory_manager import MemoryPolicy
 from .report import InferenceReport
-from .semantics import weights_buffer
 
 
 @dataclass(frozen=True)
@@ -52,17 +52,12 @@ class WarmExecutor(HybridExecutor):
     """A hybrid executor whose weight buffers are already device-resident
     (the steady state of a long-running service)."""
 
-    def _allocate_buffers(self) -> None:
-        super()._allocate_buffers()
-        for name in self._graph.topo_order():
-            node = self._graph.node(name)
-            if node.layer.param_bytes(node.in_shapes) > 0:
-                buf = self._device.memory.get(weights_buffer(name))
-                buf.device_valid = True    # regular: copy already done
-                buf.gpu_touched = True     # managed: pages already mapped
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("warm_weights", True)
+        super().__init__(*args, **kwargs)
 
 
-def _executor_kwargs(config: EdgeNNConfig | None) -> dict:
+def _backend_kwargs(config: EdgeNNConfig | None) -> dict:
     """Match the execution semantics of the configuration: without the
     semantic memory manager, the runtime behaves like the original
     programs (single stream, per-layer host staging)."""
@@ -81,10 +76,10 @@ def profile_service(
     """Cold/warm latency profile of an EdgeNN-tuned inference service."""
     graph = build_model(network) if isinstance(network, str) else network
     engine = EdgeNN(graph, device, config)
-    plan = engine.plan
-    kwargs = _executor_kwargs(config)
-    cold = HybridExecutor(graph, engine.device, plan, **kwargs).run()
-    warm = WarmExecutor(graph, engine.device, plan, **kwargs).run()
+    compiled = engine.compiled()
+    kwargs = _backend_kwargs(config)
+    cold = AnalyticBackend(**kwargs).execute(compiled)
+    warm = AnalyticBackend(warm_weights=True, **kwargs).execute(compiled)
     overhead = max(0.0, cold.total_s - warm.total_s)
     if overhead <= 0:
         amortize = 1
@@ -107,6 +102,6 @@ def warm_report(
     """Full report of one steady-state (warm) request."""
     graph = build_model(network) if isinstance(network, str) else network
     engine = EdgeNN(graph, device, config)
-    return WarmExecutor(
-        graph, engine.device, engine.plan, **_executor_kwargs(config)
-    ).run()
+    return AnalyticBackend(
+        warm_weights=True, **_backend_kwargs(config)
+    ).execute(engine.compiled())

@@ -33,7 +33,7 @@ from ..obs import NOOP_OBS, Observability
 from ..obs.provenance import PartitionCandidate, PartitionRecord
 from . import partition
 from .executor import HybridExecutor
-from .memory_manager import MemoryPolicy, plan_allocations
+from .memory_manager import MemoryPlacer, MemoryPolicy
 from .plan import (
     Assignment,
     ExecutionPlan,
@@ -89,16 +89,27 @@ class TunerConfig:
 
 @dataclass
 class TuningResult:
-    """Final plan plus the per-round measurement history."""
+    """Final plan plus the per-round measurement history.
+
+    ``source`` records where the result came from: ``"tuned"`` for a
+    live compilation (rounds hold the full measurement history) or
+    ``"artifact"`` for a plan rehydrated from a serialized
+    :class:`~repro.compile.artifact.PlanArtifact` (rounds are empty —
+    the whole point of the reload path is running zero tuner rounds).
+    """
 
     plan: ExecutionPlan
     rounds: List[InferenceReport] = field(default_factory=list)
     converged_after: int = 0
+    source: str = "tuned"
 
     @property
     def final_report(self) -> InferenceReport:
         if not self.rounds:
-            raise TuningError("tuner produced no measurement rounds")
+            raise TuningError(
+                "tuning result holds no measurement rounds "
+                f"(source={self.source!r}); execute the plan to measure it"
+            )
         return self.rounds[-1]
 
 
@@ -122,6 +133,11 @@ class AdaptiveTuner:
         self._config = config or TunerConfig()
         self._obs = obs if obs is not None else NOOP_OBS
         self._stage = "seed"     # provenance label for the current phase
+        #: the place stage's binding: one memory manager per compilation,
+        #: re-applied by later stages as layer placements evolve.
+        self.placer = MemoryPlacer(
+            graph, device.spec, self._config.memory_policy, obs=self._obs
+        )
         self.profiles = ProfileStore()
         self._branch_layers = {
             name
@@ -131,6 +147,23 @@ class AdaptiveTuner:
             for name in branch
         }
 
+    # Read-only accessors for the compilation pipeline.
+    @property
+    def graph(self) -> NetworkGraph:
+        return self._graph
+
+    @property
+    def device(self) -> Device:
+        return self._device
+
+    @property
+    def config(self) -> TunerConfig:
+        return self._config
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
+
     # -- profiling ---------------------------------------------------------------
 
     def _profile_pass(self, proc: ProcessorKind) -> InferenceReport:
@@ -139,9 +172,7 @@ class AdaptiveTuner:
         make = cpu_layer if proc is ProcessorKind.CPU else gpu_layer
         for name in self._graph.topo_order():
             plan.set_layer(make(name))
-        plan_allocations(self._graph, plan, self._device.spec,
-                         self._config.memory_policy,
-                         obs=self._obs, stage=f"profile:{proc.name.lower()}")
+        self.placer.apply(plan, stage=f"profile:{proc.name.lower()}")
         report = self._executor_for(plan).run()
         for lr in report.layers:
             if proc is ProcessorKind.CPU:
@@ -261,40 +292,69 @@ class AdaptiveTuner:
 
     def build_initial_plan(self) -> ExecutionPlan:
         """The analytic seed plan from the current profiles."""
+        return self.assemble_seed_plan(
+            self.partition_chain_layers(), self.schedule_branch_layers()
+        )
+
+    # -- pipeline stage methods (driven by repro.compile.pipeline) -----------
+
+    def partition_chain_layers(self) -> Dict[str, LayerPlan]:
+        """Partition stage: intra-kernel placement of every chain layer
+        from the profiles (Eq. 1-4 + the whole-layer-on-CPU option),
+        in segment order."""
+        placements: Dict[str, LayerPlan] = {}
+        for segment in self._graph.segments():
+            if isinstance(segment, ChainSegment):
+                for name in segment.layers:
+                    placements[name] = self._chain_layer_plan(name)
+        return placements
+
+    def schedule_branch_layers(self) -> Dict[str, LayerPlan]:
+        """Schedule stage: inter-kernel assignment of DAG branch chains
+        to processors (enumerated by the branch scheduler)."""
         cfg = self._config
-        plan = ExecutionPlan(self._graph.name)
-        branch_assignments = {}
+        branch_assignments: Dict[str, object] = {}
         if cfg.use_inter_kernel:
             branch_assignments = assignments_for_graph(
                 self._graph, self.profiles, self._device.copy_rate(),
                 handoff_free=cfg.memory_policy is not MemoryPolicy.ALL_REGULAR,
             )
+        placements: Dict[str, LayerPlan] = {}
+        for segment in self._graph.segments():
+            if isinstance(segment, BranchSegment):
+                assignment = branch_assignments.get(segment.join)
+                for i, branch in enumerate(segment.branches):
+                    proc = (
+                        assignment.processor_for(i)
+                        if assignment is not None
+                        else ProcessorKind.GPU
+                    )
+                    make = (
+                        cpu_layer if proc is ProcessorKind.CPU else gpu_layer
+                    )
+                    for name in branch:
+                        placements[name] = make(name)
+        return placements
+
+    def assemble_seed_plan(
+        self,
+        chain_placements: Dict[str, LayerPlan],
+        branch_placements: Dict[str, LayerPlan],
+    ) -> ExecutionPlan:
+        """Combine per-stage placements into one plan (segment order, so
+        downstream insertion-order consumers see the same plan the
+        monolithic tuner built) and run the memory placer over it."""
+        plan = ExecutionPlan(self._graph.name)
         for segment in self._graph.segments():
             if isinstance(segment, ChainSegment):
                 for name in segment.layers:
-                    plan.set_layer(self._chain_layer_plan(name))
+                    plan.set_layer(chain_placements[name])
             else:
-                self._plan_branch_segment(plan, segment, branch_assignments)
-        plan_allocations(self._graph, plan, self._device.spec, cfg.memory_policy,
-                         obs=self._obs, stage=self._stage)
+                for branch in segment.branches:
+                    for name in branch:
+                        plan.set_layer(branch_placements[name])
+        self.placer.apply(plan, stage=self._stage)
         return plan
-
-    def _plan_branch_segment(
-        self,
-        plan: ExecutionPlan,
-        segment: BranchSegment,
-        branch_assignments: Dict[str, object],
-    ) -> None:
-        assignment = branch_assignments.get(segment.join)
-        for i, branch in enumerate(segment.branches):
-            proc = (
-                assignment.processor_for(i)
-                if assignment is not None
-                else ProcessorKind.GPU
-            )
-            make = cpu_layer if proc is ProcessorKind.CPU else gpu_layer
-            for name in branch:
-                plan.set_layer(make(name))
 
     # -- feedback --------------------------------------------------------------------
 
@@ -304,7 +364,6 @@ class AdaptiveTuner:
         """One adaptation round: rebalance splits, demote losers.
 
         Returns the updated plan and the largest fraction change."""
-        cfg = self._config
         new_plan = ExecutionPlan(self._graph.name, dict(plan.layers))
         max_delta = 0.0
         for lr in report.layers:
@@ -327,8 +386,7 @@ class AdaptiveTuner:
                     max_delta, abs(updated.cpu_fraction - old.cpu_fraction)
                 )
             new_plan.set_layer(updated)
-        plan_allocations(self._graph, new_plan, self._device.spec,
-                         cfg.memory_policy, obs=self._obs, stage=self._stage)
+        self.placer.apply(new_plan, stage=self._stage)
         return new_plan, max_delta
 
     def _rebalance_split(self, name: str, old: LayerPlan, lr) -> LayerPlan:
@@ -399,65 +457,94 @@ class AdaptiveTuner:
             return gpu_layer(name)
         return cpu_layer(name)
 
+    # -- profile / feedback / lower stage entry points ----------------------------------
+
+    def stage_profile(self) -> InferenceReport:
+        """Profile stage: run the whole network once per processor and
+        record per-layer times.  Returns the GPU-only pass report (the
+        "original program" measurement that opens the round history)."""
+        tracer = self._obs.tracer
+        with tracer.span("tune:profile", category="tuner", processor="gpu"):
+            gpu_report = self._profile_pass(ProcessorKind.GPU)
+        with tracer.span("tune:profile", category="tuner", processor="cpu"):
+            self._profile_pass(ProcessorKind.CPU)
+        self._stage = "seed"
+        return gpu_report
+
+    def stage_feedback(
+        self, plan: ExecutionPlan, gpu_report: InferenceReport
+    ) -> Tuple[TuningResult, ExecutionPlan, ExecutionPlan, float]:
+        """Adaptive-feedback rounds: measure the plan, rebalance splits
+        from the measured side times, demote losers; stop at convergence
+        or the round budget.
+
+        Returns ``(result, adapted_plan, best_plan, best_score)`` — the
+        lower stage measures the final adapted plan and picks the winner.
+        """
+        cfg = self._config
+        tracer = self._obs.tracer
+        rounds_total = self._obs.metrics.counter(
+            "repro_tuner_feedback_rounds_total",
+            "Adaptive-feedback rounds executed", labels=("network",),
+        )
+        result = TuningResult(plan=plan, rounds=[gpu_report])
+        best_plan, best_score = plan, float("inf")
+        for round_idx in range(1, cfg.max_feedback_rounds + 1):
+            self._stage = f"round{round_idx}"
+            with tracer.span(f"tune:round{round_idx}",
+                             category="tuner") as round_span:
+                report = self._executor_for(plan).run()
+                result.rounds.append(report)
+                score = cfg.objective.score(report)
+                if score < best_score:
+                    best_plan, best_score = plan, score
+                new_plan, max_delta = self._apply_feedback(plan, report)
+                round_span.set_attributes(
+                    score=score, max_delta=max_delta,
+                    latency_ms=report.total_s * 1e3,
+                )
+            rounds_total.labels(network=self._graph.name).inc()
+            plan = new_plan
+            result.converged_after = round_idx
+            if max_delta < cfg.convergence_tol:
+                break
+        return result, plan, best_plan, best_score
+
+    def stage_lower(
+        self,
+        result: TuningResult,
+        plan: ExecutionPlan,
+        best_plan: ExecutionPlan,
+        best_score: float,
+    ) -> TuningResult:
+        """Lower stage (tuner part): measure the final adapted plan so it
+        can compete, then keep the *best measured* plan across rounds —
+        "the fine-grained adaptive inference tuning approach applies
+        different strategies each time and discovers the optimal
+        partitioning strategy" (§IV-D)."""
+        cfg = self._config
+        with self._obs.tracer.span("tune:final", category="tuner"):
+            final_report = self._executor_for(plan).run()
+        result.rounds.append(final_report)
+        if cfg.objective.score(final_report) < best_score:
+            best_plan = plan
+        result.plan = best_plan
+        self._obs.metrics.gauge(
+            "repro_tuner_converged_after_rounds",
+            "Feedback rounds until the tuner converged", labels=("network",),
+        ).labels(network=self._graph.name).set(result.converged_after)
+        return result
+
     # -- main loop ---------------------------------------------------------------------
 
     def tune(self) -> TuningResult:
         """Full tuning cycle: profile → seed plan → feedback to convergence.
 
-        The result keeps the *best measured* plan across rounds, not the
-        last one — "the fine-grained adaptive inference tuning approach
-        applies different strategies each time and discovers the optimal
-        partitioning strategy" (§IV-D).
+        Since the staged-compilation refactor this is a thin wrapper over
+        :class:`repro.compile.pipeline.CompilerPipeline`, which drives the
+        stage methods above (profile → place → partition → schedule →
+        lower) in exactly this tuner's historical order.
         """
-        cfg = self._config
-        obs = self._obs
-        tracer = obs.tracer
-        rounds_total = obs.metrics.counter(
-            "repro_tuner_feedback_rounds_total",
-            "Adaptive-feedback rounds executed", labels=("network",),
-        )
-        with tracer.span("tune", category="tuner",
-                         network=self._graph.name,
-                         objective=cfg.objective.value):
-            with tracer.span("tune:profile", category="tuner",
-                             processor="gpu"):
-                gpu_report = self._profile_pass(ProcessorKind.GPU)
-            with tracer.span("tune:profile", category="tuner",
-                             processor="cpu"):
-                self._profile_pass(ProcessorKind.CPU)
-            self._stage = "seed"
-            with tracer.span("tune:seed", category="tuner"):
-                plan = self.build_initial_plan()
-            result = TuningResult(plan=plan, rounds=[gpu_report])
-            best_plan, best_score = plan, float("inf")
-            for round_idx in range(1, cfg.max_feedback_rounds + 1):
-                self._stage = f"round{round_idx}"
-                with tracer.span(f"tune:round{round_idx}",
-                                 category="tuner") as round_span:
-                    report = self._executor_for(plan).run()
-                    result.rounds.append(report)
-                    score = cfg.objective.score(report)
-                    if score < best_score:
-                        best_plan, best_score = plan, score
-                    new_plan, max_delta = self._apply_feedback(plan, report)
-                    round_span.set_attributes(
-                        score=score, max_delta=max_delta,
-                        latency_ms=report.total_s * 1e3,
-                    )
-                rounds_total.labels(network=self._graph.name).inc()
-                plan = new_plan
-                result.converged_after = round_idx
-                if max_delta < cfg.convergence_tol:
-                    break
-            # One measurement of the final adapted plan so it can compete.
-            with tracer.span("tune:final", category="tuner"):
-                final_report = self._executor_for(plan).run()
-            result.rounds.append(final_report)
-            if cfg.objective.score(final_report) < best_score:
-                best_plan = plan
-            result.plan = best_plan
-        obs.metrics.gauge(
-            "repro_tuner_converged_after_rounds",
-            "Feedback rounds until the tuner converged", labels=("network",),
-        ).labels(network=self._graph.name).set(result.converged_after)
-        return result
+        from ..compile.pipeline import CompilerPipeline
+
+        return CompilerPipeline().compile_with_tuner(self).tuning

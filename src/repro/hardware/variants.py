@@ -197,3 +197,28 @@ VARIANT_CATALOG: Mapping[str, DeviceSpec] = {
         APPLE_M1_STYLE,
     )
 }
+
+
+def full_catalog() -> Mapping[str, DeviceSpec]:
+    """Every known device: the paper-exact catalog plus the variants."""
+    from .specs import DEVICE_CATALOG
+
+    merged = dict(DEVICE_CATALOG)
+    merged.update(VARIANT_CATALOG)
+    return merged
+
+
+def spec_by_name(name: str) -> DeviceSpec:
+    """Look up any device (catalog or variant) by name.
+
+    This is what artifact reloads use to rebind a
+    :class:`~repro.compile.artifact.PlanArtifact` to the device it was
+    compiled for; raises :class:`~repro.errors.SpecError` if unknown.
+    """
+    catalog = full_catalog()
+    try:
+        return catalog[name]
+    except KeyError as exc:
+        raise SpecError(
+            f"unknown device {name!r}; available: {sorted(catalog)}"
+        ) from exc

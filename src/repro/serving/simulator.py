@@ -29,9 +29,9 @@ import heapq
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..compile.backends import AnalyticBackend
 from ..core.engine import EdgeNN, EdgeNNConfig
 from ..core.plan_cache import default_plan_cache
-from ..core.service import WarmExecutor
 from ..errors import ReproError
 from ..hardware.device import Device
 from ..hardware.specs import JETSON_AGX_XAVIER, DeviceSpec
@@ -142,11 +142,9 @@ class ServiceTimeModel:
         key = (network, batch)
         if key not in self._warm:
             engine = self._engine_for(network, batch)
-            report = WarmExecutor(
-                engine.graph, engine.device, engine.plan,
-                precision=self._precision, batch_size=batch,
-                obs=self._obs,
-            ).run()
+            report = AnalyticBackend(warm_weights=True).execute(
+                engine.compiled(), obs=self._obs
+            )
             self._warm[key] = BatchServiceTime(
                 total_s=report.total_s,
                 cpu_busy_s=report.cpu_busy_s,

@@ -1,0 +1,122 @@
+"""Refactor parity against frozen pre-refactor goldens.
+
+``tests/golden/plan_parity.json`` was generated at the seed commit
+(see ``tests/golden/generate_plan_goldens.py``) and pins the full
+report-scalar surface of every model under all four ablation-flag
+combinations, on both an integrated and a discrete device, plus a
+digest of the NumPy forward pass.  The staged compilation pipeline
+must reproduce all of it bit-for-bit: analytic numbers are pure-Python
+floats and compare with ``==``; logits go through BLAS and compare via
+digest first, tolerance as the diagnosable fallback.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.compile import AnalyticBackend, CompiledPlan, PlanArtifact
+from repro.core.engine import EdgeNN, EdgeNNConfig
+from repro.core.memory_manager import MemoryPolicy
+from repro.core.plan_cache import PlanCache
+from repro.baselines.gpu_only import run_gpu_only
+from repro.hardware.specs import JETSON_AGX_XAVIER, RTX_2080TI_HOST
+from repro.nn.models import MODEL_BUILDERS, build as build_model
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "golden" / "plan_parity.json"
+)
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+FLAG_COMBOS = ((True, True), (True, False), (False, True), (False, False))
+
+COMBOS = [
+    (model, mm, he) for model in MODEL_BUILDERS for mm, he in FLAG_COMBOS
+]
+
+
+def combo_key(model: str, mm: bool, he: bool) -> str:
+    return f"{model}|mm={int(mm)}|he={int(he)}"
+
+
+def report_scalars(report) -> dict:
+    return {
+        "total_s": report.total_s,
+        "copy_s_total": report.copy_s_total,
+        "cpu_busy_s": report.cpu_busy_s,
+        "gpu_busy_s": report.gpu_busy_s,
+        "energy_j": report.energy.energy_j,
+        "average_power_w": report.energy.average_power_w,
+        "plan_summary": report.plan_summary,
+        "n_layers": len(report.layers),
+    }
+
+
+def test_golden_file_covers_every_model():
+    assert GOLDENS["integrated_device"] == JETSON_AGX_XAVIER.name
+    assert GOLDENS["discrete_device"] == RTX_2080TI_HOST.name
+    expected = {combo_key(m, mm, he) for m, mm, he in COMBOS}
+    assert set(GOLDENS["integrated"]) == expected
+    assert set(GOLDENS["discrete"]) == expected
+    assert set(GOLDENS["logits"]) == set(MODEL_BUILDERS)
+
+
+@pytest.mark.parametrize(
+    "model,mm,he", COMBOS, ids=[combo_key(*c) for c in COMBOS]
+)
+def test_integrated_reports_match_pre_refactor(model, mm, he):
+    config = EdgeNNConfig(use_memory_management=mm, use_hybrid_execution=he)
+    engine = EdgeNN(model, JETSON_AGX_XAVIER, config, plan_cache=PlanCache())
+    assert report_scalars(engine.run()) == GOLDENS["integrated"][
+        combo_key(model, mm, he)
+    ]
+
+
+@pytest.mark.parametrize(
+    "model,mm,he", COMBOS, ids=[combo_key(*c) for c in COMBOS]
+)
+def test_discrete_reports_match_pre_refactor(model, mm, he):
+    policy = MemoryPolicy.SEMANTIC if mm else MemoryPolicy.ALL_REGULAR
+    report = run_gpu_only(model, RTX_2080TI_HOST, policy=policy)
+    assert report_scalars(report) == GOLDENS["discrete"][
+        combo_key(model, mm, he)
+    ]
+
+
+@pytest.mark.parametrize("model", sorted(MODEL_BUILDERS))
+def test_numpy_logits_unchanged(model):
+    graph = build_model(model)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(graph.input_shape).astype(np.float32)
+    logits = graph.forward(x)
+    flat = logits.astype(np.float32).ravel()
+    golden = GOLDENS["logits"][model]
+    assert list(logits.shape) == golden["shape"]
+    digest = hashlib.sha256(
+        flat.tobytes() + str(logits.shape).encode()
+    ).hexdigest()
+    if digest != golden["sha256"]:
+        # BLAS summation order can differ across builds; fall back to a
+        # tolerance so a drift here is diagnosable, not just a hash diff.
+        np.testing.assert_allclose(
+            flat[:8], golden["sample"], rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            float(flat.sum()), golden["sum"], rtol=1e-4
+        )
+
+
+def test_artifact_round_trip_reproduces_golden_report(tmp_path):
+    # Compile once, serialize, reload, re-execute: the report must still
+    # equal the frozen pre-refactor numbers — zero tuning on reload.
+    engine = EdgeNN("alexnet", JETSON_AGX_XAVIER, plan_cache=PlanCache())
+    direct = engine.run()
+    path = engine.artifact().save(tmp_path / "alexnet.json")
+    reloaded = CompiledPlan.from_artifact(PlanArtifact.load(path))
+    replayed = AnalyticBackend().execute(reloaded)
+    assert replayed.to_dict() == direct.to_dict()
+    assert report_scalars(replayed) == GOLDENS["integrated"][
+        combo_key("alexnet", True, True)
+    ]

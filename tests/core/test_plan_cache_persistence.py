@@ -1,0 +1,200 @@
+"""PlanCache satellites: disk persistence, thread safety, key validation."""
+
+import threading
+
+import pytest
+
+from repro.core.engine import EdgeNN, EdgeNNConfig
+from repro.core.plan_cache import PlanCache, PlanKey
+from repro.core.tuner import AdaptiveTuner
+from repro.errors import ReproError
+from repro.hardware.device import Device
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.nn.models import build as build_model
+from repro.obs import Observability
+
+
+def make_key(**overrides) -> PlanKey:
+    fields = dict(
+        network="lenet", device="jetson-agx-xavier", batch_size=1,
+        precision="fp32", use_memory_management=True,
+        use_hybrid_execution=True, use_inter_kernel=True,
+        use_intra_kernel=True, objective="latency",
+    )
+    fields.update(overrides)
+    return PlanKey(**fields)
+
+
+def tune_lenet() -> "object":
+    tuner = AdaptiveTuner(build_model("lenet"), Device(JETSON_AGX_XAVIER))
+    return tuner.tune()
+
+
+class TestDiskPersistence:
+    def test_tuned_result_written_as_artifact(self, tmp_path):
+        cache = PlanCache(save_dir=tmp_path)
+        key = make_key()
+        cache.get_or_tune(key, tune_lenet)
+        path = tmp_path / f"{key.slug()}.json"
+        assert path.exists()
+
+    def test_fresh_cache_warm_starts_without_tuning(self, tmp_path):
+        key = make_key()
+        original = PlanCache(save_dir=tmp_path).get_or_tune(key, tune_lenet)
+
+        def fail():  # pragma: no cover - must not be called
+            raise AssertionError("warm start should not tune")
+
+        fresh = PlanCache(save_dir=tmp_path)
+        reloaded = fresh.get_or_tune(key, fail)
+        assert fresh.hits == 1
+        assert fresh.disk_hits == 1
+        assert fresh.misses == 0
+        assert reloaded.source == "artifact"
+        assert reloaded.plan.to_dict() == original.plan.to_dict()
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        key = make_key()
+        PlanCache(save_dir=tmp_path).get_or_tune(key, tune_lenet)
+        fresh = PlanCache(save_dir=tmp_path)
+        fresh.get_or_tune(key, tune_lenet)
+        fresh.get_or_tune(key, tune_lenet)
+        assert fresh.disk_hits == 1     # second hit came from memory
+        assert fresh.hits == 2
+
+    def test_warm_started_engine_runs_zero_tuner_rounds(self, tmp_path):
+        key = make_key()
+        PlanCache(save_dir=tmp_path).get_or_tune(key, tune_lenet)
+        obs = Observability.on()
+        engine = EdgeNN(
+            "lenet", JETSON_AGX_XAVIER,
+            plan_cache=PlanCache(save_dir=tmp_path), obs=obs,
+        )
+        engine.run()
+        if "repro_tuner_feedback_rounds_total" in obs.metrics:
+            fam = obs.metrics.family("repro_tuner_feedback_rounds_total")
+            assert sum(inst.value for _, inst in fam.children()) == 0.0
+
+    def test_key_mismatch_on_disk_raises(self, tmp_path):
+        key = make_key()
+        cache = PlanCache(save_dir=tmp_path)
+        cache.get_or_tune(key, tune_lenet)
+        other = make_key(objective="energy")
+        artifact = (tmp_path / f"{key.slug()}.json").read_text()
+        (tmp_path / f"{other.slug()}.json").write_text(artifact)
+        with pytest.raises(ReproError, match="different key"):
+            PlanCache(save_dir=tmp_path).get_or_tune(other, tune_lenet)
+
+    def test_clear_keeps_disk_artifacts(self, tmp_path):
+        cache = PlanCache(save_dir=tmp_path)
+        key = make_key()
+        cache.get_or_tune(key, tune_lenet)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+        assert (tmp_path / f"{key.slug()}.json").exists()
+        cache.get_or_tune(key, tune_lenet)
+        assert cache.disk_hits == 1
+
+    def test_sentinel_values_not_persisted(self, tmp_path):
+        cache = PlanCache(save_dir=tmp_path)
+        cache.get_or_tune(make_key(), lambda: "sentinel")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestThreadSafety:
+    def test_racing_threads_tune_once(self):
+        cache = PlanCache()
+        key = make_key()
+        calls = []
+        gate = threading.Barrier(8)
+
+        def tune():
+            calls.append(1)
+            return tune_lenet()
+
+        def worker():
+            gate.wait()
+            cache.get_or_tune(key, tune)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert cache.misses == 1
+        assert cache.hits == 7
+
+    def test_counters_consistent_across_keys(self):
+        cache = PlanCache()
+        keys = [make_key(batch_size=b) for b in (1, 2, 4, 8)]
+        gate = threading.Barrier(8)
+
+        def worker(i):
+            gate.wait()
+            for key in keys:
+                cache.get_or_tune(key, lambda: f"plan-{i}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.misses == len(keys)
+        assert cache.hits + cache.misses == 8 * len(keys)
+
+
+class TestFromConfigValidation:
+    def test_valid_config_round_trips(self):
+        config = EdgeNNConfig()
+        key = PlanKey.from_config("lenet", "jetson-agx-xavier", config)
+        assert PlanKey.from_dict(key.to_dict()) == key
+
+    @pytest.mark.parametrize("network", ["", None, 7])
+    def test_bad_network(self, network):
+        with pytest.raises(ReproError, match="PlanKey.from_config.*network"):
+            PlanKey.from_config(network, "jetson-agx-xavier", EdgeNNConfig())
+
+    @pytest.mark.parametrize("device", ["", None])
+    def test_bad_device(self, device):
+        with pytest.raises(ReproError, match="PlanKey.from_config.*device"):
+            PlanKey.from_config("lenet", device, EdgeNNConfig())
+
+    @pytest.mark.parametrize("batch", [0, -1, 1.5, True, None])
+    def test_bad_batch_size(self, batch):
+        bad = type("Cfg", (), {"batch_size": batch})()
+        with pytest.raises(ReproError, match="batch_size must be an int"):
+            PlanKey.from_config("lenet", "jetson-agx-xavier", bad)
+
+    def test_missing_precision_named_in_error(self):
+        class Cfg:
+            batch_size = 1
+
+        with pytest.raises(ReproError, match="precision must be a Precision"):
+            PlanKey.from_config("lenet", "jetson-agx-xavier", Cfg())
+
+    def test_missing_objective_named_in_error(self):
+        config = EdgeNNConfig()
+
+        class Cfg:
+            batch_size = config.batch_size
+            precision = config.precision
+
+        with pytest.raises(ReproError, match="objective must be a Tuning"):
+            PlanKey.from_config("lenet", "jetson-agx-xavier", Cfg())
+
+    def test_non_bool_flag_named_in_error(self):
+        config = EdgeNNConfig()
+
+        class Cfg:
+            batch_size = config.batch_size
+            precision = config.precision
+            objective = config.objective
+            use_memory_management = "yes"
+
+        with pytest.raises(
+            ReproError, match="use_memory_management must be a bool"
+        ):
+            PlanKey.from_config("lenet", "jetson-agx-xavier", Cfg())

@@ -1,0 +1,133 @@
+"""Regenerate the plan-parity golden file from the *pre-refactor* paths.
+
+Run once at the seed commit (before the staged compilation pipeline
+landed) to freeze the behaviour the refactor must preserve::
+
+    PYTHONPATH=src python tests/golden/generate_plan_goldens.py
+
+The file it writes — ``tests/golden/plan_parity.json`` — pins, for every
+catalog model:
+
+* the full :class:`~repro.core.report.InferenceReport` scalar surface of
+  ``EdgeNN(...).run()`` on the Jetson AGX Xavier under all four ablation
+  flag combinations (memory management x hybrid execution);
+* the same surface for the discrete RTX 2080 Ti host via the gpu-only
+  baseline (the only derive-and-execute path a non-integrated device
+  has), again under all four flag combinations;
+* a digest of the NumPy forward pass on a seeded input, so the numeric
+  backend can be checked for drift.
+
+Analytic numbers are pure-Python float arithmetic and round-trip JSON
+exactly, so the parity tests compare them with ``==``.  NumPy logits go
+through BLAS, whose summation order may differ across builds, so the
+goldens keep both an exact digest and a sampled-value summary compared
+with a tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core.engine import EdgeNN, EdgeNNConfig          # noqa: E402
+from repro.core.memory_manager import MemoryPolicy           # noqa: E402
+from repro.core.plan_cache import PlanCache                  # noqa: E402
+from repro.baselines.gpu_only import run_gpu_only            # noqa: E402
+from repro.hardware.specs import (                           # noqa: E402
+    JETSON_AGX_XAVIER,
+    RTX_2080TI_HOST,
+)
+from repro.nn.models import MODEL_BUILDERS, build            # noqa: E402
+
+OUT = pathlib.Path(__file__).parent / "plan_parity.json"
+
+FLAG_COMBOS = ((True, True), (True, False), (False, True), (False, False))
+
+
+def combo_key(model: str, mm: bool, he: bool) -> str:
+    return f"{model}|mm={int(mm)}|he={int(he)}"
+
+
+def report_scalars(report) -> dict:
+    return {
+        "total_s": report.total_s,
+        "copy_s_total": report.copy_s_total,
+        "cpu_busy_s": report.cpu_busy_s,
+        "gpu_busy_s": report.gpu_busy_s,
+        "energy_j": report.energy.energy_j,
+        "average_power_w": report.energy.average_power_w,
+        "plan_summary": report.plan_summary,
+        "n_layers": len(report.layers),
+    }
+
+
+def integrated_goldens() -> dict:
+    out = {}
+    for model in MODEL_BUILDERS:
+        for mm, he in FLAG_COMBOS:
+            config = EdgeNNConfig(
+                use_memory_management=mm, use_hybrid_execution=he
+            )
+            engine = EdgeNN(
+                model, JETSON_AGX_XAVIER, config, plan_cache=PlanCache()
+            )
+            out[combo_key(model, mm, he)] = report_scalars(engine.run())
+    return out
+
+
+def discrete_goldens() -> dict:
+    out = {}
+    for model in MODEL_BUILDERS:
+        for mm, he in FLAG_COMBOS:
+            policy = MemoryPolicy.SEMANTIC if mm else MemoryPolicy.ALL_REGULAR
+            report = run_gpu_only(model, RTX_2080TI_HOST, policy=policy)
+            out[combo_key(model, mm, he)] = report_scalars(report)
+    return out
+
+
+def logits_goldens() -> dict:
+    out = {}
+    for model in MODEL_BUILDERS:
+        graph = build(model)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(graph.input_shape).astype(np.float32)
+        logits = graph.forward(x)
+        flat = logits.astype(np.float32).ravel()
+        out[model] = {
+            "shape": list(logits.shape),
+            "sha256": hashlib.sha256(
+                flat.tobytes() + str(logits.shape).encode()
+            ).hexdigest(),
+            "sample": [float(v) for v in flat[:8]],
+            "sum": float(flat.sum()),
+        }
+    return out
+
+
+def main() -> None:
+    goldens = {
+        "note": (
+            "Frozen pre-refactor behaviour (seed commit). Regenerate only "
+            "if the cost model itself changes intentionally."
+        ),
+        "integrated_device": JETSON_AGX_XAVIER.name,
+        "discrete_device": RTX_2080TI_HOST.name,
+        "integrated": integrated_goldens(),
+        "discrete": discrete_goldens(),
+        "logits": logits_goldens(),
+    }
+    OUT.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUT} "
+          f"({len(goldens['integrated'])} integrated, "
+          f"{len(goldens['discrete'])} discrete, "
+          f"{len(goldens['logits'])} logits entries)")
+
+
+if __name__ == "__main__":
+    main()
