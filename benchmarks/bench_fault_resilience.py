@@ -1,0 +1,163 @@
+"""Fault resilience — goodput with the resilience layer on vs off.
+
+Replays each built-in fault scenario twice through the serving
+simulator on the real engine (squeezenet on Jetson AGX Xavier) at a
+sane operating point (~4 req/s against a ~6 req/s device, 2 s
+deadline): once with the resilience layer enabled (deadlines, retries
++ breaker, zero-copy demotion, drift-triggered re-tuning, payload
+validation) and once naive.  The resilient service must win on goodput
+in at least three scenarios, and the whole fault timeline must be
+deterministic: the same seed twice produces identical digests.
+
+Runs two ways:
+
+* under pytest (the bench suite): writes the ``fault_resilience``
+  artifact for EXPERIMENTS.md;
+* as a script (CI fault smoke): ``python benchmarks/\
+bench_fault_resilience.py --quick`` prints the table and exits
+  non-zero if the goodput wins or the determinism gate fail.
+"""
+
+import argparse
+import sys
+
+from repro.core.plan_cache import clear_plan_cache
+from repro.faults import SCENARIO_CATALOG, load_scenario
+from repro.serving import BatchPolicy, ServingConfig, simulate_poisson
+
+NETWORK = "squeezenet"
+RATE_RPS = 4.0
+DURATION_S = 10.0
+SEED = 7
+#: bad-payloads only differentiates when batches actually form (a
+#: poisoned batch loses its batchmates), so it gets a batching-friendly
+#: wait budget; the rest dispatch promptly.
+WAIT_S = {"bad-payloads": 0.5}
+SCENARIOS = (
+    "thermal-soak", "flaky-kernels", "memory-pressure",
+    "bad-payloads", "edge-storm",
+)
+QUICK_SCENARIOS = ("flaky-kernels", "memory-pressure", "edge-storm")
+MIN_WINS = 3
+
+
+def _policy(scenario_name):
+    return BatchPolicy(
+        max_batch_size=4,
+        max_wait_s=WAIT_S.get(scenario_name, 0.05),
+        max_queue_depth=64,
+        deadline_s=2.0,
+    )
+
+
+def _serve(scenario_name, *, resilience, seed=SEED):
+    return simulate_poisson(
+        NETWORK, RATE_RPS, DURATION_S, seed=seed,
+        config=ServingConfig(
+            policy=_policy(scenario_name),
+            seed=seed,
+            faults=load_scenario(scenario_name),
+            resilience=resilience,
+        ),
+    )
+
+
+def run_matrix(scenarios):
+    """goodput (resilient, naive) per scenario; plan cache shared so
+    each (network, batch, variant) tunes once across the matrix."""
+    results = {}
+    for name in scenarios:
+        resilient = _serve(name, resilience=True)
+        naive = _serve(name, resilience=False)
+        results[name] = (resilient, naive)
+    return results
+
+
+def render_rows(results):
+    lines = [
+        f"{'scenario':<16} {'goodput on':>11} {'goodput off':>12} "
+        f"{'win':>4}  {'on: served/timeout/fail':>24}"
+    ]
+    wins = 0
+    for name, (resilient, naive) in results.items():
+        win = resilient.goodput_rps > naive.goodput_rps
+        wins += win
+        lines.append(
+            f"{name:<16} {resilient.goodput_rps:>11.2f} "
+            f"{naive.goodput_rps:>12.2f} {'yes' if win else 'no':>4}  "
+            f"{resilient.served:>8}/{resilient.timed_out}/"
+            f"{resilient.failed}"
+        )
+    return "\n".join(lines), wins
+
+
+def check_determinism(scenario_name="edge-storm"):
+    """Same seed + scenario twice must reproduce identical digests."""
+    clear_plan_cache()
+    first = _serve(scenario_name, resilience=True, seed=SEED)
+    clear_plan_cache()
+    second = _serve(scenario_name, resilience=True, seed=SEED)
+    assert first.digest() == second.digest(), (
+        f"report digest drifted across replays: "
+        f"{first.digest()} != {second.digest()}"
+    )
+    return first.digest()
+
+
+# -- pytest entry points --------------------------------------------------------
+
+
+def test_fault_resilience(benchmark, record_artifact):
+    from conftest import run_once
+
+    clear_plan_cache()
+    results = run_once(benchmark, lambda: run_matrix(SCENARIOS))
+    table, wins = render_rows(results)
+    record_artifact(
+        "fault_resilience",
+        f"Fault resilience — goodput, resilience on vs off "
+        f"({NETWORK} @ {RATE_RPS:g} req/s, 2 s deadline)\n{table}",
+    )
+    assert wins >= MIN_WINS, (
+        f"resilience must win goodput in >= {MIN_WINS} scenarios, "
+        f"won {wins}:\n{table}"
+    )
+
+
+def test_fault_timeline_is_deterministic():
+    digest = check_determinism()
+    assert len(digest) == 64
+
+
+# -- CI smoke script ------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke subset: three scenarios + the determinism gate",
+    )
+    args = parser.parse_args(argv)
+    scenarios = QUICK_SCENARIOS if args.quick else SCENARIOS
+    min_wins = len(QUICK_SCENARIOS) if args.quick else MIN_WINS
+
+    clear_plan_cache()
+    results = run_matrix(scenarios)
+    table, wins = render_rows(results)
+    print(table)
+    if wins < min_wins:
+        print(
+            f"FAIL: resilience won goodput in {wins}/{len(scenarios)} "
+            f"scenarios, need >= {min_wins}",
+            file=sys.stderr,
+        )
+        return 1
+    digest = check_determinism()
+    print(f"determinism gate OK: report digest {digest[:16]}…")
+    assert set(scenarios) <= set(SCENARIO_CATALOG)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -215,16 +215,26 @@ def cmd_serve(args) -> int:
     )
     from .workloads.arrivals import ClosedLoopArrivals
 
+    scenario = None
+    if args.faults:
+        from .faults import load_scenario
+
+        scenario = load_scenario(args.faults)
     policy = BatchPolicy(
         max_batch_size=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
         max_queue_depth=args.queue_depth,
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms else None
+        ),
     )
     config = ServingConfig(
         policy=policy,
         precision=Precision(args.precision),
         cold_start=args.cold_start,
         seed=args.seed,
+        faults=scenario,
+        resilience=not args.no_resilience,
     )
     tenants = []
     if args.tenant:
@@ -284,6 +294,14 @@ def cmd_serve(args) -> int:
     )
     report = simulator.run()
     print(report.describe())
+    if scenario is not None:
+        events = len(simulator.injector.events) if simulator.injector else 0
+        print(
+            f"faults    : scenario {scenario.name!r}, {events} events, "
+            f"resilience {'on' if config.resilience else 'off'}"
+        )
+        print(f"fault digest : {simulator.injector.timeline_digest()}")
+    print(f"report digest: {report.digest()}")
     if args.trace:
         with open(args.trace, "w") as f:
             f.write(simulator.trace.to_chrome_trace())
@@ -294,6 +312,31 @@ def cmd_serve(args) -> int:
             kernel_trace=simulator.trace, requests=simulator.requests,
         )
         print(f"obs       : {args.obs_out}/ ({', '.join(names)})")
+    return 0
+
+
+def cmd_faults_list(_args) -> int:
+    from .faults import SCENARIO_CATALOG
+
+    print(f"{'scenario':<18} {'description'}")
+    for name in sorted(SCENARIO_CATALOG):
+        scenario = SCENARIO_CATALOG[name]
+        print(f"{name:<18} {scenario.description}")
+    print(
+        "\nuse `repro serve --faults NAME` to inject one, "
+        "`repro faults show NAME` for details"
+    )
+    return 0
+
+
+def cmd_faults_show(args) -> int:
+    from .faults import load_scenario
+
+    scenario = load_scenario(args.scenario)
+    if args.json:
+        print(scenario.to_json(indent=2))
+    else:
+        print(scenario.describe())
     return 0
 
 
@@ -539,7 +582,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--plan-dir", default=None, metavar="DIR",
                        help="persist/reuse tuned plans as artifacts in DIR "
                             "(warm-start serving across processes)")
+    serve.add_argument("--faults", default=None, metavar="SCENARIO",
+                       help="inject faults: a built-in scenario name "
+                            "(see `repro faults list`) or a scenario "
+                            "JSON file")
+    serve.add_argument("--no-resilience", action="store_true",
+                       help="disable the resilience layer (retries, "
+                            "breaker, degradation, payload validation) "
+                            "to see what a naive service suffers")
+    serve.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="per-request deadline; requests still queued "
+                            "(or completing) past it are abandoned as "
+                            "timed out (0 disables)")
     serve.set_defaults(func=cmd_serve)
+
+    faults = sub.add_parser(
+        "faults", help="inspect the fault-injection scenario catalog"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="list built-in fault scenarios"
+    )
+    faults_list.set_defaults(func=cmd_faults_list)
+    faults_show = faults_sub.add_parser(
+        "show", help="describe one scenario (built-in name or JSON file)"
+    )
+    faults_show.add_argument("scenario",
+                             help="catalog name or scenario JSON path")
+    faults_show.add_argument("--json", action="store_true",
+                             help="emit the scenario as JSON (a template "
+                                  "for custom scenario files)")
+    faults_show.set_defaults(func=cmd_faults_show)
 
     trace = sub.add_parser(
         "trace", help="tune + run one network fully instrumented: span "

@@ -21,6 +21,7 @@ Artifacts round-trip through versioned JSON (``schema`` +
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
@@ -170,8 +171,21 @@ class PlanArtifact:
 
     # -- serialization --------------------------------------------------------
 
+    @staticmethod
+    def _checksum_of(payload: Mapping[str, object]) -> str:
+        """Deterministic content hash over the payload sections.
+
+        Canonical (sorted-keys) JSON, so the value is identical no
+        matter which process serialized the artifact — the disk-load
+        integrity check in :class:`~repro.core.plan_cache.PlanCache`
+        depends on this being reproducible.
+        """
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        blob = json.dumps(body, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "schema": ARTIFACT_SCHEMA,
             "version": self.version,
             "key": self.key.to_dict(),
@@ -179,6 +193,8 @@ class PlanArtifact:
             "lowering": self.lowering.to_dict(),
             "provenance": self.provenance.to_dict(),
         }
+        payload["checksum"] = self._checksum_of(payload)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "PlanArtifact":
@@ -198,6 +214,18 @@ class PlanArtifact:
             if section not in data:
                 raise ReproError(
                     f"plan artifact is missing its {section!r} section"
+                )
+        # Integrity: artifacts written by this build carry a content
+        # checksum; validate it when present (older artifacts without
+        # one still load).
+        recorded = data.get("checksum")
+        if recorded is not None:
+            expected = cls._checksum_of(data)
+            if recorded != expected:
+                raise ReproError(
+                    f"plan artifact checksum mismatch (recorded "
+                    f"{str(recorded)[:12]}…, content hashes to "
+                    f"{expected[:12]}…): the file is corrupt"
                 )
         return cls(
             key=PlanKey.from_dict(data["key"]),

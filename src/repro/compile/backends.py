@@ -21,7 +21,14 @@ namespace) at construction.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, runtime_checkable, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    Optional,
+    Protocol,
+    runtime_checkable,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
@@ -32,6 +39,7 @@ from ..obs import NOOP_OBS, Observability
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.report import InferenceReport
+    from ..faults.resilience import CircuitBreaker, RetryPolicy
     from .pipeline import CompiledPlan
 
 
@@ -162,15 +170,115 @@ class NumpyBackend:
         return self.infer(compiled.graph, payload)
 
 
+class ResilientBackend:
+    """Retry-with-backoff plus a circuit breaker around any backend.
+
+    Wraps an inner :class:`ExecutionBackend` and absorbs *transient*
+    execution failures: a failed ``execute`` is retried up to the
+    policy's ``max_attempts`` with exponential-backoff-plus-jitter
+    delays (accumulated on the virtual clock via ``clock``/``sleep``
+    rather than wall time), and sustained failure opens a circuit
+    breaker that fails fast until its reset timeout elapses.
+
+    ``fault_hook`` is called before every inner attempt with the
+    attempt index; raising from it injects a failure — that is how the
+    fault layer (and the tests) drive transient faults through a real
+    backend without monkey-patching it.
+    """
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        inner: Optional[ExecutionBackend] = None,
+        *,
+        retry: Optional["RetryPolicy"] = None,
+        breaker: Optional["CircuitBreaker"] = None,
+        clock: Optional[Callable[[], float]] = None,
+        fault_hook: Optional[Callable[[int], None]] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        from ..faults.resilience import CircuitBreaker, RetryPolicy
+
+        self.inner = inner if inner is not None else AnalyticBackend()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(name=self.inner.name)
+        )
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._fault_hook = fault_hook
+        self._obs = obs if obs is not None else NOOP_OBS
+        #: virtual seconds spent in backoff delays (callers charge this
+        #: to their timeline; nothing here sleeps for real).
+        self.backoff_spent_s = 0.0
+        #: attempts beyond the first across all executes.
+        self.retries = 0
+
+    def _record(self, event: str, **labels: str) -> None:
+        obs = self._obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "repro_resilient_backend_total",
+                "ResilientBackend outcomes by event",
+                labels=("event", "backend"),
+            ).labels(event=event, backend=self.inner.name).inc()
+
+    def execute(
+        self,
+        compiled: "CompiledPlan",
+        *,
+        payload: Optional[np.ndarray] = None,
+        obs: Optional[Observability] = None,
+    ):
+        now = self._clock()
+        if not self.breaker.allow(now):
+            self._record("short_circuit")
+            raise ReproError(
+                f"circuit breaker {self.breaker.name!r} is open "
+                f"(consecutive backend failures); failing fast"
+            )
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                if self._fault_hook is not None:
+                    self._fault_hook(attempt)
+                result = self.inner.execute(
+                    compiled, payload=payload, obs=obs
+                )
+            except ReproError as exc:
+                last_error = exc
+                self._record("failure")
+                if attempt < self.retry.max_attempts - 1:
+                    self.backoff_spent_s += self.retry.delay(
+                        attempt, token=compiled.key.slug()
+                    )
+                    self.retries += 1
+                    self._record("retry")
+                continue
+            self.breaker.record_success(now)
+            self._record("success")
+            return result
+        self.breaker.record_failure(now)
+        self._record("exhausted")
+        raise ReproError(
+            f"backend {self.inner.name!r} failed "
+            f"{self.retry.max_attempts} attempts: {last_error}"
+        ) from last_error
+
+
 #: Registry of backend constructors by name.
 BACKENDS = {
     AnalyticBackend.name: AnalyticBackend,
     NumpyBackend.name: NumpyBackend,
+    ResilientBackend.name: ResilientBackend,
 }
 
 
 def get_backend(name: str, **options) -> ExecutionBackend:
-    """Instantiate a backend by registry name (``analytic`` or ``numpy``)."""
+    """Instantiate a backend by registry name (``analytic``, ``numpy``,
+    or ``resilient``)."""
     try:
         factory = BACKENDS[name]
     except KeyError as exc:
@@ -186,5 +294,6 @@ __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "NumpyBackend",
+    "ResilientBackend",
     "get_backend",
 ]

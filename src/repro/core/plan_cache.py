@@ -29,6 +29,7 @@ Two properties matter for serving:
 
 from __future__ import annotations
 
+import logging
 import re
 import threading
 from collections import OrderedDict
@@ -40,6 +41,8 @@ from ..errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tuner import TuningResult
+
+_LOG = logging.getLogger(__name__)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -181,6 +184,9 @@ class PlanCache:
         self.misses = 0
         #: hits served from ``save_dir`` artifacts (subset of ``hits``).
         self.disk_hits = 0
+        #: disk artifacts that failed to load (corrupt / truncated /
+        #: checksum mismatch); each also counted as a miss.
+        self.corrupt_loads = 0
 
     @property
     def save_dir(self) -> Optional[Path]:
@@ -222,6 +228,23 @@ class PlanCache:
             self._persist(key, result)
             return result
 
+    def invalidate(self, key: PlanKey, *, remove_disk: bool = False) -> bool:
+        """Drop ``key``'s in-memory entry (graceful degradation: a plan
+        whose predicted cost has drifted from reality must be re-tuned).
+
+        ``remove_disk=True`` also deletes the on-disk artifact, forcing
+        the next lookup to re-tune instead of re-loading the stale plan.
+        Returns True when anything was removed.
+        """
+        with self._lock:
+            removed = self._entries.pop(key, None) is not None
+            if remove_disk and self._save_dir is not None:
+                path = self._artifact_path(key)
+                if path.exists():
+                    path.unlink()
+                    removed = True
+            return removed
+
     def clear(self) -> None:
         """Drop every in-memory entry and reset the counters.
 
@@ -233,6 +256,7 @@ class PlanCache:
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
+            self.corrupt_loads = 0
 
     # -- internals (call with the lock held) ---------------------------------
 
@@ -254,7 +278,18 @@ class PlanCache:
             return None
         from ..compile.artifact import PlanArtifact
 
-        artifact = PlanArtifact.load(path)
+        try:
+            artifact = PlanArtifact.load(path)
+        except ReproError as exc:
+            # A corrupt or truncated artifact (torn write, bit rot,
+            # checksum mismatch) must not take the service down: warn,
+            # count it as a miss, and fall back to re-tuning.
+            self.corrupt_loads += 1
+            _LOG.warning(
+                "discarding corrupt plan artifact %s (%s); re-tuning",
+                path, exc,
+            )
+            return None
         if artifact.key != key:
             raise ReproError(
                 f"plan artifact {path} was compiled under a different key "

@@ -39,6 +39,7 @@ from .metrics import (
     NULL_REGISTRY,
 )
 from .provenance import (
+    DegradationRecord,
     MemoryPlacementRecord,
     NullProvenance,
     NULL_PROVENANCE,
@@ -56,7 +57,7 @@ __all__ = [
     "NullRegistry", "NULL_REGISTRY",
     "ProvenanceLog", "NullProvenance", "NULL_PROVENANCE",
     "MemoryPlacementRecord", "PlacementCandidate",
-    "PartitionRecord", "PartitionCandidate",
+    "PartitionRecord", "PartitionCandidate", "DegradationRecord",
 ]
 
 

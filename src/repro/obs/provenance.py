@@ -78,6 +78,29 @@ class PartitionRecord:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One graceful-degradation decision made under injected faults.
+
+    Emitted by the resilience layer (:mod:`repro.faults`) when it gives
+    something up to keep serving: re-tuning against a throttled device,
+    abandoning the hybrid plan after repeated kernel failures, demoting
+    zero-copy buffers under memory pressure, or discarding a corrupt
+    plan artifact.
+    """
+
+    network: str
+    tenant: str                   # serving tenant, or "" outside serving
+    t_s: float                    # virtual instant of the decision
+    trigger: str                  # "latency_drift" | "kernel_failures" |
+                                  # "memory_pressure" | "artifact_corrupt"
+    action: str                   # "retune_throttled" | "fallback_no_hybrid" |
+                                  # "demote_zero_copy" | "retune_from_scratch"
+    observed_s: Optional[float] = None   # measured cost that tripped it
+    predicted_s: Optional[float] = None  # the plan's predicted cost
+    reason: str = ""
+
+
 class NullProvenance:
     """Disabled log: recording is a no-op, queries are empty."""
 
@@ -89,14 +112,22 @@ class NullProvenance:
     def record_partition(self, record: PartitionRecord) -> None:
         pass
 
+    def record_degradation(self, record: DegradationRecord) -> None:
+        pass
+
     def placements(self, **filters: Any) -> List[MemoryPlacementRecord]:
         return []
 
     def partitions(self, **filters: Any) -> List[PartitionRecord]:
         return []
 
+    def degradations(self, **filters: Any) -> List[DegradationRecord]:
+        return []
+
     def to_json(self, *, indent: int = 2) -> str:
-        return json.dumps({"placements": [], "partitions": []})
+        return json.dumps(
+            {"placements": [], "partitions": [], "degradations": []}
+        )
 
     def summary(self) -> str:
         return "(provenance disabled)"
@@ -113,6 +144,7 @@ class ProvenanceLog:
     enabled: bool = field(default=True, init=False)
     _placements: List[MemoryPlacementRecord] = field(default_factory=list)
     _partitions: List[PartitionRecord] = field(default_factory=list)
+    _degradations: List[DegradationRecord] = field(default_factory=list)
 
     # -- recording -------------------------------------------------------------
 
@@ -121,6 +153,9 @@ class ProvenanceLog:
 
     def record_partition(self, record: PartitionRecord) -> None:
         self._partitions.append(record)
+
+    def record_degradation(self, record: DegradationRecord) -> None:
+        self._degradations.append(record)
 
     # -- queries ---------------------------------------------------------------
 
@@ -148,6 +183,16 @@ class ProvenanceLog:
         ) if v is not None}
         return [r for r in self._partitions if self._match(r, filters)]
 
+    def degradations(self, *, network: Optional[str] = None,
+                     tenant: Optional[str] = None,
+                     trigger: Optional[str] = None,
+                     action: Optional[str] = None) -> List[DegradationRecord]:
+        filters = {k: v for k, v in (
+            ("network", network), ("tenant", tenant),
+            ("trigger", trigger), ("action", action),
+        ) if v is not None}
+        return [r for r in self._degradations if self._match(r, filters)]
+
     def final_placements(self, network: str) -> Dict[str, MemoryPlacementRecord]:
         """Last recorded decision per buffer — the plan actually executed."""
         out: Dict[str, MemoryPlacementRecord] = {}
@@ -157,7 +202,11 @@ class ProvenanceLog:
         return out
 
     def __len__(self) -> int:
-        return len(self._placements) + len(self._partitions)
+        return (
+            len(self._placements)
+            + len(self._partitions)
+            + len(self._degradations)
+        )
 
     # -- export ----------------------------------------------------------------
 
@@ -165,6 +214,7 @@ class ProvenanceLog:
         return {
             "placements": [asdict(r) for r in self._placements],
             "partitions": [asdict(r) for r in self._partitions],
+            "degradations": [asdict(r) for r in self._degradations],
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -194,5 +244,11 @@ class ProvenanceLog:
                     f"    {r.layer} [{r.stage}]: p_cpu={r.cpu_fraction:.3f} "
                     f"(t_cpu={r.t_cpu_s * 1e3:.3f}ms, "
                     f"t_gpu={r.t_gpu_s * 1e3:.3f}ms)"
+                )
+            degradations = self.degradations(network=net)
+            for r in degradations:
+                lines.append(
+                    f"  degraded at t={r.t_s:.3f}s: {r.action} "
+                    f"(trigger={r.trigger})"
                 )
         return "\n".join(lines) if lines else "(no decisions recorded)"

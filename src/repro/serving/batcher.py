@@ -38,6 +38,10 @@ class BatchPolicy:
     max_batch_size: int = 8
     max_wait_s: float = 0.002
     max_queue_depth: int = 64
+    #: per-request latency budget relative to arrival; a request still
+    #: queued (or completing) past it is abandoned as TIMED_OUT.
+    #: None disables deadlines (the pre-fault behaviour).
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -52,6 +56,10 @@ class BatchPolicy:
             raise ReproError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
             )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ReproError(
+                f"deadline_s must be > 0 (or None), got {self.deadline_s}"
+            )
 
 
 class TenantQueue:
@@ -63,6 +71,8 @@ class TenantQueue:
         self._pending: Deque[Request] = deque()
         self.offered = 0
         self.shed = 0
+        self.timed_out = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -80,8 +90,36 @@ class TenantQueue:
             request.status = RequestStatus.SHED
             self.shed += 1
             return False
+        if self.policy.deadline_s is not None and request.deadline_s is None:
+            request.deadline_s = request.arrival_s + self.policy.deadline_s
         self._pending.append(request)
         return True
+
+    def reject(self, request: Request) -> None:
+        """Refuse a malformed payload at the door (counts as offered)."""
+        self.offered += 1
+        request.status = RequestStatus.REJECTED
+        self.rejected += 1
+
+    # -- deadlines -----------------------------------------------------------
+
+    def expire(self, now: float) -> List[Request]:
+        """Abandon queued requests whose deadline has passed at ``now``.
+
+        FIFO order plus a uniform per-tenant deadline offset makes
+        queued deadlines monotone, so expiry only ever pops from the
+        front.  Returned requests are already marked TIMED_OUT with
+        ``finish_s = now`` (abandonment instant) for time-in-system
+        accounting.
+        """
+        expired: List[Request] = []
+        while self._pending and self._pending[0].expired(now, _EPS):
+            request = self._pending.popleft()
+            request.status = RequestStatus.TIMED_OUT
+            request.finish_s = now
+            self.timed_out += 1
+            expired.append(request)
+        return expired
 
     # -- batching ------------------------------------------------------------
 

@@ -9,6 +9,8 @@ dynamic batcher produced, and device utilization over the run.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
@@ -70,6 +72,9 @@ class TenantServingStats:
     shed: int
     latency: LatencyStats
     batch_histogram: Dict[int, int]     # batch size -> dispatch count
+    timed_out: int = 0                  # deadline misses (queued or late)
+    failed: int = 0                     # lost to execution faults
+    rejected: int = 0                   # malformed payloads refused
 
     @property
     def shed_rate(self) -> float:
@@ -104,6 +109,20 @@ class ServingReport:
     gpu_utilization: float
     tenants: Tuple[TenantServingStats, ...]
     seed: int = 0
+    #: deadline misses: abandoned in queue plus completions past deadline.
+    timed_out: int = 0
+    #: completions that missed their deadline (subset of ``timed_out``:
+    #: a response was produced, but too late to be useful).
+    late: int = 0
+    #: requests lost to execution faults (failed batches).
+    failed: int = 0
+    #: malformed payloads refused by request validation.
+    rejected: int = 0
+    #: time-in-system distribution of deadline-missed requests
+    #: (arrival → abandonment or late completion).
+    abandoned_latency: LatencyStats = field(
+        default_factory=lambda: LatencyStats.from_latencies([])
+    )
     #: shared plan-cache traffic this run caused (one miss per distinct
     #: (network, batch, …) tuned; hits when a batch size recurs).
     plan_cache_hits: int = 0
@@ -111,10 +130,21 @@ class ServingReport:
     extra: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.served + self.shed != self.offered:
+        accounted = (
+            self.served + self.shed + self.timed_out
+            + self.failed + self.rejected
+        )
+        if accounted != self.offered:
             raise ReproError(
                 f"request conservation violated: served {self.served} + "
-                f"shed {self.shed} != offered {self.offered}"
+                f"shed {self.shed} + timed_out {self.timed_out} + "
+                f"failed {self.failed} + rejected {self.rejected} "
+                f"!= offered {self.offered}"
+            )
+        if self.late > self.timed_out:
+            raise ReproError(
+                f"late completions {self.late} exceed total deadline "
+                f"misses {self.timed_out}"
             )
 
     @property
@@ -124,17 +154,27 @@ class ServingReport:
         return self.shed / self.offered
 
     @property
+    def timeout_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.timed_out / self.offered
+
+    @property
     def throughput_rps(self) -> float:
-        """Served requests per second of wall (virtual) time."""
+        """Responses produced per second of wall (virtual) time —
+        including completions that arrived past their deadline."""
         if self.makespan_s == 0:
             return 0.0
-        return self.served / self.makespan_s
+        return (self.served + self.late) / self.makespan_s
 
     @property
     def goodput_rps(self) -> float:
-        """Alias kept distinct on purpose: everything served was useful
-        (no timeout abandonment modelled yet)."""
-        return self.throughput_rps
+        """*Useful* responses per second: served within deadline, with a
+        valid payload, untouched by execution faults.  Deadline-missed,
+        abandoned, failed, and rejected requests are all excluded."""
+        if self.makespan_s == 0:
+            return 0.0
+        return self.served / self.makespan_s
 
     @property
     def mean_batch_size(self) -> float:
@@ -159,8 +199,16 @@ class ServingReport:
             "offered": self.offered,
             "served": self.served,
             "shed": self.shed,
+            "timed_out": self.timed_out,
+            "late": self.late,
+            "failed": self.failed,
+            "rejected": self.rejected,
             "shed_rate": self.shed_rate,
+            "timeout_rate": self.timeout_rate,
             "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "abandoned_p99_ms": self.abandoned_latency.p99_s * 1e3,
+            "abandoned_count": self.abandoned_latency.count,
             "p50_ms": self.latency.p50_s * 1e3,
             "p95_ms": self.latency.p95_s * 1e3,
             "p99_ms": self.latency.p99_s * 1e3,
@@ -177,6 +225,33 @@ class ServingReport:
             "seed": self.seed,
         }
 
+    def digest(self) -> str:
+        """Stable content hash of the whole report.
+
+        The CI determinism gate runs the same seeded (scenario, policy)
+        twice in fresh processes and compares these digests — any
+        nondeterminism anywhere in the serving or fault path shows up
+        as a mismatch here.
+        """
+        payload = dict(self.to_dict())
+        payload["extra"] = {k: self.extra[k] for k in sorted(self.extra)}
+        payload["per_tenant"] = [
+            {
+                "name": t.name,
+                "offered": t.offered,
+                "served": t.served,
+                "shed": t.shed,
+                "timed_out": t.timed_out,
+                "failed": t.failed,
+                "rejected": t.rejected,
+                "p99_ms": t.latency.p99_s * 1e3,
+                "mean_ms": t.latency.mean_s * 1e3,
+            }
+            for t in self.tenants
+        ]
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def describe(self) -> str:
         """Multi-line human-readable summary (the CLI's output)."""
         lines = [
@@ -184,7 +259,22 @@ class ServingReport:
             f"({self.duration_s:g}s offered, makespan {self.makespan_s:.3f}s)",
             f"requests  : offered {self.offered}, served {self.served}, "
             f"shed {self.shed} ({self.shed_rate:.1%})",
-            f"throughput: {self.throughput_rps:.2f} req/s",
+        ]
+        if self.timed_out or self.failed or self.rejected:
+            lines.append(
+                f"lost      : timed out {self.timed_out} "
+                f"({self.late} late completions), failed {self.failed}, "
+                f"rejected {self.rejected}"
+            )
+            if self.abandoned_latency.count:
+                lines.append(
+                    f"abandoned : p99 time-in-system "
+                    f"{self.abandoned_latency.p99_s * 1e3:.3f} ms over "
+                    f"{self.abandoned_latency.count} deadline misses"
+                )
+        lines += [
+            f"throughput: {self.throughput_rps:.2f} req/s "
+            f"(goodput {self.goodput_rps:.2f} req/s)",
             f"latency   : p50 {self.latency.p50_s * 1e3:.3f} ms, "
             f"p95 {self.latency.p95_s * 1e3:.3f} ms, "
             f"p99 {self.latency.p99_s * 1e3:.3f} ms "

@@ -16,10 +16,13 @@ from ..errors import ReproError
 
 
 class RequestStatus(enum.Enum):
-    PENDING = "pending"    # queued, not yet dispatched
-    RUNNING = "running"    # part of an in-flight batch
-    SERVED = "served"      # completed successfully
-    SHED = "shed"          # rejected by admission control
+    PENDING = "pending"      # queued, not yet dispatched
+    RUNNING = "running"      # part of an in-flight batch
+    SERVED = "served"        # completed successfully, within deadline
+    SHED = "shed"            # rejected by admission control (queue full)
+    TIMED_OUT = "timed_out"  # missed its deadline (queued or completed late)
+    FAILED = "failed"        # lost to an execution fault
+    REJECTED = "rejected"    # malformed payload caught by validation
 
 
 @dataclass
@@ -33,6 +36,10 @@ class Request:
     dispatch_s: Optional[float] = field(default=None)   # batch start
     finish_s: Optional[float] = field(default=None)     # completion
     batch_size: int = 0              # size of the batch it rode in
+    #: absolute virtual-clock deadline (None: the request never expires).
+    deadline_s: Optional[float] = field(default=None)
+    #: injected payload corruption (malformed client input).
+    corrupt: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -43,6 +50,12 @@ class Request:
                 f"(status {self.status.value})"
             )
         return self.finish_s - self.arrival_s
+
+    def expired(self, now: float, eps: float = 0.0) -> bool:
+        """Has the deadline passed at virtual instant ``now``?"""
+        if self.deadline_s is None:
+            return False
+        return now > self.deadline_s + eps
 
     @property
     def queue_wait_s(self) -> float:

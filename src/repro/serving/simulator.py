@@ -19,8 +19,17 @@ helps exactly as much as the cost model says weight-traffic
 amortization is worth — fc-heavy networks batch nearly for free,
 conv-heavy ones almost linearly.
 
-Everything is deterministic: same tenants, seeds, and policy produce an
-identical :class:`~repro.serving.report.ServingReport`.
+A :class:`~repro.faults.FaultScenario` on the config turns the
+well-behaved device into a hostile one — thermal-throttle windows,
+transient hybrid-kernel failures, memory pressure, malformed payloads —
+and ``resilience`` selects how the service responds: deadlines with
+timeout abandonment, retry-with-backoff plus a circuit breaker around
+execution, zero-copy demotion, and latency-drift-triggered re-tuning
+against the throttled device (see ``docs/robustness.md``).
+
+Everything is deterministic: same tenants, seeds, policy, and fault
+scenario produce an identical
+:class:`~repro.serving.report.ServingReport` (compare digests).
 """
 
 from __future__ import annotations
@@ -30,17 +39,28 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..compile.backends import AnalyticBackend
+from ..compile.pipeline import CompiledPlan
 from ..core.engine import EdgeNN, EdgeNNConfig
 from ..core.plan_cache import default_plan_cache
 from ..errors import ReproError
+from ..faults import (
+    CircuitBreaker,
+    DegradationManager,
+    DegradationPolicy,
+    FaultInjector,
+    FaultScenario,
+    MODE_NO_HYBRID,
+    RetryPolicy,
+)
 from ..hardware.device import Device
 from ..hardware.specs import JETSON_AGX_XAVIER, DeviceSpec
+from ..hardware.throttle import ThrottleFactors, apply_throttle
 from ..nn.precision import Precision
 from ..obs import NOOP_OBS, Observability
 from ..obs.metrics import DEFAULT_BUCKETS, SIZE_BUCKETS
 from ..sim.timeline import COPY, CPU, GPU, Timeline
 from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
-from .batcher import BatchPolicy, TenantQueue
+from .batcher import _EPS, BatchPolicy, TenantQueue
 from .report import (
     LatencyStats,
     ServingReport,
@@ -58,6 +78,20 @@ DEVICE = "device"
 # join the queue before a same-instant completion triggers dispatch, and
 # wait-expiry timers run last (they only re-check readiness).
 _ARRIVAL, _COMPLETION, _TIMER = 0, 1, 2
+
+#: Service-time variants the fault-aware dispatcher can select.
+#: Each maps to engine-config flag flips, so every variant is a
+#: first-class tuned plan memoized through the shared plan cache.
+_KIND_FLAGS: Dict[str, Dict[str, bool]] = {
+    "normal": {},
+    "no_hybrid": {"use_hybrid_execution": False, "use_intra_kernel": False},
+    "no_zerocopy": {"use_memory_management": False},
+    "safe": {
+        "use_hybrid_execution": False,
+        "use_intra_kernel": False,
+        "use_memory_management": False,
+    },
+}
 
 
 @dataclass(frozen=True)
@@ -88,6 +122,18 @@ class ServingConfig:
     cold_start: bool = False
     #: recorded in the report for replay bookkeeping.
     seed: int = 0
+    #: fault scenario to inject (None: the well-behaved device).
+    faults: Optional[FaultScenario] = None
+    #: enable the resilience layer (retries, breaker, degradation,
+    #: payload validation).  Off shows what a naive service suffers.
+    resilience: bool = True
+    #: retry schedule around hybrid-kernel launches (None: defaults
+    #: seeded from ``seed``).
+    retry: Optional[RetryPolicy] = None
+    #: degradation thresholds (None: defaults).
+    degradation: Optional[DegradationPolicy] = None
+    breaker_failure_threshold: int = 3
+    breaker_reset_s: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -110,11 +156,16 @@ class BatchRecord:
 
 
 class ServiceTimeModel:
-    """Warm (and cold) batched service times, memoized per (network, b).
+    """Warm (and cold) batched service times, memoized per variant.
 
-    Each distinct batch size is tuned through the shared plan cache, so
-    across sweeps and tenants every (network, device, batch, precision)
-    pair tunes exactly once per process.
+    Each distinct (network, batch, kind, throttle, retuned) combination
+    is tuned through the shared plan cache, so across sweeps and
+    tenants every (network, device, batch, precision, flags) pair tunes
+    exactly once per process.  ``kind`` selects degraded plan variants
+    (hybrid off, zero-copy off) and ``factors``/``retuned`` the
+    thermal-throttle execution mode: ``retuned=False`` runs the *stale*
+    nominal plan on the throttled device (what a naive service
+    suffers), ``retuned=True`` re-tunes against the throttled spec.
     """
 
     def __init__(
@@ -129,28 +180,90 @@ class ServiceTimeModel:
         self._base = engine or EdgeNNConfig()
         self._precision = precision
         self._obs = obs if obs is not None else NOOP_OBS
-        self._warm: Dict[Tuple[str, int], BatchServiceTime] = {}
+        self._warm: Dict[Tuple, BatchServiceTime] = {}
         self._cold: Dict[Tuple[str, int], BatchServiceTime] = {}
 
-    def _engine_for(self, network: str, batch: int) -> EdgeNN:
-        config = replace(
-            self._base, batch_size=batch, precision=self._precision
+    @property
+    def base_config(self) -> EdgeNNConfig:
+        return self._base
+
+    @property
+    def spec(self) -> DeviceSpec:
+        return self._spec
+
+    def _config_for(self, batch: int, kind: str) -> EdgeNNConfig:
+        try:
+            flags = _KIND_FLAGS[kind]
+        except KeyError:
+            raise ReproError(
+                f"unknown service kind {kind!r}; "
+                f"expected one of {sorted(_KIND_FLAGS)}"
+            ) from None
+        return replace(
+            self._base, batch_size=batch, precision=self._precision, **flags
         )
-        return EdgeNN(network, self._spec, config, obs=self._obs)
+
+    def _engine_for(self, network: str, batch: int) -> EdgeNN:
+        return EdgeNN(
+            network, self._spec, self._config_for(batch, "normal"),
+            obs=self._obs,
+        )
+
+    def plan_key(self, network: str, batch: int, kind: str = "normal"):
+        """The nominal-device plan-cache key of one service variant
+        (what latency-drift degradation invalidates)."""
+        from ..core.plan_cache import PlanKey
+
+        return PlanKey.from_config(
+            network, self._spec.name, self._config_for(batch, kind)
+        )
+
+    def service(
+        self,
+        network: str,
+        batch: int,
+        *,
+        kind: str = "normal",
+        factors: Optional[ThrottleFactors] = None,
+        retuned: bool = False,
+    ) -> BatchServiceTime:
+        """Warm service time of one batch under one execution mode."""
+        key = (network, batch, kind, factors, retuned)
+        cached = self._warm.get(key)
+        if cached is not None:
+            return cached
+        config = self._config_for(batch, kind)
+        if factors is None or factors.is_noop:
+            engine = EdgeNN(network, self._spec, config, obs=self._obs)
+            compiled = engine.compiled()
+        elif retuned:
+            throttled = apply_throttle(self._spec, factors)
+            engine = EdgeNN(network, throttled, config, obs=self._obs)
+            compiled = engine.compiled()
+        else:
+            # Stale plan on the throttled device: keep the placement the
+            # tuner chose for the *nominal* operating point, but execute
+            # it at the throttled rates.
+            engine = EdgeNN(network, self._spec, config, obs=self._obs)
+            nominal = engine.compiled()
+            compiled = CompiledPlan(
+                graph=nominal.graph,
+                device=Device(apply_throttle(self._spec, factors)),
+                artifact=nominal.artifact,
+            )
+        report = AnalyticBackend(warm_weights=True).execute(
+            compiled, obs=self._obs
+        )
+        svc = BatchServiceTime(
+            total_s=report.total_s,
+            cpu_busy_s=report.cpu_busy_s,
+            gpu_busy_s=report.gpu_busy_s,
+        )
+        self._warm[key] = svc
+        return svc
 
     def warm(self, network: str, batch: int) -> BatchServiceTime:
-        key = (network, batch)
-        if key not in self._warm:
-            engine = self._engine_for(network, batch)
-            report = AnalyticBackend(warm_weights=True).execute(
-                engine.compiled(), obs=self._obs
-            )
-            self._warm[key] = BatchServiceTime(
-                total_s=report.total_s,
-                cpu_busy_s=report.cpu_busy_s,
-                gpu_busy_s=report.gpu_busy_s,
-            )
-        return self._warm[key]
+        return self.service(network, batch)
 
     def cold(self, network: str, batch: int) -> BatchServiceTime:
         """First-batch cost: weights still have to reach the GPU."""
@@ -197,6 +310,10 @@ class ServingSimulator:
         #: unified Chrome-trace export (:mod:`repro.obs.export`).
         self.requests: List[Request] = []
         self.batches: List[BatchRecord] = []
+        #: fault machinery of the last run (None without a scenario).
+        self.injector: Optional[FaultInjector] = None
+        self.breaker: Optional[CircuitBreaker] = None
+        self.degradation: Optional[DegradationManager] = None
 
     # -- the event loop -------------------------------------------------------
 
@@ -264,6 +381,36 @@ class ServingSimulator:
         )
         timeline = Timeline((DEVICE, CPU, GPU, COPY))
 
+        # -- fault machinery (None when no scenario: zero-cost checks) --------
+        faults = cfg.faults
+        injector: Optional[FaultInjector] = None
+        breaker: Optional[CircuitBreaker] = None
+        degradation: Optional[DegradationManager] = None
+        retry = cfg.retry or RetryPolicy(seed=cfg.seed)
+        if faults is not None:
+            injector = FaultInjector(faults, seed=cfg.seed, obs=obs)
+            breaker = CircuitBreaker(
+                failure_threshold=cfg.breaker_failure_threshold,
+                reset_timeout_s=cfg.breaker_reset_s,
+            )
+            degradation = DegradationManager(cfg.degradation, obs=obs)
+        self.injector = injector
+        self.breaker = breaker
+        self.degradation = degradation
+        # Duck-typed service models (tests) may not expose base_config.
+        base_cfg = getattr(self._model, "base_config", None)
+        hybrid_base = (
+            base_cfg.use_hybrid_execution if base_cfg is not None else True
+        )
+        memory_base = (
+            base_cfg.use_memory_management if base_cfg is not None else True
+        )
+        noted_thermal: Optional[float] = None   # active window start
+        noted_pressure: Optional[float] = None
+        demoted_windows: set = set()
+        retries = 0
+        exhaustions = 0
+
         heap: List[Tuple[float, int, int, str]] = []
         seq = 0
 
@@ -281,8 +428,12 @@ class ServingSimulator:
         batches: List[BatchRecord] = []
         tenant_hist: Dict[str, Dict[int, int]] = {n: {} for n in queues}
         in_flight: List[Request] = []
+        inflight_failed: Dict[str, bool] = {}
         warmed: Dict[str, bool] = {n: not cfg.cold_start for n in queues}
         armed_timers: Dict[str, float] = {}
+        late_counts: Dict[str, int] = {n: 0 for n in queues}
+        failed_counts: Dict[str, int] = {n: 0 for n in queues}
+        dispatch_seq = 0
 
         device_busy = False
         cpu_busy_total = 0.0
@@ -301,63 +452,278 @@ class ServingSimulator:
                 depth_integral += depth * (now - last_t)
                 last_t = now
 
+        def followup(tenant: str, now: float) -> None:
+            """Closed-loop clients re-arm after any terminal outcome."""
+            follow = specs[tenant].arrival.next_after(now)
+            if follow is not None:
+                push(follow, _ARRIVAL, tenant)
+
+        def note_windows(now: float) -> None:
+            """Record thermal / memory-pressure window edges once."""
+            nonlocal noted_thermal, noted_pressure
+            thermal = faults.thermal_at(now)
+            start = thermal.start_s if thermal is not None else None
+            if start != noted_thermal:
+                if noted_thermal is not None:
+                    for w in faults.thermal:
+                        if w.start_s == noted_thermal:
+                            injector.note_thermal_exit(now, w)
+                if thermal is not None:
+                    injector.note_thermal_enter(now, thermal)
+                noted_thermal = start
+            pressure = faults.memory_pressure_at(now)
+            pstart = pressure.start_s if pressure is not None else None
+            if pstart != noted_pressure:
+                if noted_pressure is not None:
+                    for w in faults.memory_pressure:
+                        if w.start_s == noted_pressure:
+                            injector.note_memory_pressure_exit(now, w)
+                if pressure is not None:
+                    injector.note_memory_pressure_enter(now, pressure)
+                noted_pressure = pstart
+
+        def expire_queues(now: float) -> None:
+            nonlocal depth
+            for name, queue in queues.items():
+                expired = queue.expire(now)
+                if not expired:
+                    continue
+                depth -= len(expired)
+                for request in expired:
+                    if obs.enabled:
+                        requests_total.labels(
+                            tenant=name, outcome="timed_out"
+                        ).inc()
+                    followup(name, now)
+                if obs.enabled:
+                    depth_gauge.set(depth)
+
+        def batch_service(
+            tenant: str, size: int, now: float
+        ) -> Tuple[BatchServiceTime, float, bool]:
+            """Pick the service variant for one dispatch under faults.
+
+            Returns (service time, extra pre-service delay from retry
+            backoff, batch_failed).
+            """
+            nonlocal retries, exhaustions
+            network = specs[tenant].network
+            if faults is None:
+                return self._model.warm(network, size), 0.0, False
+            factors = injector.throttle_at(now)
+            pressure = injector.memory_pressure_at(now)
+            resilient = cfg.resilience
+
+            # Memory pressure, naive service: zero-copy allocation
+            # fails outright — fail fast, batch lost before any work.
+            if pressure and memory_base and not resilient:
+                return BatchServiceTime(0.0, 0.0, 0.0), 0.0, True
+
+            # Execution-mode selection (degraded plan variants).
+            no_hybrid = (
+                resilient
+                and degradation.mode(tenant) == MODE_NO_HYBRID
+            )
+            demote = pressure and memory_base and resilient
+            if demote:
+                window = faults.memory_pressure_at(now)
+                wkey = (tenant, window.start_s)
+                if wkey not in demoted_windows:
+                    demoted_windows.add(wkey)
+                    degradation.note_memory_demotion(
+                        tenant, network, now=now
+                    )
+            if no_hybrid and demote:
+                kind = "safe"
+            elif no_hybrid:
+                kind = "no_hybrid"
+            elif demote:
+                kind = "no_zerocopy"
+            else:
+                kind = "normal"
+
+            # Thermal throttling: naive service runs the stale nominal
+            # plan at throttled rates; the resilient one does too until
+            # sustained latency drift triggers re-tuning against the
+            # throttled spec (plan-cache entry invalidated).
+            retuned = False
+            if factors is not None and resilient:
+                if degradation.retuned(tenant):
+                    retuned = True
+                else:
+                    stale = self._model.service(
+                        network, size, kind=kind, factors=factors,
+                    )
+                    predicted = self._model.service(
+                        network, size, kind=kind
+                    )
+                    if degradation.observe_latency(
+                        tenant, network, now=now,
+                        observed_s=stale.total_s,
+                        predicted_s=predicted.total_s,
+                    ):
+                        default_plan_cache().invalidate(
+                            self._model.plan_key(network, size, kind)
+                        )
+                        retuned = True
+            elif factors is None and resilient and degradation.retuned(
+                tenant
+            ):
+                degradation.clear_drift(tenant, network, now=now)
+
+            svc = self._model.service(
+                network, size, kind=kind, factors=factors, retuned=retuned,
+            )
+
+            # Transient hybrid-kernel launch failures.
+            hybrid_active = (
+                hybrid_base
+                and kind in ("normal", "no_zerocopy")
+                and faults.kernel_failure_p > 0.0
+            )
+            if not hybrid_active:
+                return svc, 0.0, False
+            if not resilient:
+                failed = injector.kernel_fails(
+                    now, detail=f"{tenant}#{dispatch_seq}"
+                )
+                # The failure surfaces mid-run: the device time is
+                # consumed either way, the responses are lost.
+                return svc, 0.0, failed
+            if not breaker.allow(now):
+                # Circuit open: skip the hybrid launch entirely and run
+                # the safe plan until the breaker half-opens.
+                fallback = "safe" if kind == "no_zerocopy" else "no_hybrid"
+                svc = self._model.service(
+                    network, size, kind=fallback,
+                    factors=factors, retuned=retuned,
+                )
+                return svc, 0.0, False
+            delay = 0.0
+            for attempt in range(retry.max_attempts):
+                fails = injector.kernel_fails(
+                    now, detail=f"{tenant}#{dispatch_seq}:a{attempt}"
+                )
+                if not fails:
+                    breaker.record_success(now)
+                    if attempt > 0 and obs.enabled:
+                        obs.metrics.counter(
+                            "repro_resilience_retries_total",
+                            "Hybrid-kernel launch retries",
+                            labels=("tenant",),
+                        ).labels(tenant=tenant).inc(attempt)
+                    retries += attempt
+                    return svc, delay, False
+                if attempt < retry.max_attempts - 1:
+                    delay += retry.delay(attempt, token=dispatch_seq)
+            # All attempts failed: trip the breaker, fall back to the
+            # safe non-hybrid plan (responses still produced, slower).
+            retries += retry.max_attempts - 1
+            exhaustions += 1
+            breaker.record_failure(now)
+            degradation.note_hybrid_exhausted(tenant, network, now=now)
+            fallback = "safe" if kind == "no_zerocopy" else "no_hybrid"
+            svc = self._model.service(
+                network, size, kind=fallback, factors=factors,
+                retuned=retuned,
+            )
+            return svc, delay, False
+
         def maybe_dispatch(now: float) -> None:
             nonlocal device_busy, depth, cpu_busy_total, gpu_busy_total
-            if device_busy:
-                return
-            ready = [n for n, q in queues.items() if q.ready(now)]
-            chosen = scheduler.pick(ready)
-            if chosen is None:
-                # Nothing dispatchable yet: arm a wait-expiry timer per
-                # tenant still accumulating a batch.
-                for name, queue in queues.items():
-                    deadline = queue.wait_deadline_s()
-                    if deadline is None:
-                        continue
-                    if armed_timers.get(name) == deadline:
-                        continue
-                    armed_timers[name] = deadline
-                    push(max(deadline, now), _TIMER, name)
-                return
-            queue = queues[chosen]
-            batch = queue.take_batch(now)
-            depth -= len(batch)
-            size = len(batch)
-            mode = "warm" if warmed[chosen] else "cold"
-            if warmed[chosen]:
-                svc = self._model.warm(specs[chosen].network, size)
-            else:
-                svc = self._model.cold(specs[chosen].network, size)
-                warmed[chosen] = True
-            device_busy = True
-            scheduler.charge(chosen, svc.total_s)
-            cpu_busy_total += svc.cpu_busy_s
-            gpu_busy_total += svc.gpu_busy_s
-            end = now + svc.total_s
-            label = f"{chosen}:batch(n={size})"
-            timeline.schedule(DEVICE, svc.total_s, label, not_before=now)
-            timeline.schedule(CPU, svc.cpu_busy_s, label, not_before=now,
-                              category="kernel")
-            timeline.schedule(GPU, svc.gpu_busy_s, label, not_before=now,
-                              category="kernel")
-            batches.append(
-                BatchRecord(tenant=chosen, size=size, start_s=now, end_s=end)
-            )
-            if obs.enabled:
-                obs.tracer.record(
-                    label, now, end, category="batch",
-                    tenant=chosen, size=size, mode=mode,
+            nonlocal dispatch_seq
+            while not device_busy:
+                expire_queues(now)
+                ready = [n for n, q in queues.items() if q.ready(now)]
+                chosen = scheduler.pick(ready)
+                if chosen is None:
+                    # Nothing dispatchable yet: arm a wait-expiry timer
+                    # per tenant still accumulating a batch.
+                    for name, queue in queues.items():
+                        deadline = queue.wait_deadline_s()
+                        if deadline is None:
+                            continue
+                        if armed_timers.get(name) == deadline:
+                            continue
+                        armed_timers[name] = deadline
+                        push(max(deadline, now), _TIMER, name)
+                    return
+                queue = queues[chosen]
+                batch = queue.take_batch(now)
+                depth -= len(batch)
+                size = len(batch)
+                dispatch_seq += 1
+                mode = "warm" if warmed[chosen] else "cold"
+                poisoned = any(r.corrupt for r in batch)
+                if warmed[chosen]:
+                    svc, delay, failed = batch_service(chosen, size, now)
+                else:
+                    svc = self._model.cold(specs[chosen].network, size)
+                    delay, failed = 0.0, False
+                    warmed[chosen] = True
+                if poisoned:
+                    # A malformed payload in the batch kills the whole
+                    # launch (the naive service admitted it unchecked);
+                    # the device time is still consumed.
+                    failed = True
+                if failed and svc.total_s == 0.0 and delay == 0.0:
+                    # Fail-fast path (allocation failure): the batch is
+                    # lost before consuming any device time.
+                    for request in batch:
+                        request.status = RequestStatus.FAILED
+                        request.finish_s = now
+                        failed_counts[chosen] += 1
+                        if obs.enabled:
+                            requests_total.labels(
+                                tenant=chosen, outcome="failed"
+                            ).inc()
+                        followup(chosen, now)
+                    tenant_hist[chosen][size] = (
+                        tenant_hist[chosen].get(size, 0) + 1
+                    )
+                    continue
+                device_busy = True
+                total = delay + svc.total_s
+                scheduler.charge(chosen, total)
+                cpu_busy_total += svc.cpu_busy_s
+                gpu_busy_total += svc.gpu_busy_s
+                end = now + total
+                label = f"{chosen}:batch(n={size})"
+                timeline.schedule(DEVICE, total, label, not_before=now)
+                timeline.schedule(
+                    CPU, svc.cpu_busy_s, label,
+                    not_before=now + delay, category="kernel",
                 )
-                batches_total.labels(tenant=chosen).inc()
-                batch_size_hist.observe(size)
-                depth_gauge.set(depth)
-            tenant_hist[chosen][size] = tenant_hist[chosen].get(size, 0) + 1
-            in_flight.extend(batch)
-            push(end, _COMPLETION, chosen)
+                timeline.schedule(
+                    GPU, svc.gpu_busy_s, label,
+                    not_before=now + delay, category="kernel",
+                )
+                batches.append(
+                    BatchRecord(
+                        tenant=chosen, size=size, start_s=now, end_s=end
+                    )
+                )
+                if obs.enabled:
+                    obs.tracer.record(
+                        label, now, end, category="batch",
+                        tenant=chosen, size=size, mode=mode,
+                    )
+                    batches_total.labels(tenant=chosen).inc()
+                    batch_size_hist.observe(size)
+                    depth_gauge.set(depth)
+                tenant_hist[chosen][size] = (
+                    tenant_hist[chosen].get(size, 0) + 1
+                )
+                in_flight.extend(batch)
+                inflight_failed[chosen] = failed
+                push(end, _COMPLETION, chosen)
+                return
 
         while heap:
             now, kind, _, tenant = heapq.heappop(heap)
             advance(now)
+            if faults is not None:
+                note_windows(now)
             if kind == _ARRIVAL:
                 request = Request(
                     request_id=next_id, tenant=tenant, arrival_s=now
@@ -365,6 +731,22 @@ class ServingSimulator:
                 next_id += 1
                 requests.append(request)
                 by_tenant[tenant].append(request)
+                if faults is not None and injector.payload_corrupt(
+                    now, request_id=request.request_id
+                ):
+                    if cfg.resilience:
+                        # Request validation catches the malformed
+                        # payload at the door: reject, don't queue.
+                        queues[tenant].reject(request)
+                        request.finish_s = now
+                        if obs.enabled:
+                            requests_total.labels(
+                                tenant=tenant, outcome="rejected"
+                            ).inc()
+                        followup(tenant, now)
+                        maybe_dispatch(now)
+                        continue
+                    request.corrupt = True
                 if queues[tenant].offer(request):
                     depth += 1
                     depth_max = max(depth_max, depth)
@@ -378,26 +760,37 @@ class ServingSimulator:
                         requests_total.labels(
                             tenant=tenant, outcome="shed"
                         ).inc()
-                    follow = specs[tenant].arrival.next_after(now)
-                    if follow is not None:
-                        push(follow, _ARRIVAL, tenant)
+                    followup(tenant, now)
                 maybe_dispatch(now)
             elif kind == _COMPLETION:
                 finished = [r for r in in_flight if r.tenant == tenant]
                 in_flight[:] = [r for r in in_flight if r.tenant != tenant]
+                batch_failed = inflight_failed.pop(tenant, False)
                 for request in finished:
-                    request.status = RequestStatus.SERVED
                     request.finish_s = now
+                    if batch_failed:
+                        request.status = RequestStatus.FAILED
+                        failed_counts[tenant] += 1
+                        outcome = "failed"
+                    elif request.expired(now, _EPS):
+                        # Completed, but past its deadline: the client
+                        # already gave up — a late, useless response.
+                        request.status = RequestStatus.TIMED_OUT
+                        queues[tenant].timed_out += 1
+                        late_counts[tenant] += 1
+                        outcome = "timed_out"
+                    else:
+                        request.status = RequestStatus.SERVED
+                        outcome = "served"
                     if obs.enabled:
                         requests_total.labels(
-                            tenant=tenant, outcome="served"
+                            tenant=tenant, outcome=outcome
                         ).inc()
-                        latency_hist.labels(tenant=tenant).observe(
-                            request.latency_s
-                        )
-                    follow = specs[tenant].arrival.next_after(now)
-                    if follow is not None:
-                        push(follow, _ARRIVAL, tenant)
+                        if outcome == "served":
+                            latency_hist.labels(tenant=tenant).observe(
+                                request.latency_s
+                            )
+                    followup(tenant, now)
                 device_busy = False
                 maybe_dispatch(now)
             else:  # _TIMER
@@ -410,6 +803,7 @@ class ServingSimulator:
         return self._build_report(
             queues, by_tenant, tenant_hist, batches, timeline,
             depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
+            late_counts, failed_counts, retries, exhaustions,
         )
 
     # -- report assembly ------------------------------------------------------
@@ -423,6 +817,7 @@ class ServingSimulator:
     def _build_report(
         self, queues, by_tenant, tenant_hist, batches, timeline,
         depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
+        late_counts, failed_counts, retries, exhaustions,
     ) -> ServingReport:
         horizon = self._horizon_s()
         last_end = max((b.end_s for b in batches), default=0.0)
@@ -442,6 +837,9 @@ class ServingSimulator:
                     offered=queues[name].offered,
                     served=len(latencies),
                     shed=queues[name].shed,
+                    timed_out=queues[name].timed_out,
+                    failed=failed_counts[name],
+                    rejected=queues[name].rejected,
                     latency=LatencyStats.from_latencies(latencies),
                     batch_histogram=dict(tenant_hist[name]),
                 )
@@ -452,9 +850,18 @@ class ServingSimulator:
             for r in by_tenant[name]
             if r.status is RequestStatus.SERVED
         ]
+        abandoned = [
+            r.finish_s - r.arrival_s
+            for name in by_tenant
+            for r in by_tenant[name]
+            if r.status is RequestStatus.TIMED_OUT and r.finish_s is not None
+        ]
         offered = sum(t.offered for t in tenant_stats)
         served = sum(t.served for t in tenant_stats)
         shed = sum(t.shed for t in tenant_stats)
+        timed_out = sum(t.timed_out for t in tenant_stats)
+        failed = sum(t.failed for t in tenant_stats)
+        rejected = sum(t.rejected for t in tenant_stats)
         report = ServingReport(
             device=self._spec.name,
             duration_s=horizon,
@@ -478,9 +885,24 @@ class ServingSimulator:
             ),
             tenants=tuple(tenant_stats),
             seed=self._config.seed,
+            timed_out=timed_out,
+            late=sum(late_counts.values()),
+            failed=failed,
+            rejected=rejected,
+            abandoned_latency=LatencyStats.from_latencies(abandoned),
         )
         report.extra["batch_count"] = float(len(batches))
         report.extra["device_busy_s"] = timeline.busy_time(DEVICE)
+        if self.injector is not None:
+            report.extra["fault_events"] = float(len(self.injector.events))
+            report.extra["retries"] = float(retries)
+            report.extra["hybrid_exhaustions"] = float(exhaustions)
+            report.extra["breaker_opens"] = float(
+                self.breaker.stats.opens if self.breaker else 0
+            )
+            report.extra["degradations"] = float(
+                len(self.degradation.records) if self.degradation else 0
+            )
         self.trace = timeline.trace
         return report
 

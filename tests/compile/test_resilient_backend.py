@@ -1,0 +1,122 @@
+"""ResilientBackend: retry loop, breaker short-circuit, backoff charging."""
+
+import pytest
+
+from repro.compile import compile_fixed, get_backend
+from repro.compile.backends import AnalyticBackend, ResilientBackend
+from repro.errors import ReproError
+from repro.faults import CircuitBreaker, RetryPolicy
+from repro.hardware.specs import JETSON_AGX_XAVIER
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_fixed("lenet", JETSON_AGX_XAVIER)
+
+
+def _fail_first(n):
+    """A fault hook failing the first ``n`` attempts of each execute."""
+    def hook(attempt):
+        if attempt < n:
+            raise ReproError(f"injected launch failure (attempt {attempt})")
+    return hook
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert isinstance(get_backend("resilient"), ResilientBackend)
+
+    def test_defaults(self):
+        backend = ResilientBackend()
+        assert isinstance(backend.inner, AnalyticBackend)
+        assert backend.retry.max_attempts == 3
+
+
+class TestRetryLoop:
+    def test_clean_execute_passes_through(self, compiled):
+        backend = ResilientBackend()
+        report = backend.execute(compiled)
+        assert report.to_dict() == AnalyticBackend().execute(
+            compiled
+        ).to_dict()
+        assert backend.retries == 0
+        assert backend.backoff_spent_s == 0.0
+
+    def test_transient_failure_recovers(self, compiled):
+        backend = ResilientBackend(
+            retry=RetryPolicy(max_attempts=3),
+            fault_hook=_fail_first(2),
+        )
+        report = backend.execute(compiled)
+        assert report is not None
+        assert backend.retries == 2
+        assert backend.backoff_spent_s > 0.0
+        assert backend.breaker.stats.successes == 1
+
+    def test_exhaustion_raises_and_counts_failure(self, compiled):
+        backend = ResilientBackend(
+            retry=RetryPolicy(max_attempts=2),
+            fault_hook=_fail_first(99),
+        )
+        with pytest.raises(ReproError, match="failed 2 attempts"):
+            backend.execute(compiled)
+        assert backend.breaker.stats.failures == 1
+
+    def test_backoff_matches_policy_schedule(self, compiled):
+        policy = RetryPolicy(max_attempts=3, seed=5)
+        backend = ResilientBackend(
+            retry=policy, fault_hook=_fail_first(2)
+        )
+        backend.execute(compiled)
+        expected = sum(
+            policy.delay(k, token=compiled.key.slug()) for k in range(2)
+        )
+        assert backend.backoff_spent_s == pytest.approx(expected)
+
+
+class TestBreakerIntegration:
+    def test_sustained_failure_opens_then_fails_fast(self, compiled):
+        clock = {"now": 0.0}
+        backend = ResilientBackend(
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_timeout_s=10.0
+            ),
+            clock=lambda: clock["now"],
+            fault_hook=_fail_first(99),
+        )
+        for _ in range(2):
+            with pytest.raises(ReproError, match="failed 1 attempts"):
+                backend.execute(compiled)
+            clock["now"] += 0.1
+        # Circuit is now open: the next call never reaches the inner
+        # backend (message names the breaker, not the attempt count).
+        with pytest.raises(ReproError, match="circuit breaker"):
+            backend.execute(compiled)
+        assert backend.breaker.stats.short_circuits == 1
+
+    def test_probe_after_reset_recovers(self, compiled):
+        clock = {"now": 0.0}
+        calls = {"n": 0}
+
+        def flaky_then_fine(attempt):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ReproError("transient")
+
+        backend = ResilientBackend(
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_timeout_s=1.0
+            ),
+            clock=lambda: clock["now"],
+            fault_hook=flaky_then_fine,
+        )
+        for _ in range(2):
+            with pytest.raises(ReproError):
+                backend.execute(compiled)
+            clock["now"] += 0.1
+        clock["now"] = 5.0  # past the reset timeout: half-open probe
+        report = backend.execute(compiled)
+        assert report is not None
+        assert backend.breaker.state == CircuitBreaker.CLOSED

@@ -1,0 +1,97 @@
+"""RetryPolicy and CircuitBreaker unit behaviour."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ReproError, match="non-negative"):
+            RetryPolicy(base_delay_s=-0.001)
+
+    def test_nominal_is_exponential_then_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03
+        )
+        assert policy.nominal_delay(0) == pytest.approx(0.01)
+        assert policy.nominal_delay(1) == pytest.approx(0.02)
+        assert policy.nominal_delay(2) == pytest.approx(0.03)  # capped
+        assert policy.nominal_delay(10) == pytest.approx(0.03)
+
+    def test_delay_is_deterministic_per_token(self):
+        policy = RetryPolicy(seed=3)
+        assert policy.delay(0, token="a") == policy.delay(0, token="a")
+        assert policy.delay(0, token="a") != policy.delay(0, token="b")
+
+    def test_schedule_length(self):
+        assert len(RetryPolicy(max_attempts=4).schedule()) == 3
+        assert RetryPolicy(max_attempts=1).schedule() == []
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ReproError, match="attempt"):
+            RetryPolicy().nominal_delay(-1)
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ReproError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0)
+        for t in (0.0, 0.1, 0.2):
+            assert breaker.allow(t)
+            breaker.record_failure(t)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.stats.opens == 1
+        assert not breaker.allow(0.3)
+        assert breaker.stats.short_circuits == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=0.5)
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(0.4)
+        assert breaker.allow(0.5)  # probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success(0.5)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=0.5)
+        breaker.record_failure(0.0)
+        assert breaker.allow(0.6)
+        breaker.record_failure(0.6)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.stats.opens == 2
+        assert not breaker.allow(1.0)
+        assert breaker.allow(1.2)
+
+    def test_transitions_are_logged(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=0.5)
+        breaker.record_failure(0.0)
+        breaker.allow(1.0)
+        breaker.record_success(1.0)
+        states = [(t["from"], t["to"]) for t in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]

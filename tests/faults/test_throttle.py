@@ -1,0 +1,73 @@
+"""apply_throttle: DVFS-scaled device specs for thermal windows."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.hardware.throttle import ThrottleFactors, apply_throttle
+
+
+class TestThrottleFactors:
+    def test_validation(self):
+        with pytest.raises(SpecError, match="cpu"):
+            ThrottleFactors(cpu=0.0)
+        with pytest.raises(SpecError, match="gpu"):
+            ThrottleFactors(gpu=1.5)
+        with pytest.raises(SpecError, match="bandwidth"):
+            ThrottleFactors(bandwidth=-0.1)
+
+    def test_noop_detection(self):
+        assert ThrottleFactors().is_noop
+        assert not ThrottleFactors(gpu=0.5).is_noop
+
+    def test_slug_is_stable(self):
+        f = ThrottleFactors(cpu=0.85, gpu=0.45, bandwidth=0.70)
+        assert f.slug() == "thr-c0.850-g0.450-b0.700"
+
+
+class TestApplyThrottle:
+    def test_noop_returns_same_object(self):
+        spec = JETSON_AGX_XAVIER
+        assert apply_throttle(spec, ThrottleFactors()) is spec
+
+    def test_rates_scale(self):
+        spec = JETSON_AGX_XAVIER
+        factors = ThrottleFactors(cpu=0.8, gpu=0.5, bandwidth=0.7)
+        throttled = apply_throttle(spec, factors)
+        assert throttled.cpu.clock_hz == pytest.approx(
+            spec.cpu.clock_hz * 0.8
+        )
+        assert throttled.gpu.clock_hz == pytest.approx(
+            spec.gpu.clock_hz * 0.5
+        )
+        assert throttled.memory.bandwidth == pytest.approx(
+            spec.memory.bandwidth * 0.7
+        )
+        assert throttled.cpu.max_stream_bw == pytest.approx(
+            spec.cpu.max_stream_bw * 0.7
+        )
+
+    def test_power_tracks_clock_cuts(self):
+        spec = JETSON_AGX_XAVIER
+        throttled = apply_throttle(
+            spec, ThrottleFactors(cpu=0.5, gpu=0.25)
+        )
+        assert throttled.power.idle_w == spec.power.idle_w
+        assert throttled.power.cpu_dynamic_w == pytest.approx(
+            spec.power.cpu_dynamic_w * 0.5
+        )
+        assert throttled.power.gpu_dynamic_w == pytest.approx(
+            spec.power.gpu_dynamic_w * 0.25
+        )
+
+    def test_name_carries_slug(self):
+        throttled = apply_throttle(
+            JETSON_AGX_XAVIER, ThrottleFactors(gpu=0.45)
+        )
+        assert "@thr-" in throttled.name
+        assert throttled.name != JETSON_AGX_XAVIER.name
+
+    def test_original_spec_unmodified(self):
+        before = JETSON_AGX_XAVIER.gpu.clock_hz
+        apply_throttle(JETSON_AGX_XAVIER, ThrottleFactors(gpu=0.5))
+        assert JETSON_AGX_XAVIER.gpu.clock_hz == before

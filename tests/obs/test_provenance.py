@@ -106,5 +106,5 @@ class TestNullProvenance:
         assert NULL_PROVENANCE.placements() == []
         assert NULL_PROVENANCE.partitions() == []
         assert json.loads(NULL_PROVENANCE.to_json()) == {
-            "placements": [], "partitions": [],
+            "placements": [], "partitions": [], "degradations": [],
         }
