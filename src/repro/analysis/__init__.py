@@ -1,0 +1,70 @@
+"""repro.analysis — domain-aware static analysis for this codebase.
+
+Three complementary passes, all exposed through ``repro analyze`` and
+``repro check-plan`` (and gated in CI):
+
+* **Lint** (:mod:`repro.analysis.lint`) — AST rules encoding this
+  repo's determinism and robustness contracts: no wall-clock or
+  unseeded randomness in virtual-clock code, no bare/swallowed
+  exceptions in the engine and backends, provenance records on tuner /
+  degradation decision branches, no bare unit magnitudes outside
+  :mod:`repro.units`.
+* **Concurrency** (:mod:`repro.analysis.concurrency`) — shared-state
+  mutations outside ``with self._lock`` in the threaded modules.
+* **Verifiers** (:mod:`repro.analysis.verifiers`) — static validation
+  of plan artifacts, fault scenarios, device specs, and network graphs
+  *without executing them*: checksums, partition-fraction ranges,
+  allocation coverage, zero-copy-implies-unified-memory, roofline
+  consistency, window disjointness, and graph dataflow.
+
+Intentional findings live in a committed baseline file
+(:mod:`repro.analysis.baseline`) with per-entry justifications; anything
+not baselined fails the run.  See ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+    find_default_baseline,
+)
+from .concurrency import RULE_ID as CONCURRENCY_RULE_ID
+from .findings import Finding, FindingCollector
+from .lint import ALL_RULES, LintContext, LintRule, lint_file, rules_by_id
+from .runner import AnalysisReport, analyze_paths, collect_python_files
+from .verifiers import (
+    verify_artifact_file,
+    verify_catalogs,
+    verify_device_spec,
+    verify_fault_scenario,
+    verify_fault_scenario_data,
+    verify_network_graph,
+    verify_plan_artifact_data,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "CONCURRENCY_RULE_ID",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "FindingCollector",
+    "LintContext",
+    "LintRule",
+    "analyze_paths",
+    "collect_python_files",
+    "find_default_baseline",
+    "lint_file",
+    "rules_by_id",
+    "verify_artifact_file",
+    "verify_catalogs",
+    "verify_device_spec",
+    "verify_fault_scenario",
+    "verify_fault_scenario_data",
+    "verify_network_graph",
+    "verify_plan_artifact_data",
+]

@@ -1,0 +1,177 @@
+"""Concurrency heuristic: shared-state mutation outside the lock.
+
+The modules known to be exercised from multiple threads (the plan cache
+and the serving layer) follow one convention: a class that owns a
+``self._lock`` (or ``self._<anything>_lock``) protects *all* of its
+mutable attributes with it.  This pass walks every class that creates a
+lock attribute and reports attribute mutations — assignments, augmented
+assignments, subscript stores, and calls of known container mutators on
+``self.<attr>`` — that are not lexically inside a ``with self._lock:``
+block (rule **REPRO201**).
+
+It is a heuristic, not an escape analysis: helpers documented as
+"call with the lock held" are legitimate hits and belong in the
+committed baseline with a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .lint import MUTATING_METHODS, LintContext, dotted_name
+
+RULE_ID = "REPRO201"
+
+#: Path parts of modules known to be shared across threads.
+THREADED_PARTS: Set[str] = {"serving"}
+#: File names of modules known to be shared across threads.
+THREADED_FILES: Set[str] = {"plan_cache.py"}
+
+
+def is_threaded_module(path: Path) -> bool:
+    return (
+        bool(THREADED_PARTS.intersection(path.parts))
+        or path.name in THREADED_FILES
+    )
+
+
+def _lock_attributes(cls: ast.ClassDef) -> Set[str]:
+    """Names of lock attributes this class assigns (``_lock``-suffixed
+    attributes bound from ``threading.Lock()`` / ``RLock()`` or just
+    named like locks)."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and (target.attr == "_lock" or target.attr.endswith("_lock"))
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _is_lock_with(stmt: ast.With, locks: Set[str]) -> bool:
+    for item in stmt.items:
+        expr = item.context_expr
+        dotted = dotted_name(expr)
+        if dotted is not None and any(
+            dotted == f"self.{lock}" for lock in locks
+        ):
+            return True
+    return False
+
+
+def _self_mutation(stmt: ast.stmt) -> Optional[str]:
+    """The mutated ``self.<attr>`` name, if this statement mutates one."""
+
+    def attr_of(node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    if isinstance(stmt, ast.Assign):
+        targets: Sequence[ast.expr] = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            return attr_of(func.value)
+        return None
+    else:
+        return None
+    for target in targets:
+        name = attr_of(target)
+        if name is not None:
+            return name
+        if isinstance(target, ast.Subscript):
+            name = attr_of(target.value)
+            if name is not None:
+                return name
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                name = attr_of(element)
+                if name is not None:
+                    return name
+    return None
+
+
+def _walk_statements(
+    body: Sequence[ast.stmt], locks: Set[str], locked: bool
+) -> Iterator[tuple]:
+    """Yield ``(stmt, locked)`` for every statement, tracking lock scope."""
+    for stmt in body:
+        if isinstance(stmt, ast.With):
+            inner = locked or _is_lock_with(stmt, locks)
+            yield stmt, locked
+            yield from _walk_statements(stmt.body, locks, inner)
+            continue
+        yield stmt, locked
+        for field_body in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, field_body, None)
+            if children:
+                yield from _walk_statements(children, locks, locked)
+        if isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                yield from _walk_statements(handler.body, locks, locked)
+
+
+def check_class(
+    ctx: LintContext, cls: ast.ClassDef
+) -> Iterator[Finding]:
+    locks = _lock_attributes(cls)
+    if not locks:
+        return
+    lock_list = ", ".join(sorted(locks))
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name == "__init__":
+            continue  # construction happens-before sharing
+        for stmt, locked in _walk_statements(method.body, locks, False):
+            if locked:
+                continue
+            attr = _self_mutation(stmt)
+            if attr is None or attr in locks:
+                continue
+            line = getattr(stmt, "lineno", method.lineno)
+            if ctx.suppressed(line, RULE_ID):
+                continue
+            yield Finding(
+                rule=RULE_ID,
+                path=ctx.display_path,
+                line=line,
+                symbol=f"{cls.name}.{method.name}",
+                message=(
+                    f"shared attribute self.{attr} mutated outside "
+                    f"`with self.{lock_list}` in threaded module"
+                ),
+            )
+
+
+def check_file(
+    path: Path, *, display_path: Optional[str] = None
+) -> List[Finding]:
+    """Run the concurrency heuristic over one file (threaded modules
+    get it by default from the runner; any file can be checked
+    explicitly)."""
+    ctx = LintContext.for_file(path, display_path)
+    out: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            out.extend(check_class(ctx, node))
+    return out
+
+
+__all__ = ["RULE_ID", "check_file", "is_threaded_module"]

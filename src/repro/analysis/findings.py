@@ -1,0 +1,86 @@
+"""Finding records: the unit of output of every analysis pass.
+
+A :class:`Finding` is one diagnostic — a lint hit, a concurrency
+hazard, or an artifact-invariant violation — with enough context to be
+rendered (``path:line``), machine-filtered (``rule``), and matched
+against the committed baseline (``fingerprint``).
+
+Fingerprints deliberately exclude the line number: baselined findings
+must survive unrelated edits that shift code up or down.  They hash the
+rule id, the repo-relative path, the enclosing symbol (function or
+class, when known), and the message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+#: Finding severities, mildest first.
+SEVERITIES: Sequence[str] = ("note", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule or verifier."""
+
+    rule: str                 # e.g. "REPRO101"
+    path: str                 # repo-relative or display path
+    message: str
+    line: int = 0             # 1-based; 0 when the finding is file-level
+    symbol: str = ""          # enclosing function/class, "" if file-level
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        blob = "|".join(
+            (self.rule, self.path.replace("\\", "/"), self.symbol,
+             self.message)
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One-line, grep-friendly text form."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.rule} {self.severity}: {self.message}{where}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class FindingCollector:
+    """Mutable accumulator shared by the passes of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> List[Finding]:
+        """Deterministic order: path, then line, then rule."""
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+        )
+
+
+__all__ = ["Finding", "FindingCollector", "SEVERITIES"]

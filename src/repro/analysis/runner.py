@@ -1,0 +1,165 @@
+"""The analysis driver behind ``repro analyze``.
+
+One run = lint rules over every Python file under the given paths,
+the concurrency heuristic over the threaded modules, and (optionally)
+the in-process catalog verifiers — filtered through the committed
+baseline into *new* findings (fail CI) and *baselined* findings
+(explicitly accepted, with justification).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..errors import ReproError
+from . import concurrency
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding, FindingCollector
+from .lint import LintRule, lint_file, rules_by_id
+
+#: Directory names never worth analyzing.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def collect_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    out.append(candidate)
+        else:
+            raise ReproError(f"no such file or directory: {path}")
+    return out
+
+
+def _display(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        resolved = path.resolve()
+        resolved_root = root.resolve()
+        if resolved.is_relative_to(resolved_root):
+            return resolved.relative_to(resolved_root).as_posix()
+    return path.as_posix()
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one ``repro analyze`` run."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> dict:
+        return {
+            "files_analyzed": self.files_analyzed,
+            "new_findings": [f.to_dict() for f in self.new],
+            "baselined_findings": [f.to_dict() for f in self.baselined],
+            "stale_baseline_entries": [
+                e.to_dict() for e in self.stale_baseline
+            ],
+            "clean": self.clean,
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.new:
+            lines.append(finding.render())
+        if self.new:
+            lines.append("")
+        lines.append(
+            f"{len(self.new)} new finding(s), {len(self.baselined)} "
+            f"baselined, {self.files_analyzed} file(s) analyzed"
+        )
+        if self.baselined:
+            for finding in self.baselined:
+                lines.append(f"  baselined: {finding.render()}")
+        if self.stale_baseline:
+            lines.append(
+                f"warning: {len(self.stale_baseline)} stale baseline "
+                f"entr(ies) no longer match anything — prune them:"
+            )
+            for entry in self.stale_baseline:
+                lines.append(
+                    f"  stale: {entry.rule} {entry.path} "
+                    f"[{entry.symbol}] {entry.fingerprint}"
+                )
+        return "\n".join(lines)
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+    include_catalogs: bool = True,
+    root: Optional[Union[str, Path]] = None,
+) -> AnalysisReport:
+    """Run the full static analysis over ``paths``.
+
+    ``rules`` narrows the lint pass to specific rule ids (the
+    concurrency heuristic runs unless narrowed out with ids that
+    exclude ``REPRO201``; catalog verifiers run unless
+    ``include_catalogs`` is False).  ``root`` makes reported paths
+    repo-relative, which is what baseline fingerprints should use.
+    """
+    if rules is None:
+        active_rules: List[LintRule] = rules_by_id(None)
+        run_concurrency = True
+    else:
+        wanted = list(rules)
+        known = {r.id for r in rules_by_id(None)} | {concurrency.RULE_ID}
+        unknown = [r for r in wanted if r not in known]
+        if unknown:
+            raise ReproError(
+                f"unknown analysis rules {unknown}; available: "
+                f"{sorted(known)}"
+            )
+        active_rules = rules_by_id(
+            [r for r in wanted if r != concurrency.RULE_ID]
+        )
+        run_concurrency = concurrency.RULE_ID in wanted
+    root_path = Path(root) if root is not None else None
+    collector = FindingCollector()
+    files = collect_python_files(paths)
+    for file_path in files:
+        display = _display(file_path, root_path)
+        collector.extend(
+            lint_file(file_path, active_rules, display_path=display)
+        )
+        if run_concurrency and concurrency.is_threaded_module(file_path):
+            collector.extend(
+                concurrency.check_file(file_path, display_path=display)
+            )
+    if include_catalogs:
+        from .verifiers import verify_catalogs
+
+        collector.extend(verify_catalogs())
+    findings = collector.sorted()
+    base = baseline if baseline is not None else Baseline.empty()
+    new, baselined, stale = base.split(findings)
+    return AnalysisReport(
+        new=new,
+        baselined=baselined,
+        stale_baseline=stale,
+        files_analyzed=len(files),
+    )
+
+
+__all__ = ["AnalysisReport", "analyze_paths", "collect_python_files"]

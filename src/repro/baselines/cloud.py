@@ -14,7 +14,7 @@ the "on-cloud (computing only)" bars of Fig 12.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from ..errors import SpecError
 from ..hardware import calibration as cal
@@ -59,9 +59,11 @@ class CloudResult:
 def run_cloud(
     network: Union[str, NetworkGraph],
     server: Union[Device, DeviceSpec] = RTX_2080TI_HOST,
-    model: CloudModel = CloudModel(),
+    model: Optional[CloudModel] = None,
 ) -> CloudResult:
     """Simulate offloading one inference to a discrete-GPU cloud server."""
+    if model is None:
+        model = CloudModel()
     report = run_gpu_only(network, server)
     return CloudResult(
         network=report.network,

@@ -66,8 +66,8 @@ def cmd_networks(_args) -> int:
     for name in MODEL_BUILDERS:
         net = build(name)
         suite = "paper" if name in benchmark_names() else "extension"
-        print(f"{name:<14}{len(net):>7}{net.total_flops() / 1e9:>9.2f}"
-              f"{net.total_param_bytes() / 1e6:>12.1f}  {suite}")
+        print(f"{name:<14}{len(net):>7}{net.total_flops() / units.GIGA:>9.2f}"
+              f"{net.total_param_bytes() / units.MB:>12.1f}  {suite}")
     return 0
 
 
@@ -400,6 +400,87 @@ def cmd_plan_run(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from .analysis import Baseline, analyze_paths, find_default_baseline
+
+    root = _repo_root()
+    paths = args.paths or [str(root / "src")]
+    baseline = None
+    if args.baseline:
+        import pathlib
+
+        if pathlib.Path(args.baseline).is_file() or not args.write_baseline:
+            baseline = Baseline.load(args.baseline)
+    elif not args.no_baseline:
+        default = find_default_baseline(root)
+        if default is not None:
+            baseline = Baseline.load(default)
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    report = analyze_paths(
+        paths,
+        rules=rules,
+        baseline=baseline,
+        include_catalogs=not args.no_catalogs,
+        root=root,
+    )
+    if args.write_baseline:
+        all_findings = report.new + report.baselined
+        target = args.baseline or str(root / "analysis-baseline.json")
+        Baseline.from_findings(all_findings).save(target)
+        print(
+            f"wrote {len(all_findings)} finding(s) to {target}; "
+            f"fill in the justifications"
+        )
+        return 0
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
+def cmd_check_plan(args) -> int:
+    from .analysis import verify_artifact_file
+
+    failed = []
+    results = []
+    for artifact_path in args.artifacts:
+        findings = verify_artifact_file(artifact_path)
+        errors = [f for f in findings if f.severity == "error"]
+        if args.format == "json":
+            results.append({
+                "path": str(artifact_path),
+                "ok": not errors,
+                "findings": [f.to_dict() for f in findings],
+            })
+        else:
+            for finding in findings:
+                print(finding.render())
+            status = "FAIL" if errors else "OK"
+            print(f"{artifact_path}: {status} ({len(findings)} finding(s))")
+        if errors:
+            failed.append(str(artifact_path))
+    if args.format == "json":
+        import json
+
+        print(json.dumps({"clean": not failed, "files": results}, indent=2))
+    if failed:
+        raise ReproError(
+            f"artifact verification failed for {len(failed)} file(s): "
+            f"{', '.join(failed)}"
+        )
+    return 0
+
+
+def _repo_root():
+    import pathlib
+
+    # src/repro/cli.py -> repo root is two levels above the package.
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
 def cmd_experiments(args) -> int:
     from .eval import experiments as ex
     from .eval import formatting as fmt
@@ -639,6 +720,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Prometheus text (default) or JSON")
     add_engine_flags(metrics)
     metrics.set_defaults(func=cmd_metrics)
+
+    analyze = sub.add_parser(
+        "analyze", help="static analysis: determinism lint, concurrency "
+                        "heuristic, catalog verifiers"
+    )
+    analyze.add_argument("paths", nargs="*",
+                         help="files/directories to analyze (default: src/)")
+    analyze.add_argument("--rules", default=None, metavar="IDS",
+                         help="comma-separated rule ids (default: all; "
+                              "e.g. REPRO101,REPRO201)")
+    analyze.add_argument("--format", default="text",
+                         choices=("text", "json"),
+                         help="output format (default text)")
+    analyze.add_argument("--baseline", default=None, metavar="FILE",
+                         help="baseline-suppression file (default: "
+                              "analysis-baseline.json at the repo root)")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="ignore any baseline file (report everything)")
+    analyze.add_argument("--no-catalogs", action="store_true",
+                         help="skip the in-process device/scenario/model "
+                              "catalog verifiers")
+    analyze.add_argument("--write-baseline", action="store_true",
+                         help="write every current finding to the baseline "
+                              "file and exit 0 (adoption workflow)")
+    analyze.set_defaults(func=cmd_analyze)
+
+    check_plan = sub.add_parser(
+        "check-plan", help="statically verify plan-artifact / fault-"
+                           "scenario JSON files without executing them"
+    )
+    check_plan.add_argument("artifacts", nargs="+",
+                            help="JSON files to verify (plan artifacts or "
+                                 "fault scenarios, by schema)")
+    check_plan.add_argument("--format", default="text",
+                            choices=("text", "json"))
+    check_plan.set_defaults(func=cmd_check_plan)
 
     exp = sub.add_parser("experiments",
                          help="regenerate the paper's tables/figures")

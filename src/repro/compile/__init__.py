@@ -24,6 +24,7 @@ from .artifact import (
     Lowering,
     PlanArtifact,
     TunerProvenance,
+    payload_checksum,
 )
 from .backends import (
     BACKENDS,
@@ -55,4 +56,5 @@ __all__ = [
     "compile_fixed",
     "compile_plan",
     "get_backend",
+    "payload_checksum",
 ]

@@ -43,6 +43,20 @@ STAGE_NAMES: Tuple[str, ...] = (
 )
 
 
+def payload_checksum(payload: Mapping[str, object]) -> str:
+    """Deterministic content hash of an artifact payload.
+
+    Canonical (sorted-keys) JSON over every section except the
+    ``checksum`` field itself, so the value is identical no matter which
+    process serialized the artifact.  Public so the disk-load integrity
+    check in :class:`~repro.core.plan_cache.PlanCache` and the static
+    verifier in :mod:`repro.analysis.verifiers` agree byte-for-byte.
+    """
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class Lowering:
     """How a compiled plan is executed by a backend."""
@@ -171,18 +185,9 @@ class PlanArtifact:
 
     # -- serialization --------------------------------------------------------
 
-    @staticmethod
-    def _checksum_of(payload: Mapping[str, object]) -> str:
-        """Deterministic content hash over the payload sections.
-
-        Canonical (sorted-keys) JSON, so the value is identical no
-        matter which process serialized the artifact — the disk-load
-        integrity check in :class:`~repro.core.plan_cache.PlanCache`
-        depends on this being reproducible.
-        """
-        body = {k: v for k, v in payload.items() if k != "checksum"}
-        blob = json.dumps(body, sort_keys=True)
-        return hashlib.sha256(blob.encode()).hexdigest()
+    #: Deterministic content hash over the payload sections (see
+    #: :func:`payload_checksum`).
+    _checksum_of = staticmethod(payload_checksum)
 
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {

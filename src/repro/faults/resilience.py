@@ -24,7 +24,8 @@ def _unit_draw(seed: int, *parts: object) -> float:
     """
     payload = ":".join(str(p) for p in (seed, *parts)).encode()
     digest = hashlib.sha256(payload).digest()
-    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+    # 1 << 64 is the draw denominator (8 digest bytes), not a byte size.
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)  # repro-analysis: ignore[REPRO106]
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Tuple, Union
 
 from ..errors import ReproError
 from ..hardware.throttle import ThrottleFactors
@@ -171,6 +171,28 @@ class FaultScenario:
             if window.active(now):
                 return window
         return None
+
+    def overlapping_windows(self) -> List[str]:
+        """Pairs of same-kind windows that overlap in virtual time.
+
+        Overlapping windows make the injected timeline ambiguous (which
+        throttle factor applies?), so the static verifier rejects them.
+        Returns human-readable descriptions, empty when disjoint.
+        """
+        problems: List[str] = []
+        for kind, windows in (
+            ("thermal", self.thermal),
+            ("memory_pressure", self.memory_pressure),
+        ):
+            ordered = sorted(windows, key=lambda w: w.start_s)
+            for earlier, later in zip(ordered, ordered[1:]):
+                if later.start_s < earlier.end_s:
+                    problems.append(
+                        f"{kind} windows [{earlier.start_s:g}, "
+                        f"{earlier.end_s:g}) and [{later.start_s:g}, "
+                        f"{later.end_s:g}) overlap"
+                    )
+        return problems
 
     # -- serialization --------------------------------------------------------
 

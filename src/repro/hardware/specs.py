@@ -188,6 +188,19 @@ class DeviceSpec:
             return min(proc.max_stream_bw, self.gpu_memory.bandwidth)
         return min(proc.max_stream_bw, self.memory.bandwidth)
 
+    def roofline_breakpoints(self) -> Mapping[str, float]:
+        """Arithmetic-intensity breakpoint (FLOP/byte) per processor.
+
+        ``peak_flops / stream_bandwidth`` is where a kernel flips from
+        memory-bound to compute-bound; the static analyzer requires it
+        to be finite and positive for every processor, otherwise the
+        whole roofline cost model degenerates.
+        """
+        out = {"cpu": self.cpu.peak_flops / self.stream_bandwidth(self.cpu)}
+        if self.gpu is not None:
+            out["gpu"] = self.gpu.peak_flops / self.stream_bandwidth(self.gpu)
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Platform catalog (paper Section V-A)

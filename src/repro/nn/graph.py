@@ -21,7 +21,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import GraphError, ShapeError
+from .. import units
+from ..errors import GraphError, ReproError, ShapeError
 from ..hardware.roofline import KernelWork
 from . import tensor, weights
 from .layer import Layer, Shape
@@ -273,6 +274,55 @@ class NetworkGraph:
         assert join is not None
         return tuple(branches), join
 
+    def verify_dataflow(self) -> List[str]:
+        """Statically re-verify the DAG's dataflow invariants.
+
+        Construction already validates incrementally; this re-walks the
+        finished graph — the check the static analyzer runs over every
+        catalog model without executing anything.  Returns a list of
+        problem descriptions (empty when the graph is sound): every
+        layer's inputs must be produced by a predecessor (or the network
+        input), recorded input shapes must match the producer's output
+        shape, and the recorded output shape must equal what the layer
+        infers from those inputs today.
+        """
+        problems: List[str] = []
+        seen: set = {INPUT}
+        for name in self._order:
+            node = self._nodes[name]
+            for src, shape in zip(node.input_names, node.in_shapes):
+                if src not in seen:
+                    problems.append(
+                        f"layer {name!r} consumes {src!r} before it is "
+                        f"produced (or from outside the graph)"
+                    )
+                    continue
+                produced = (
+                    self.input_shape if src == INPUT
+                    else self._nodes[src].out_shape
+                )
+                if shape != produced:
+                    problems.append(
+                        f"layer {name!r} records input shape {shape} from "
+                        f"{src!r}, which produces {produced}"
+                    )
+            try:
+                inferred = node.layer.infer_shape(list(node.in_shapes))
+            except ReproError as exc:
+                problems.append(f"layer {name!r} fails shape inference: {exc}")
+            else:
+                if tuple(inferred) != node.out_shape:
+                    problems.append(
+                        f"layer {name!r} declares output {node.out_shape} "
+                        f"but infers {tuple(inferred)}"
+                    )
+            seen.add(name)
+        try:
+            self.output_name
+        except GraphError as exc:
+            problems.append(str(exc))
+        return problems
+
     # -- numerics -------------------------------------------------------------------
 
     def materialize_params(self) -> Dict[str, Dict[str, np.ndarray]]:
@@ -318,6 +368,7 @@ class NetworkGraph:
             lines.append(
                 f"  {name:<16} {type(node.layer).__name__:<12} "
                 f"out={node.out_shape!s:<18} "
-                f"flops={work.flops / 1e6:9.2f}M params={work.weight_bytes / 1e6:8.3f}MB"
+                f"flops={work.flops / units.MEGA:9.2f}M "
+                f"params={work.weight_bytes / units.MB:8.3f}MB"
             )
         return "\n".join(lines)

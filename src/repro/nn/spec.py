@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, List, Mapping, Tuple, Type, Union
 
 from ..errors import GraphError
 from .graph import NetworkGraph
@@ -50,7 +50,7 @@ from .layers import (
 )
 
 #: type tag -> (layer class, accepted hyper-parameter keys)
-_LAYER_TYPES: Mapping[str, tuple] = {
+_LAYER_TYPES: Mapping[str, Tuple[Type[Layer], Tuple[str, ...]]] = {
     "conv": (Conv2D, ("out_channels", "kernel_size", "stride", "padding")),
     "dense": (Dense, ("out_features",)),
     "depthwise": (DepthwiseConv2D, ("kernel_size", "stride", "padding")),
@@ -125,7 +125,7 @@ def network_to_spec(net: NetworkGraph) -> Dict[str, Any]:
 
     reverse = {cls: tag for tag, (cls, _) in _LAYER_TYPES.items()}
     order = net.topo_order()
-    layers = []
+    layers: List[Dict[str, Any]] = []
     for i, layer_name in enumerate(order):
         node = net.node(layer_name)
         cls = type(node.layer)

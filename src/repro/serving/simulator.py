@@ -489,7 +489,7 @@ class ServingSimulator:
                 if not expired:
                     continue
                 depth -= len(expired)
-                for request in expired:
+                for _request in expired:
                     if obs.enabled:
                         requests_total.labels(
                             tenant=name, outcome="timed_out"

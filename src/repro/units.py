@@ -23,6 +23,14 @@ KB = 1e3
 MB = 1e6
 GB = 1e9
 
+#: Bare decimal magnitudes for non-byte quantities (FLOPs, Hz, counts).
+#: Prefer these over inline ``1e6`` / ``1e9`` literals so the analyzer
+#: (rule REPRO106) can tell a unit conversion from a magic number.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
 MICROSECOND = 1e-6
 MILLISECOND = 1e-3
 

@@ -1,0 +1,22 @@
+"""Fixture: decision branch with no provenance record (REPRO105 x1).
+
+Copied as ``tuner.py`` in tests so the decision-module scoping applies.
+"""
+
+
+class Chooser:
+    def __init__(self):
+        self.mode = "latency"
+        self._rounds = 0
+
+    def pick(self, measured, budget):
+        if measured > budget:
+            self.mode = "energy"
+        else:
+            self.mode = "latency"
+        return self.mode
+
+    def _advance(self, measured):
+        # Private helpers are exempt: the public caller records.
+        if measured > 0:
+            self._rounds += 1

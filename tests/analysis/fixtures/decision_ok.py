@@ -1,0 +1,25 @@
+"""Fixture: decision branches that record provenance (clean).
+
+Copied as ``degradation.py`` in tests so decision-module scoping applies.
+"""
+
+
+class Chooser:
+    def __init__(self, provenance):
+        self.mode = "latency"
+        self.provenance = provenance
+
+    def pick(self, measured, budget):
+        if measured > budget:
+            self.mode = "energy"
+        else:
+            self.mode = "latency"
+        self.provenance.append(("pick", self.mode, measured, budget))
+        return self.mode
+
+    def reset(self, reason):
+        self.mode = "latency"
+        self._emit(reason)
+
+    def _emit(self, reason):
+        self.provenance.append(("reset", reason))

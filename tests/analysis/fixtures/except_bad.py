@@ -1,0 +1,22 @@
+"""Fixture: bare and swallowed excepts (REPRO103 x1, REPRO104 x2)."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722
+        return None
+
+
+def probe(fn):
+    try:
+        fn()
+    except ValueError:
+        pass
+
+
+def maybe(fn):
+    try:
+        fn()
+    except OSError:
+        ...

@@ -1,0 +1,20 @@
+"""Fixture: disciplined exception handling (clean)."""
+
+
+class EngineError(Exception):
+    pass
+
+
+def load(path, log):
+    try:
+        return open(path).read()
+    except OSError as exc:
+        log.append(str(exc))
+        return None
+
+
+def convert(raw):
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise EngineError(f"bad value {raw!r}") from exc

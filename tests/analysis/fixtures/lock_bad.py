@@ -1,0 +1,25 @@
+"""Fixture: shared-state mutation outside the lock (REPRO201 x3)."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self.misses = 0       # __init__ mutations are exempt
+
+    def put(self, key, value):
+        self._items[key] = value          # subscript store, no lock
+
+    def note_miss(self):
+        self.misses += 1                  # augmented assign, no lock
+
+    def drain(self, out):
+        with self._lock:
+            out.extend(self._items)
+            self._items.clear()           # inside the lock: fine
+        self._items = {}                  # re-bind after release: flagged
+
+    def peek(self):
+        return dict(self._items)          # reads are not flagged

@@ -1,0 +1,36 @@
+"""Fixture: every shared mutation under the lock (clean)."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self.misses = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def note_miss(self):
+        with self._lock:
+            self.misses += 1
+
+    def get(self, key):
+        with self._lock:
+            try:
+                return self._items[key]
+            except KeyError:
+                self.misses += 1        # handler body, still locked
+                return None
+
+
+class Plain:
+    """No lock attribute: the heuristic does not apply."""
+
+    def __init__(self):
+        self.items = []
+
+    def add(self, x):
+        self.items.append(x)

@@ -1,0 +1,21 @@
+"""Fixture: hidden-global-state randomness (REPRO102 x4)."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def make_rng():
+    return random.Random()
+
+
+def noise(n):
+    return np.random.rand(n)
+
+
+def make_generator():
+    return np.random.default_rng()

@@ -1,0 +1,17 @@
+"""Fixture: explicitly seeded randomness only (clean)."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def noise(rng, n):
+    return rng.standard_normal(n)

@@ -1,0 +1,6 @@
+"""Fixture: bare magnitude literals (REPRO106 x4)."""
+
+CAPACITY_BYTES = 16 * 1e9
+RATE = 2.5 * 1e6
+SCRATCH = 4 * 1024 ** 3
+WINDOW = 1 << 30

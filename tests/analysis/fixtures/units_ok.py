@@ -1,0 +1,10 @@
+"""Fixture: magnitudes spelled through repro.units (clean)."""
+
+from repro import units
+
+CAPACITY_BYTES = 16 * units.GB
+RATE = 2.5 * units.MEGA
+SCRATCH = 4 * units.GIB
+SMALL = 512          # plain counts are fine
+HALF_K = 1 << 9      # small shifts are fine
+DENOM = 1 << 24  # repro-analysis: ignore[REPRO106]

@@ -1,0 +1,18 @@
+"""Fixture: wall-clock reads in virtual-clock code (REPRO101 x3)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp_event(event):
+    event["t"] = time.time()
+    return event
+
+
+def label_run():
+    return datetime.now().isoformat()
+
+
+def measure():
+    return pc()

@@ -1,0 +1,17 @@
+"""Fixture: clock-explicit code, no wall-clock reads (clean)."""
+
+import time
+
+
+def stamp_event(event, now):
+    event["t"] = now
+    return event
+
+
+def drift(now, started_at):
+    return now - started_at
+
+
+def bootstrap_only():
+    # Suppressed: a one-off read outside the simulated timeline.
+    return time.time()  # repro-analysis: ignore[REPRO101]

@@ -1,0 +1,110 @@
+"""End-to-end CLI contract: exit codes of `repro analyze` and
+`repro check-plan` as subprocesses, the way CI invokes them."""
+
+import json
+import os
+import subprocess
+import sys
+
+from .conftest import FIXTURES, GOLDEN_ARTIFACTS, GOLDEN_SCENARIOS, REPO_ROOT
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT,
+    )
+
+
+class TestCheckPlan:
+    def test_golden_artifacts_exit_zero(self):
+        result = run_cli(
+            "check-plan",
+            str(GOLDEN_ARTIFACTS / "lenet.plan.json"),
+            str(GOLDEN_ARTIFACTS / "alexnet.plan.json"),
+            str(GOLDEN_SCENARIOS / "edge_storm.json"),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+
+    def test_corrupt_artifact_exits_two(self, tmp_path):
+        data = json.loads((GOLDEN_ARTIFACTS / "lenet.plan.json").read_text())
+        data["checksum"] = "0" * 64
+        corrupt = tmp_path / "corrupt.plan.json"
+        corrupt.write_text(json.dumps(data))
+        result = run_cli("check-plan", str(corrupt))
+        assert result.returncode == 2
+        assert "REPRO302" in result.stdout
+
+    def test_json_format(self, tmp_path):
+        result = run_cli(
+            "check-plan", "--format", "json",
+            str(GOLDEN_ARTIFACTS / "lenet.plan.json"),
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["clean"] is True
+
+    def test_missing_file_exits_two(self, tmp_path):
+        result = run_cli("check-plan", str(tmp_path / "nope.json"))
+        assert result.returncode == 2
+
+
+class TestAnalyze:
+    def test_violation_without_baseline_exits_one(self, tmp_path):
+        bad = tmp_path / "sim" / "timeline.py"
+        bad.parent.mkdir()
+        bad.write_text((FIXTURES / "wall_clock_bad.py").read_text())
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+        )
+        assert result.returncode == 1
+        assert "REPRO101" in result.stdout
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        bad = tmp_path / "sim" / "timeline.py"
+        bad.parent.mkdir()
+        bad.write_text((FIXTURES / "wall_clock_bad.py").read_text())
+        baseline = tmp_path / "baseline.json"
+        first = run_cli(
+            "analyze", str(tmp_path), "--no-catalogs",
+            "--baseline", str(baseline), "--write-baseline",
+        )
+        assert first.returncode == 0, first.stderr
+        second = run_cli(
+            "analyze", str(tmp_path), "--no-catalogs",
+            "--baseline", str(baseline),
+        )
+        assert second.returncode == 0, second.stdout
+        assert "0 new finding(s)" in second.stdout
+
+    def test_rule_selection(self, tmp_path):
+        bad = tmp_path / "sim" / "timeline.py"
+        bad.parent.mkdir()
+        bad.write_text((FIXTURES / "wall_clock_bad.py").read_text())
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO106",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO999",
+        )
+        assert result.returncode == 2
+
+    def test_json_format(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--format", "json",
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["clean"] is True
+        assert payload["files_analyzed"] == 1

@@ -1,0 +1,111 @@
+"""Per-rule positive and negative tests for the AST lint pass."""
+
+import pytest
+
+from repro.analysis.lint import lint_file, rules_by_id
+from repro.errors import ReproError
+
+from .conftest import plant_fixture
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestWallClock:
+    def test_flags_wall_clock_calls_in_virtual_clock_code(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "sim/timeline.py")
+        findings = lint_file(target)
+        assert rules_of(findings) == ["REPRO101"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+        assert "time.perf_counter" in messages
+
+    def test_clean_file_and_suppression(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_ok.py", "serving/queue.py")
+        assert lint_file(target) == []
+
+    def test_out_of_scope_path_not_linted(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "nn/helpers.py")
+        assert "REPRO101" not in rules_of(lint_file(target))
+
+    def test_tuner_filename_is_in_scope_anywhere(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "misc/tuner.py")
+        assert "REPRO101" in rules_of(lint_file(target))
+
+
+class TestUnseededRandom:
+    def test_flags_global_rng_draws(self, tmp_path):
+        target = plant_fixture(tmp_path, "random_bad.py", "faults/inject.py")
+        findings = lint_file(target, rules_by_id(["REPRO102"]))
+        assert rules_of(findings) == ["REPRO102"] * 4
+        symbols = {f.symbol for f in findings}
+        assert symbols == {"jitter", "make_rng", "noise", "make_generator"}
+
+    def test_seeded_constructors_are_clean(self, tmp_path):
+        target = plant_fixture(tmp_path, "random_ok.py", "faults/inject.py")
+        assert lint_file(target) == []
+
+
+class TestExceptDiscipline:
+    def test_flags_bare_and_swallowed(self, tmp_path):
+        target = plant_fixture(tmp_path, "except_bad.py", "core/loader.py")
+        findings = lint_file(target)
+        assert sorted(rules_of(findings)) == ["REPRO103", "REPRO104", "REPRO104"]
+
+    def test_handled_exceptions_are_clean(self, tmp_path):
+        target = plant_fixture(tmp_path, "except_ok.py", "compile/loader.py")
+        assert lint_file(target) == []
+
+    def test_engine_scope_only(self, tmp_path):
+        target = plant_fixture(tmp_path, "except_bad.py", "nn/loader.py")
+        assert lint_file(target) == []
+
+
+class TestProvenance:
+    def test_flags_unrecorded_decision(self, tmp_path):
+        target = plant_fixture(tmp_path, "decision_bad.py", "core/tuner.py")
+        findings = lint_file(target, rules_by_id(["REPRO105"]))
+        assert rules_of(findings) == ["REPRO105"]
+        assert findings[0].symbol == "Chooser.pick"
+
+    def test_recording_decision_is_clean(self, tmp_path):
+        target = plant_fixture(tmp_path, "decision_ok.py", "faults/degradation.py")
+        assert lint_file(target, rules_by_id(["REPRO105"])) == []
+
+    def test_non_decision_file_is_out_of_scope(self, tmp_path):
+        target = plant_fixture(tmp_path, "decision_bad.py", "core/chooser.py")
+        assert lint_file(target, rules_by_id(["REPRO105"])) == []
+
+
+class TestUnitLiterals:
+    def test_flags_bare_magnitudes(self, tmp_path):
+        target = plant_fixture(tmp_path, "units_bad.py", "hw/calib.py")
+        findings = lint_file(target, rules_by_id(["REPRO106"]))
+        assert rules_of(findings) == ["REPRO106"] * 4
+
+    def test_units_spelled_magnitudes_are_clean(self, tmp_path):
+        target = plant_fixture(tmp_path, "units_ok.py", "hw/calib.py")
+        assert lint_file(target) == []
+
+    def test_units_module_itself_is_exempt(self, tmp_path):
+        target = plant_fixture(tmp_path, "units_bad.py", "hw/units.py")
+        assert lint_file(target) == []
+
+
+class TestRuleSelection:
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ReproError, match="unknown lint rules"):
+            rules_by_id(["REPRO999"])
+
+    def test_selection_restricts_output(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "sim/timeline.py")
+        assert lint_file(target, rules_by_id(["REPRO102"])) == []
+
+    def test_syntax_error_is_a_repro_error(self, tmp_path):
+        bad = tmp_path / "sim" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(:\n")
+        with pytest.raises(ReproError, match="cannot parse"):
+            lint_file(bad)

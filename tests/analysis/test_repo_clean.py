@@ -1,0 +1,30 @@
+"""The repo must stay clean under its own analyzer.
+
+This is the in-process equivalent of the CI `analyze` job: every
+finding in ``src/`` is either fixed or carried in the committed
+baseline with a justification — and the baseline carries no dead
+entries.
+"""
+
+from repro.analysis import Baseline, analyze_paths
+
+from .conftest import REPO_ROOT
+
+
+def test_repo_is_clean_under_committed_baseline():
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    report = analyze_paths(
+        [str(REPO_ROOT / "src")], baseline=baseline, root=REPO_ROOT,
+    )
+    assert report.clean, "\n".join(f.render() for f in report.new)
+    assert not report.stale_baseline, [
+        e.fingerprint for e in report.stale_baseline
+    ]
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    assert baseline.entries, "baseline should document the known findings"
+    for entry in baseline.entries:
+        assert entry.justification
+        assert "TODO" not in entry.justification, entry.fingerprint

@@ -11,7 +11,7 @@ from repro.core.plan import (
     gpu_layer,
     split_layer,
 )
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
 from repro.hardware.device import Device
 from repro.hardware.specs import JETSON_AGX_XAVIER, RASPBERRY_PI_4
 
@@ -215,7 +215,7 @@ class TestReportContents:
     def test_unknown_layer_lookup(self, chain_net, jetson):
         plan = build_plan(chain_net, jetson.spec)
         report = HybridExecutor(chain_net, jetson, plan).run()
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             report.layer("ghost")
 
 

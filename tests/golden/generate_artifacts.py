@@ -1,0 +1,43 @@
+"""Regenerate the golden plan artifacts and fault scenarios.
+
+These files are the known-good inputs for ``repro check-plan`` tests:
+the CLI must exit 0 on them and 2 on hand-corrupted copies.  Regenerate
+after any intentional change to the artifact schema::
+
+    PYTHONPATH=src python tests/golden/generate_artifacts.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.compile import compile_plan                      # noqa: E402
+from repro.faults import SCENARIO_CATALOG                   # noqa: E402
+from repro.hardware.specs import JETSON_AGX_XAVIER          # noqa: E402
+
+HERE = pathlib.Path(__file__).parent
+ARTIFACTS = HERE / "artifacts"
+SCENARIOS = HERE / "scenarios"
+
+MODELS = ("lenet", "alexnet")
+SCENARIO = "edge-storm"
+
+
+def main() -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    SCENARIOS.mkdir(exist_ok=True)
+    for model in MODELS:
+        compiled = compile_plan(model, JETSON_AGX_XAVIER)
+        out = ARTIFACTS / f"{model}.plan.json"
+        compiled.artifact.save(out)
+        print(f"wrote {out}")
+    scenario_out = SCENARIOS / f"{SCENARIO.replace('-', '_')}.json"
+    SCENARIO_CATALOG[SCENARIO].save(scenario_out)
+    print(f"wrote {scenario_out}")
+
+
+if __name__ == "__main__":
+    main()
