@@ -91,6 +91,28 @@ def render_rows(results):
     return "\n".join(lines), wins
 
 
+def bench_payload(results, determinism_digest):
+    """The machine-readable BENCH_fault_resilience.json body."""
+    return {
+        "network": NETWORK,
+        "rate_rps": RATE_RPS,
+        "duration_s": DURATION_S,
+        "seed": SEED,
+        "determinism_digest": determinism_digest,
+        "scenarios": {
+            name: {
+                "goodput_resilient_rps": resilient.goodput_rps,
+                "goodput_naive_rps": naive.goodput_rps,
+                "win": resilient.goodput_rps > naive.goodput_rps,
+                "served": resilient.served,
+                "timed_out": resilient.timed_out,
+                "failed": resilient.failed,
+            }
+            for name, (resilient, naive) in results.items()
+        },
+    }
+
+
 def check_determinism(scenario_name="edge-storm"):
     """Same seed + scenario twice must reproduce identical digests."""
     clear_plan_cache()
@@ -108,7 +130,7 @@ def check_determinism(scenario_name="edge-storm"):
 
 
 def test_fault_resilience(benchmark, record_artifact):
-    from conftest import run_once
+    from conftest import run_once, write_bench_json
 
     clear_plan_cache()
     results = run_once(benchmark, lambda: run_matrix(SCENARIOS))
@@ -117,6 +139,9 @@ def test_fault_resilience(benchmark, record_artifact):
         "fault_resilience",
         f"Fault resilience — goodput, resilience on vs off "
         f"({NETWORK} @ {RATE_RPS:g} req/s, 2 s deadline)\n{table}",
+    )
+    write_bench_json(
+        "fault_resilience", bench_payload(results, check_determinism())
     )
     assert wins >= MIN_WINS, (
         f"resilience must win goodput in >= {MIN_WINS} scenarios, "
@@ -156,6 +181,12 @@ def main(argv=None):
     digest = check_determinism()
     print(f"determinism gate OK: report digest {digest[:16]}…")
     assert set(scenarios) <= set(SCENARIO_CATALOG)
+    from conftest import write_bench_json
+
+    path = write_bench_json(
+        "fault_resilience", bench_payload(results, digest)
+    )
+    print(f"[written to {path}]")
     return 0
 
 

@@ -11,7 +11,7 @@ one-shot latency numbers cannot show.
 from repro.eval.formatting import format_serving_sweep
 from repro.serving import BatchPolicy, ServingConfig, simulate_poisson
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 NETWORK = "alexnet"
 RATES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
@@ -30,6 +30,24 @@ def test_serving_knee(benchmark, record_artifact):
 
     rows = run_once(benchmark, compute)
     record_artifact("serving_knee", format_serving_sweep(rows))
+    write_bench_json("serving_knee", {
+        "network": NETWORK,
+        "duration_s": DURATION_S,
+        "seed": SEED,
+        "sweep": [
+            {
+                "rate_rps": rate,
+                "throughput_rps": report.throughput_rps,
+                "goodput_rps": report.goodput_rps,
+                "p50_ms": report.latency.p50_s * 1e3,
+                "p99_ms": report.latency.p99_s * 1e3,
+                "served": report.served,
+                "shed": report.shed,
+                "digest": report.digest(),
+            }
+            for rate, report in rows
+        ],
+    })
 
     reports = {rate: r for rate, r in rows}
 

@@ -4,10 +4,15 @@ Every bench regenerates one of the paper's tables/figures: it times the
 experiment computation once (memoized sub-results cleared first so the
 timing is the real cost) and writes the rendered rows to
 ``benchmarks/out/<artifact>.txt`` — the files EXPERIMENTS.md is built from.
+
+Benches that feed dashboards additionally write a machine-readable
+``BENCH_<name>.json`` next to the .txt via :func:`write_bench_json` —
+schema-versioned so downstream tooling can detect shape changes.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -15,6 +20,29 @@ import pytest
 from repro.eval import experiments
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Schema identity stamped into every BENCH_*.json artifact.
+BENCH_SCHEMA = "repro.bench"
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write ``benchmarks/out/BENCH_<name>.json`` with the schema header.
+
+    ``payload`` carries the bench-specific results; the wrapper adds
+    ``schema``/``version``/``bench`` so every artifact self-identifies.
+    Keys are sorted for diff-stable output.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        **payload,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -26,7 +26,7 @@ from .lint import MUTATING_METHODS, LintContext, dotted_name
 RULE_ID = "REPRO201"
 
 #: Path parts of modules known to be shared across threads.
-THREADED_PARTS: Set[str] = {"serving"}
+THREADED_PARTS: Set[str] = {"serving", "cluster"}
 #: File names of modules known to be shared across threads.
 THREADED_FILES: Set[str] = {"plan_cache.py"}
 

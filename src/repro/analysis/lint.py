@@ -3,8 +3,9 @@
 The rules encode invariants this codebase actually depends on:
 
 * **REPRO101 — wall-clock call in virtual-clock code.**  Everything
-  under ``sim/``, ``serving/``, ``faults/``, ``workloads/`` and the
-  tuner runs on the *virtual* clock; a single ``time.time()`` there
+  under ``sim/``, ``serving/``, ``faults/``, ``workloads/``,
+  ``cluster/`` and the tuner runs on the *virtual* clock; a single
+  ``time.time()`` there
   silently breaks replay determinism and the cross-process digest
   gates.
 * **REPRO102 — unseeded randomness in virtual-clock code.**  Module
@@ -41,7 +42,9 @@ from ..errors import ReproError
 from .findings import Finding
 
 #: Directories (path parts) whose code runs on the virtual clock.
-VIRTUAL_CLOCK_PARTS: Set[str] = {"sim", "serving", "faults", "workloads"}
+VIRTUAL_CLOCK_PARTS: Set[str] = {
+    "sim", "serving", "faults", "workloads", "cluster",
+}
 #: File names that run on the virtual clock wherever they live.
 VIRTUAL_CLOCK_FILES: Set[str] = {"tuner.py"}
 #: Path parts of the engine + execution backends (exception discipline).

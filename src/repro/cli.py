@@ -315,6 +315,99 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    from .cluster import (
+        AutoscalerPolicy,
+        ClusterConfig,
+        ClusterTenant,
+        DeviceMix,
+        simulate_cluster,
+    )
+    from .serving.batcher import BatchPolicy
+    from .workloads.arrivals import (
+        DiurnalPoissonArrivals,
+        FlashCrowdArrivals,
+        PoissonArrivals,
+    )
+
+    def arrival_for(rate: float, index: int):
+        seed = args.seed + index
+        if args.arrivals == "diurnal":
+            # One full sinusoidal cycle over the run, pools offset in
+            # phase so the fleet sees a rolling (not synchronized) peak.
+            return DiurnalPoissonArrivals(
+                rate, args.duration, period_s=args.duration,
+                amplitude=0.5, phase=index * 2.0, seed=seed,
+            )
+        if args.arrivals == "flash":
+            return FlashCrowdArrivals(
+                rate, args.duration,
+                spike_start_s=args.duration * 0.4,
+                spike_duration_s=args.duration * 0.1,
+                spike_factor=4.0, seed=seed,
+            )
+        return PoissonArrivals(rate, args.duration, seed=seed)
+
+    models = args.model or ["squeezenet"]
+    tenants = []
+    for index, token in enumerate(models):
+        network, _, rate_text = token.partition(":")
+        if network not in MODEL_BUILDERS:
+            raise ReproError(
+                f"unknown network {network!r} in --model {token!r}"
+            )
+        try:
+            rate = float(rate_text) if rate_text else args.rate
+        except ValueError:
+            raise ReproError(
+                f"--model expects NET[:RATE] with a numeric rate, "
+                f"got {token!r}"
+            ) from None
+        tenants.append(
+            ClusterTenant(network, arrival_for(rate, index))
+        )
+    scenario = None
+    if args.faults:
+        from .faults import load_scenario, scale_to_horizon
+
+        scenario = scale_to_horizon(
+            load_scenario(args.faults), args.duration
+        )
+    if args.plan_dir:
+        from .core.plan_cache import configure_default_plan_cache
+
+        configure_default_plan_cache(save_dir=args.plan_dir)
+    mix = DeviceMix.parse(
+        args.devices, throttled_share=args.throttled_share
+    )
+    config = ClusterConfig(
+        router=args.router,
+        policy=BatchPolicy(
+            max_batch_size=args.max_batch,
+            max_wait_s=0.0,
+            max_queue_depth=args.queue_depth,
+            deadline_s=(
+                args.deadline_ms / 1e3 if args.deadline_ms else None
+            ),
+        ),
+        seed=args.seed,
+        objective=args.objective,
+        affinity_slack=args.affinity_slack,
+        autoscaler=AutoscalerPolicy() if args.autoscale else None,
+        faults=scenario,
+        fault_share=args.fault_share,
+        fault_stagger_s=args.duration * 0.25 if scenario else 0.0,
+    )
+    report = simulate_cluster(tenants, mix, args.replicas, config)
+    print(report.describe())
+    print(f"report digest: {report.digest()}")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report.to_json(include_replicas=True))
+        print(f"report    : {args.out}")
+    return 0
+
+
 def cmd_faults_list(_args) -> int:
     from .faults import SCENARIO_CATALOG
 
@@ -676,6 +769,62 @@ def build_parser() -> argparse.ArgumentParser:
                             "(or completing) past it are abandoned as "
                             "timed out (0 disables)")
     serve.set_defaults(func=cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="simulate a heterogeneous device fleet behind a router",
+    )
+    cluster.add_argument("--model", action="append", default=[],
+                         metavar="NET[:RATE]",
+                         help="add a model pool with an open-loop stream "
+                              "(repeatable; default squeezenet)")
+    cluster.add_argument("--devices",
+                         default="jetson-agx-xavier:3,dimensity-8100:2,"
+                                 "raspberry-pi-4:1,rtx-2080ti-host:1",
+                         metavar="NAME[:W],...",
+                         help="weighted device mix drawn from the catalog")
+    cluster.add_argument("--replicas", type=int, default=32,
+                         help="initial replicas per model pool")
+    cluster.add_argument("--router", default="plan_cost",
+                         choices=["round_robin", "least_queue", "plan_cost"],
+                         help="routing policy (default plan_cost)")
+    cluster.add_argument("--objective", default="latency",
+                         choices=["latency", "energy"],
+                         help="plan_cost routing objective")
+    cluster.add_argument("--affinity-slack", type=float, default=0.0,
+                         help="plan_cost tenant stickiness slack "
+                              "(0 disables affinity)")
+    cluster.add_argument("--rate", type=float, default=100.0,
+                         help="per-model arrival rate when --model has "
+                              "no :RATE (req/s)")
+    cluster.add_argument("--duration", type=float, default=60.0,
+                         help="admission horizon in virtual seconds")
+    cluster.add_argument("--arrivals", default="diurnal",
+                         choices=["poisson", "diurnal", "flash"],
+                         help="arrival shape per model stream")
+    cluster.add_argument("--deadline-ms", type=float, default=5000.0,
+                         help="per-request deadline (0 disables)")
+    cluster.add_argument("--max-batch", type=int, default=8,
+                         help="per-replica max batch size")
+    cluster.add_argument("--queue-depth", type=int, default=64,
+                         help="per-replica bounded queue depth")
+    cluster.add_argument("--throttled-share", type=float, default=0.0,
+                         help="fraction of replicas derived as thermally "
+                              "throttled variants")
+    cluster.add_argument("--faults", default=None, metavar="SCENARIO",
+                         help="fault scenario applied to --fault-share of "
+                              "replicas (name or JSON file)")
+    cluster.add_argument("--fault-share", type=float, default=0.25,
+                         help="fraction of replicas the scenario hits")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable the per-pool autoscaler")
+    cluster.add_argument("--seed", type=int, default=0,
+                         help="run seed (same seed replays bit-identically)")
+    cluster.add_argument("--plan-dir", default=None, metavar="DIR",
+                         help="persist/reuse tuned plans as artifacts in DIR")
+    cluster.add_argument("--out", default=None, metavar="FILE",
+                         help="write the full ClusterReport JSON to FILE")
+    cluster.set_defaults(func=cmd_cluster)
 
     faults = sub.add_parser(
         "faults", help="inspect the fault-injection scenario catalog"

@@ -1,0 +1,74 @@
+"""repro.cluster: fleet-scale heterogeneous edge serving.
+
+Simulates hundreds-to-thousands of devices from the hardware catalog —
+each a :class:`~repro.cluster.fleet.Replica` wrapping a per-device
+compiled-plan service model and a bounded queue — behind a global
+routing tier on the shared virtual clock.  The headline result the
+subsystem exists to show: routing by *compiled-plan predicted cost*
+(``plan_cost``) beats device-blind policies on both fleet goodput and
+tail latency, because per-device plan compilation gives the router an
+accurate cost model for free.
+
+Entry points:
+
+- :func:`simulate_cluster` / :class:`ClusterSimulator` — run a fleet.
+- :class:`DeviceMix` — declarative heterogeneous fleet composition.
+- :func:`make_router` — ``round_robin`` | ``least_queue`` | ``plan_cost``.
+- :class:`AutoscalerPolicy` — per-pool scaling on queue depth and
+  deadline-miss rate, recorded in the provenance log.
+- :class:`ClusterReport` — digestable fleet metrics (see
+  ``docs/cluster.md``).
+"""
+
+from .autoscaler import Autoscaler, AutoscalerPolicy
+from .fleet import DEFAULT_THROTTLE, DeviceMix, Fleet, Pool, Replica
+from .report import (
+    CLUSTER_REPORT_SCHEMA,
+    CLUSTER_REPORT_VERSION,
+    ClusterReport,
+    PoolStats,
+    ReplicaStats,
+)
+from .router import (
+    ENERGY,
+    LATENCY,
+    LeastQueueRouter,
+    PlanCostRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from .simulator import (
+    ClusterConfig,
+    ClusterSimulator,
+    ClusterTenant,
+    simulate_cluster,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "CLUSTER_REPORT_SCHEMA",
+    "CLUSTER_REPORT_VERSION",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterSimulator",
+    "ClusterTenant",
+    "DEFAULT_THROTTLE",
+    "DeviceMix",
+    "ENERGY",
+    "Fleet",
+    "LATENCY",
+    "LeastQueueRouter",
+    "PlanCostRouter",
+    "Pool",
+    "PoolStats",
+    "ROUTERS",
+    "Replica",
+    "ReplicaStats",
+    "RoundRobinRouter",
+    "Router",
+    "make_router",
+    "simulate_cluster",
+]

@@ -1,0 +1,342 @@
+"""Fleet-run metrics: the cluster-level analogue of ServingReport.
+
+:class:`ClusterReport` describes one simulated fleet run: per-pool and
+fleet-wide goodput, tail latency percentiles, energy, shed/miss counts,
+the per-device utilization histograms that show whether the router kept
+heterogeneous hardware evenly loaded, and the scaling history length.
+Like every report in this repo it is JSON-serializable with a stable
+content digest — the cross-process determinism gate compares exactly
+that digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+from ..serving.report import LatencyStats
+
+#: Schema identity for serialized cluster reports.
+CLUSTER_REPORT_SCHEMA = "repro.cluster.report"
+CLUSTER_REPORT_VERSION = 1
+
+#: Utilization histogram resolution: ten 10%-wide bins.
+UTILIZATION_BINS = 10
+
+
+def utilization_histogram(utilizations: List[float]) -> List[int]:
+    """Bin replica utilizations into ``UTILIZATION_BINS`` equal-width
+    bins over [0, 1]; utilization 1.0 lands in the last bin."""
+    bins = [0] * UTILIZATION_BINS
+    for u in utilizations:
+        index = min(UTILIZATION_BINS - 1, int(u * UTILIZATION_BINS))
+        bins[index] += 1
+    return bins
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """One replica's contribution to the run."""
+
+    name: str
+    device: str
+    served: int
+    failed: int
+    batches: int
+    busy_s: float
+    energy_j: float
+    utilization: float
+    created_s: float
+    retired_s: float = -1.0     # -1: still active at end of run
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "device": self.device,
+            "served": self.served,
+            "failed": self.failed,
+            "batches": self.batches,
+            "busy_s": self.busy_s,
+            "energy_j": self.energy_j,
+            "utilization": self.utilization,
+            "created_s": self.created_s,
+            "retired_s": self.retired_s,
+        }
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """One model pool's view of the run."""
+
+    name: str
+    network: str
+    replicas_start: int
+    replicas_end: int
+    replicas_peak: int
+    offered: int
+    served: int
+    shed: int
+    timed_out: int
+    late: int
+    failed: int
+    latency: LatencyStats
+    batch_histogram: Dict[int, int]
+    energy_j: float
+    scale_ups: int = 0
+    scale_downs: int = 0
+
+    def __post_init__(self) -> None:
+        accounted = self.served + self.shed + self.timed_out + self.failed
+        if accounted != self.offered:
+            raise ReproError(
+                f"pool {self.name!r} conservation violated: "
+                f"served {self.served} + shed {self.shed} + "
+                f"timed_out {self.timed_out} + failed {self.failed} "
+                f"!= offered {self.offered}"
+            )
+
+    @property
+    def miss_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.timed_out / self.offered
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "network": self.network,
+            "replicas_start": self.replicas_start,
+            "replicas_end": self.replicas_end,
+            "replicas_peak": self.replicas_peak,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "late": self.late,
+            "failed": self.failed,
+            "miss_rate": self.miss_rate,
+            "p50_ms": self.latency.p50_s * 1e3,
+            "p95_ms": self.latency.p95_s * 1e3,
+            "p99_ms": self.latency.p99_s * 1e3,
+            "mean_ms": self.latency.mean_s * 1e3,
+            "batch_histogram": dict(sorted(self.batch_histogram.items())),
+            "energy_j": self.energy_j,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Complete outcome of one simulated fleet run."""
+
+    router: str
+    mix: str
+    duration_s: float
+    makespan_s: float
+    offered: int
+    served: int
+    shed: int
+    timed_out: int
+    late: int
+    failed: int
+    latency: LatencyStats
+    energy_j: float
+    replicas_start: int
+    replicas_end: int
+    replicas_peak: int
+    #: base device name -> 10-bin replica utilization histogram.
+    device_utilization: Dict[str, List[int]]
+    #: base device name -> mean replica utilization.
+    device_utilization_mean: Dict[str, float]
+    pools: Tuple[PoolStats, ...]
+    replicas: Tuple[ReplicaStats, ...] = ()
+    scaling_events: int = 0
+    seed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        accounted = self.served + self.shed + self.timed_out + self.failed
+        if accounted != self.offered:
+            raise ReproError(
+                f"fleet conservation violated: served {self.served} + "
+                f"shed {self.shed} + timed_out {self.timed_out} + "
+                f"failed {self.failed} != offered {self.offered}"
+            )
+        if self.late > self.timed_out:
+            raise ReproError(
+                f"late completions {self.late} exceed deadline misses "
+                f"{self.timed_out}"
+            )
+        pool_offered = sum(p.offered for p in self.pools)
+        if pool_offered != self.offered:
+            raise ReproError(
+                f"pool totals ({pool_offered}) disagree with fleet "
+                f"offered ({self.offered})"
+            )
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def goodput_rps(self) -> float:
+        """Useful responses per virtual second: served within deadline."""
+        if self.makespan_s == 0:
+            return 0.0
+        return self.served / self.makespan_s
+
+    @property
+    def throughput_rps(self) -> float:
+        """All responses per virtual second, late completions included."""
+        if self.makespan_s == 0:
+            return 0.0
+        return (self.served + self.late) / self.makespan_s
+
+    @property
+    def shed_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    @property
+    def miss_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.timed_out / self.offered
+
+    @property
+    def energy_per_request_j(self) -> float:
+        if self.served == 0:
+            return 0.0
+        return self.energy_j / self.served
+
+    def pool(self, name: str) -> PoolStats:
+        for p in self.pools:
+            if p.name == name:
+                return p
+        raise ReproError(f"no pool {name!r} in cluster report")
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self, *, include_replicas: bool = False) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "schema": CLUSTER_REPORT_SCHEMA,
+            "version": CLUSTER_REPORT_VERSION,
+            "router": self.router,
+            "mix": self.mix,
+            "duration_s": self.duration_s,
+            "makespan_s": self.makespan_s,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "late": self.late,
+            "failed": self.failed,
+            "shed_rate": self.shed_rate,
+            "miss_rate": self.miss_rate,
+            "goodput_rps": self.goodput_rps,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.latency.p50_s * 1e3,
+            "p95_ms": self.latency.p95_s * 1e3,
+            "p99_ms": self.latency.p99_s * 1e3,
+            "mean_ms": self.latency.mean_s * 1e3,
+            "max_ms": self.latency.max_s * 1e3,
+            "energy_j": self.energy_j,
+            "energy_per_request_j": self.energy_per_request_j,
+            "replicas_start": self.replicas_start,
+            "replicas_end": self.replicas_end,
+            "replicas_peak": self.replicas_peak,
+            "scaling_events": self.scaling_events,
+            "device_utilization": {
+                name: list(bins)
+                for name, bins in sorted(self.device_utilization.items())
+            },
+            "device_utilization_mean": {
+                name: mean
+                for name, mean in sorted(
+                    self.device_utilization_mean.items()
+                )
+            },
+            "pools": [p.to_dict() for p in self.pools],
+            "seed": self.seed,
+            "extra": {k: self.extra[k] for k in sorted(self.extra)},
+        }
+        if include_replicas:
+            out["replicas"] = [r.to_dict() for r in self.replicas]
+        return out
+
+    def to_json(self, *, include_replicas: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(include_replicas=include_replicas),
+            sort_keys=True,
+            indent=2,
+        )
+
+    def digest(self) -> str:
+        """Stable content hash over the full report, replicas included.
+
+        The cross-process determinism gate runs the same seeded config
+        twice in fresh interpreters and compares these: any wall-clock
+        leak, unseeded randomness, or iteration-order dependence in the
+        fleet path shows up as a mismatch here.  ``extra`` is excluded —
+        it carries advisory environment facts (plan-cache traffic) that
+        legitimately differ between a cold and a warm process.
+        """
+        payload = self.to_dict(include_replicas=True)
+        payload.pop("extra", None)
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (the CLI's output)."""
+        lines = [
+            f"cluster run: router={self.router} mix=[{self.mix}] "
+            f"({self.duration_s:g}s offered, "
+            f"makespan {self.makespan_s:.3f}s)",
+            f"fleet     : {self.replicas_start} -> {self.replicas_end} "
+            f"replicas (peak {self.replicas_peak}, "
+            f"{self.scaling_events} scaling events)",
+            f"requests  : offered {self.offered}, served {self.served}, "
+            f"shed {self.shed} ({self.shed_rate:.1%}), "
+            f"timed out {self.timed_out} ({self.late} late), "
+            f"failed {self.failed}",
+            f"goodput   : {self.goodput_rps:.2f} req/s "
+            f"(throughput {self.throughput_rps:.2f} req/s)",
+            f"latency   : p50 {self.latency.p50_s * 1e3:.3f} ms, "
+            f"p95 {self.latency.p95_s * 1e3:.3f} ms, "
+            f"p99 {self.latency.p99_s * 1e3:.3f} ms "
+            f"(mean {self.latency.mean_s * 1e3:.3f}, "
+            f"max {self.latency.max_s * 1e3:.3f})",
+            f"energy    : {self.energy_j:.1f} J total, "
+            f"{self.energy_per_request_j * 1e3:.3f} mJ/request",
+        ]
+        lines.append("device utilization (mean, 10-bin histogram):")
+        for name in sorted(self.device_utilization):
+            bins = self.device_utilization[name]
+            mean = self.device_utilization_mean[name]
+            spark = " ".join(str(b) for b in bins)
+            lines.append(f"  {name:<28} {mean:6.1%}  [{spark}]")
+        if len(self.pools) > 1 or self.pools[0].scale_ups:
+            lines.append("pools:")
+            for p in self.pools:
+                lines.append(
+                    f"  {p.name:<14} replicas={p.replicas_start}->"
+                    f"{p.replicas_end} offered={p.offered} "
+                    f"served={p.served} shed={p.shed} "
+                    f"miss={p.miss_rate:.2%} "
+                    f"p99={p.latency.p99_s * 1e3:.3f}ms"
+                )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "CLUSTER_REPORT_SCHEMA",
+    "CLUSTER_REPORT_VERSION",
+    "UTILIZATION_BINS",
+    "ClusterReport",
+    "PoolStats",
+    "ReplicaStats",
+    "utilization_histogram",
+]

@@ -160,6 +160,31 @@ class PlanKey:
         return re.sub(r"[^A-Za-z0-9._-]+", "-", raw)
 
 
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Consistent point-in-time snapshot of a cache's counters.
+
+    Reading the counters one by one can tear under concurrency; a fleet
+    run brackets itself with two snapshots and reports the difference.
+    """
+
+    hits: int
+    misses: int
+    disk_hits: int
+    corrupt_loads: int
+    entries: int
+
+    def delta(self, before: "PlanCacheStats") -> "PlanCacheStats":
+        """Counter traffic since ``before`` (entries is the *current* size)."""
+        return PlanCacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            disk_hits=self.disk_hits - before.disk_hits,
+            corrupt_loads=self.corrupt_loads - before.corrupt_loads,
+            entries=self.entries,
+        )
+
+
 class PlanCache:
     """Thread-safe LRU cache of tuning results keyed by :class:`PlanKey`.
 
@@ -199,6 +224,17 @@ class PlanCache:
     def __contains__(self, key: PlanKey) -> bool:
         with self._lock:
             return key in self._entries
+
+    def stats(self) -> PlanCacheStats:
+        """Atomic snapshot of the hit/miss counters and entry count."""
+        with self._lock:
+            return PlanCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                disk_hits=self.disk_hits,
+                corrupt_loads=self.corrupt_loads,
+                entries=len(self._entries),
+            )
 
     def get_or_tune(
         self, key: PlanKey, tune: Callable[[], "TuningResult"]

@@ -194,6 +194,40 @@ class FaultScenario:
                     )
         return problems
 
+    def shifted(self, offset_s: float) -> "FaultScenario":
+        """Copy of this scenario with every window ``offset_s`` later.
+
+        The cluster fleet (:mod:`repro.cluster`) assigns the same
+        scenario to many replicas; shifting each replica's copy by a
+        deterministic per-replica phase keeps the *fleet* from
+        throttling in lockstep — real thermal events are correlated in
+        shape, not in phase.  Probabilities are unaffected.
+        """
+        if offset_s == 0.0:
+            return self
+        if offset_s < 0:
+            raise ReproError(
+                f"scenario shift must be >= 0, got {offset_s}"
+            )
+        return replace(
+            self,
+            thermal=tuple(
+                ThermalWindow(
+                    start_s=w.start_s + offset_s,
+                    duration_s=w.duration_s,
+                    factors=w.factors,
+                )
+                for w in self.thermal
+            ),
+            memory_pressure=tuple(
+                MemoryPressureWindow(
+                    start_s=w.start_s + offset_s,
+                    duration_s=w.duration_s,
+                )
+                for w in self.memory_pressure
+            ),
+        )
+
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:

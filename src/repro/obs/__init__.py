@@ -47,6 +47,7 @@ from .provenance import (
     PartitionRecord,
     PlacementCandidate,
     ProvenanceLog,
+    ScalingRecord,
 )
 from .spans import NoopTracer, NOOP_TRACER, Span, SpanTracer
 
@@ -58,6 +59,7 @@ __all__ = [
     "ProvenanceLog", "NullProvenance", "NULL_PROVENANCE",
     "MemoryPlacementRecord", "PlacementCandidate",
     "PartitionRecord", "PartitionCandidate", "DegradationRecord",
+    "ScalingRecord",
 ]
 
 

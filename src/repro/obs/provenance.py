@@ -101,6 +101,27 @@ class DegradationRecord:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class ScalingRecord:
+    """One autoscaling decision made for a fleet model pool.
+
+    Emitted by the cluster autoscaler (:mod:`repro.cluster.autoscaler`)
+    whenever a replica is added to or retired from a pool, together with
+    the observed signals that triggered it — the fleet-level analogue of
+    :class:`DegradationRecord`.
+    """
+
+    pool: str                     # model pool name (the network served)
+    t_s: float                    # virtual instant of the decision
+    action: str                   # "scale_up" | "scale_down"
+    replica: str                  # replica added or retired
+    device: str                   # the replica's device spec name
+    replicas_after: int           # active replicas in the pool afterwards
+    queue_depth_mean: float       # signal: mean depth across the pool
+    miss_rate: float              # signal: deadline-miss + shed rate
+    reason: str = ""
+
+
 class NullProvenance:
     """Disabled log: recording is a no-op, queries are empty."""
 
@@ -115,6 +136,9 @@ class NullProvenance:
     def record_degradation(self, record: DegradationRecord) -> None:
         pass
 
+    def record_scaling(self, record: ScalingRecord) -> None:
+        pass
+
     def placements(self, **filters: Any) -> List[MemoryPlacementRecord]:
         return []
 
@@ -124,9 +148,17 @@ class NullProvenance:
     def degradations(self, **filters: Any) -> List[DegradationRecord]:
         return []
 
+    def scalings(self, **filters: Any) -> List[ScalingRecord]:
+        return []
+
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(
-            {"placements": [], "partitions": [], "degradations": []}
+            {
+                "placements": [],
+                "partitions": [],
+                "degradations": [],
+                "scalings": [],
+            }
         )
 
     def summary(self) -> str:
@@ -145,6 +177,7 @@ class ProvenanceLog:
     _placements: List[MemoryPlacementRecord] = field(default_factory=list)
     _partitions: List[PartitionRecord] = field(default_factory=list)
     _degradations: List[DegradationRecord] = field(default_factory=list)
+    _scalings: List[ScalingRecord] = field(default_factory=list)
 
     # -- recording -------------------------------------------------------------
 
@@ -156,6 +189,9 @@ class ProvenanceLog:
 
     def record_degradation(self, record: DegradationRecord) -> None:
         self._degradations.append(record)
+
+    def record_scaling(self, record: ScalingRecord) -> None:
+        self._scalings.append(record)
 
     # -- queries ---------------------------------------------------------------
 
@@ -193,6 +229,13 @@ class ProvenanceLog:
         ) if v is not None}
         return [r for r in self._degradations if self._match(r, filters)]
 
+    def scalings(self, *, pool: Optional[str] = None,
+                 action: Optional[str] = None) -> List[ScalingRecord]:
+        filters = {k: v for k, v in (
+            ("pool", pool), ("action", action),
+        ) if v is not None}
+        return [r for r in self._scalings if self._match(r, filters)]
+
     def final_placements(self, network: str) -> Dict[str, MemoryPlacementRecord]:
         """Last recorded decision per buffer — the plan actually executed."""
         out: Dict[str, MemoryPlacementRecord] = {}
@@ -206,6 +249,7 @@ class ProvenanceLog:
             len(self._placements)
             + len(self._partitions)
             + len(self._degradations)
+            + len(self._scalings)
         )
 
     # -- export ----------------------------------------------------------------
@@ -215,6 +259,7 @@ class ProvenanceLog:
             "placements": [asdict(r) for r in self._placements],
             "partitions": [asdict(r) for r in self._partitions],
             "degradations": [asdict(r) for r in self._degradations],
+            "scalings": [asdict(r) for r in self._scalings],
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -251,4 +296,10 @@ class ProvenanceLog:
                     f"  degraded at t={r.t_s:.3f}s: {r.action} "
                     f"(trigger={r.trigger})"
                 )
+        for r in self._scalings:
+            lines.append(
+                f"{r.pool}: {r.action} at t={r.t_s:.3f}s -> "
+                f"{r.replicas_after} replicas ({r.replica} on {r.device}; "
+                f"depth={r.queue_depth_mean:.2f}, miss={r.miss_rate:.1%})"
+            )
         return "\n".join(lines) if lines else "(no decisions recorded)"

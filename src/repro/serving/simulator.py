@@ -143,6 +143,9 @@ class BatchServiceTime:
     total_s: float
     cpu_busy_s: float
     gpu_busy_s: float
+    #: energy drawn over the batch (fleet-level accounting in
+    #: :mod:`repro.cluster`; 0.0 for duck-typed test models).
+    energy_j: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -258,6 +261,7 @@ class ServiceTimeModel:
             total_s=report.total_s,
             cpu_busy_s=report.cpu_busy_s,
             gpu_busy_s=report.gpu_busy_s,
+            energy_j=report.energy.energy_j,
         )
         self._warm[key] = svc
         return svc
@@ -275,6 +279,7 @@ class ServiceTimeModel:
                 total_s=report.total_s,
                 cpu_busy_s=report.cpu_busy_s,
                 gpu_busy_s=report.gpu_busy_s,
+                energy_j=report.energy.energy_j,
             )
         return self._cold[key]
 

@@ -3,6 +3,8 @@
 from .arrivals import (
     ArrivalProcess,
     ClosedLoopArrivals,
+    DiurnalPoissonArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     UniformArrivals,
 )
@@ -11,6 +13,8 @@ from .inputs import batch_of_inputs, input_for
 __all__ = [
     "ArrivalProcess",
     "ClosedLoopArrivals",
+    "DiurnalPoissonArrivals",
+    "FlashCrowdArrivals",
     "PoissonArrivals",
     "UniformArrivals",
     "batch_of_inputs",

@@ -1,0 +1,55 @@
+"""Shared fixtures: synthetic replicas with exact, cheap service times.
+
+Router and autoscaler logic is independent of the real engine, so these
+tests drive it with a duck-typed service model (the same pattern the
+serving property tests use) — no plan compilation, and costs chosen to
+make argmin decisions unambiguous.
+"""
+
+from repro.cluster.fleet import Pool, Replica
+from repro.hardware.variants import full_catalog
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import BatchServiceTime
+
+
+class FakeModel:
+    """Linear batched service: svc1 for batch 1, unit_s per request."""
+
+    def __init__(self, svc1_s, unit_s=None, energy_j=1.0):
+        self.svc1_s = svc1_s
+        self.unit_s = unit_s if unit_s is not None else svc1_s
+        self.energy_j = energy_j
+
+    def service(self, network, batch, **kwargs):
+        total = self.svc1_s if batch == 1 else self.unit_s * batch
+        return BatchServiceTime(
+            total_s=total, cpu_busy_s=0.2 * total, gpu_busy_s=0.8 * total,
+            energy_j=self.energy_j * batch,
+        )
+
+    def warm(self, network, batch):
+        return self.service(network, batch)
+
+
+def make_replica(
+    name, idx, *, svc1_s=0.1, unit_s=None, energy_j=1.0,
+    pool_name="lenet", max_batch=8,
+):
+    spec = full_catalog()["jetson-agx-xavier"]
+    return Replica(
+        name, spec, pool_name, pool_name,
+        FakeModel(svc1_s, unit_s, energy_j),
+        idx=idx, max_batch=max_batch,
+    )
+
+
+def make_pool(replica_specs, *, policy=None, pool_name="lenet"):
+    """Pool of fake replicas; ``replica_specs`` is a list of kwargs for
+    :func:`make_replica` (name/idx filled in automatically)."""
+    pool = Pool(pool_name, pool_name, policy or BatchPolicy(max_wait_s=0.0))
+    for i, kw in enumerate(replica_specs):
+        pool.replicas.append(
+            make_replica(f"{pool_name}#{i}", i + 1, pool_name=pool_name, **kw)
+        )
+    pool.replicas_start = len(pool.replicas)
+    return pool

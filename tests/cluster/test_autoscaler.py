@@ -1,0 +1,136 @@
+"""Autoscaler thresholds, cooldown, bounds, and provenance trail."""
+
+import pytest
+
+from repro.cluster import Autoscaler, AutoscalerPolicy, DeviceMix, Fleet
+from repro.errors import ReproError
+from repro.obs import NOOP_OBS, Observability
+from repro.serving.batcher import BatchPolicy
+
+
+def make_fleet(replicas=2):
+    return Fleet(
+        DeviceMix.parse("jetson-agx-xavier"),
+        [("lenet", replicas)],
+        policy=BatchPolicy(max_wait_s=0.0),
+    )
+
+
+def make_scaler(fleet, obs=NOOP_OBS, **policy_kw):
+    policy_kw.setdefault("interval_s", 1.0)
+    policy_kw.setdefault("cooldown_s", 0.0)
+    return Autoscaler(fleet, AutoscalerPolicy(**policy_kw), obs)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"interval_s": 0.0},
+        {"low_depth": 5.0, "high_depth": 4.0},
+        {"low_miss_rate": 0.2, "high_miss_rate": 0.1},
+        {"min_replicas": 0},
+        {"min_replicas": 5, "max_replicas": 4},
+        {"step": 0},
+    ])
+    def test_rejects_inverted_or_degenerate(self, kwargs):
+        with pytest.raises(ReproError):
+            AutoscalerPolicy(**kwargs)
+
+
+class TestScaleUp:
+    def test_on_high_queue_depth(self):
+        fleet = make_fleet()
+        scaler = make_scaler(fleet, high_depth=4.0)
+        pool = fleet.pools[0]
+        for _ in range(3):
+            scaler.observe_admit(pool, depth=10)
+        added = scaler.tick(1.0)
+        assert len(added) == 1
+        assert added[0].created_s == 1.0
+        assert pool.scale_ups == 1
+        assert fleet.replica_count() == 3
+
+    def test_on_high_miss_rate(self):
+        fleet = make_fleet()
+        scaler = make_scaler(fleet, high_miss_rate=0.05)
+        pool = fleet.pools[0]
+        for _ in range(10):
+            scaler.observe_admit(pool, depth=0)
+        scaler.observe_miss(pool)   # 10% >= 5%
+        assert len(scaler.tick(1.0)) == 1
+
+    def test_respects_max_replicas(self):
+        fleet = make_fleet(replicas=2)
+        scaler = make_scaler(fleet, high_depth=1.0, max_replicas=2)
+        pool = fleet.pools[0]
+        scaler.observe_admit(pool, depth=10)
+        assert scaler.tick(1.0) == []
+
+    def test_step_adds_multiple(self):
+        fleet = make_fleet()
+        scaler = make_scaler(fleet, high_depth=1.0, step=3)
+        scaler.observe_admit(fleet.pools[0], depth=10)
+        assert len(scaler.tick(1.0)) == 3
+
+
+class TestScaleDown:
+    def test_drains_newest_replica_when_quiet(self):
+        fleet = make_fleet(replicas=3)
+        scaler = make_scaler(fleet, low_depth=0.5, low_miss_rate=0.01)
+        added = scaler.tick(1.0)      # quiet window: scales down
+        assert added == []
+        pool = fleet.pools[0]
+        assert pool.scale_downs == 1
+        draining = [r for r in pool.replicas if r.draining]
+        assert [r.name for r in draining] == ["lenet#2"]
+        # Draining replicas are not routable but still active.
+        assert not draining[0].routable
+        assert draining[0].active
+
+    def test_respects_min_replicas(self):
+        fleet = make_fleet(replicas=1)
+        scaler = make_scaler(fleet, min_replicas=1)
+        scaler.tick(1.0)
+        assert fleet.pools[0].scale_downs == 0
+
+
+class TestCooldown:
+    def test_blocks_consecutive_changes(self):
+        fleet = make_fleet()
+        scaler = make_scaler(fleet, high_depth=1.0, cooldown_s=5.0)
+        pool = fleet.pools[0]
+        scaler.observe_admit(pool, depth=10)
+        assert len(scaler.tick(1.0)) == 1
+        scaler.observe_admit(pool, depth=10)
+        assert scaler.tick(2.0) == []        # still cooling down
+        scaler.observe_admit(pool, depth=10)
+        assert len(scaler.tick(6.5)) == 1    # cooldown elapsed
+
+
+class TestWindowing:
+    def test_signals_reset_each_tick(self):
+        fleet = make_fleet()
+        scaler = make_scaler(fleet, high_depth=4.0)
+        pool = fleet.pools[0]
+        scaler.observe_admit(pool, depth=10)
+        scaler.tick(1.0)
+        # New window is empty: no further scaling without new signals.
+        assert scaler.tick(2.0) == []
+        assert fleet.replica_count() == 3
+
+
+class TestProvenance:
+    def test_decisions_recorded(self):
+        obs = Observability.on()
+        fleet = make_fleet()
+        scaler = make_scaler(fleet, high_depth=1.0, obs=obs)
+        scaler.observe_admit(fleet.pools[0], depth=10)
+        scaler.tick(1.0)
+        records = obs.provenance.scalings(pool="lenet")
+        assert len(records) == 1
+        record = records[0]
+        assert record.action == "scale_up"
+        assert record.replica == "lenet#2"
+        assert record.t_s == 1.0
+        assert record.queue_depth_mean == pytest.approx(10.0)
+        assert "depth" in record.reason
+        assert obs.provenance.scalings(action="scale_down") == []

@@ -1,0 +1,139 @@
+"""ClusterReport invariants, serialization, and digest stability."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    CLUSTER_REPORT_SCHEMA,
+    CLUSTER_REPORT_VERSION,
+    ClusterReport,
+    PoolStats,
+    ReplicaStats,
+)
+from repro.cluster.report import utilization_histogram
+from repro.errors import ReproError
+from repro.serving.report import LatencyStats
+
+
+def latencies(values=(0.1, 0.2, 0.3)):
+    return LatencyStats.from_latencies(list(values))
+
+
+def pool_stats(**overrides):
+    kw = dict(
+        name="lenet", network="lenet",
+        replicas_start=2, replicas_end=2, replicas_peak=2,
+        offered=10, served=7, shed=1, timed_out=1, late=1, failed=1,
+        latency=latencies(), batch_histogram={1: 5, 2: 1},
+        energy_j=3.0,
+    )
+    kw.update(overrides)
+    return PoolStats(**kw)
+
+
+def cluster_report(**overrides):
+    pool = pool_stats()
+    kw = dict(
+        router="plan_cost", mix="jetson-agx-xavier:1",
+        duration_s=10.0, makespan_s=10.0,
+        offered=10, served=7, shed=1, timed_out=1, late=1, failed=1,
+        latency=latencies(), energy_j=3.0,
+        replicas_start=2, replicas_end=2, replicas_peak=2,
+        device_utilization={"jetson-agx-xavier": [0] * 9 + [2]},
+        device_utilization_mean={"jetson-agx-xavier": 0.95},
+        pools=(pool,),
+        replicas=(
+            ReplicaStats(
+                name="lenet#0", device="jetson-agx-xavier",
+                served=4, failed=1, batches=5, busy_s=9.0,
+                energy_j=1.5, utilization=0.9, created_s=0.0,
+            ),
+        ),
+        seed=3,
+    )
+    kw.update(overrides)
+    return ClusterReport(**kw)
+
+
+class TestUtilizationHistogram:
+    def test_bins_equal_width(self):
+        assert utilization_histogram([0.0, 0.05, 0.55, 0.99]) == [
+            2, 0, 0, 0, 0, 1, 0, 0, 0, 1,
+        ]
+
+    def test_full_utilization_lands_in_last_bin(self):
+        assert utilization_histogram([1.0]) == [0] * 9 + [1]
+
+    def test_empty(self):
+        assert utilization_histogram([]) == [0] * 10
+
+
+class TestConservation:
+    def test_pool_conservation_enforced(self):
+        with pytest.raises(ReproError, match="conservation"):
+            pool_stats(served=5)
+
+    def test_fleet_conservation_enforced(self):
+        with pytest.raises(ReproError, match="conservation"):
+            cluster_report(served=5)
+
+    def test_late_bounded_by_timeouts(self):
+        with pytest.raises(ReproError, match="late"):
+            cluster_report(late=2)
+
+    def test_pool_totals_must_match_fleet(self):
+        with pytest.raises(ReproError, match="pool totals"):
+            cluster_report(
+                offered=12, served=9,
+                device_utilization={}, device_utilization_mean={},
+            )
+
+
+class TestDerived:
+    def test_rates(self):
+        report = cluster_report()
+        assert report.goodput_rps == pytest.approx(0.7)
+        assert report.throughput_rps == pytest.approx(0.8)
+        assert report.shed_rate == pytest.approx(0.1)
+        assert report.miss_rate == pytest.approx(0.1)
+        assert report.energy_per_request_j == pytest.approx(3.0 / 7)
+
+    def test_pool_lookup(self):
+        report = cluster_report()
+        assert report.pool("lenet").network == "lenet"
+        with pytest.raises(ReproError, match="no pool"):
+            report.pool("vgg16")
+
+
+class TestSerialization:
+    def test_schema_header(self):
+        doc = cluster_report().to_dict()
+        assert doc["schema"] == CLUSTER_REPORT_SCHEMA
+        assert doc["version"] == CLUSTER_REPORT_VERSION
+        assert "replicas" not in doc
+
+    def test_include_replicas(self):
+        doc = cluster_report().to_dict(include_replicas=True)
+        assert doc["replicas"][0]["name"] == "lenet#0"
+        assert doc["replicas"][0]["retired_s"] == -1.0
+
+    def test_to_json_round_trips(self):
+        doc = json.loads(cluster_report().to_json())
+        assert doc["router"] == "plan_cost"
+        assert doc["pools"][0]["batch_histogram"] == {"1": 5, "2": 1}
+
+    def test_digest_stable_and_ignores_extra(self):
+        a, b = cluster_report(), cluster_report()
+        assert a.digest() == b.digest()
+        b.extra["plan_cache_hits"] = 99.0
+        assert a.digest() == b.digest()
+        # But any accounted field changes it.
+        c = cluster_report(seed=4)
+        assert a.digest() != c.digest()
+
+    def test_describe_mentions_key_numbers(self):
+        text = cluster_report().describe()
+        assert "router=plan_cost" in text
+        assert "offered 10" in text
+        assert "jetson-agx-xavier" in text

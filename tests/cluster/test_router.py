@@ -1,0 +1,163 @@
+"""Routing policies: selection logic, lazy-heap hygiene, affinity."""
+
+import pytest
+
+from repro.cluster.router import (
+    ENERGY,
+    LeastQueueRouter,
+    PlanCostRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.errors import ReproError
+
+from ._helpers import make_pool
+
+
+class TestRoundRobin:
+    def test_cycles_in_creation_order(self):
+        pool = make_pool([{}, {}, {}])
+        router = RoundRobinRouter(pool)
+        picks = [router.choose(0.0, "t").name for _ in range(4)]
+        assert picks == ["lenet#0", "lenet#1", "lenet#2", "lenet#0"]
+
+    def test_skips_draining_replicas(self):
+        pool = make_pool([{}, {}, {}])
+        pool.replicas[1].draining = True
+        router = RoundRobinRouter(pool)
+        picks = [router.choose(0.0, "t").name for _ in range(4)]
+        assert "lenet#1" not in picks
+
+    def test_empty_pool_returns_none(self):
+        pool = make_pool([{}])
+        pool.replicas[0].active = False
+        router = RoundRobinRouter(pool)
+        assert router.choose(0.0, "t") is None
+
+
+class TestLeastQueue:
+    def test_picks_shallowest_queue(self):
+        pool = make_pool([{}, {}, {}])
+        router = LeastQueueRouter(pool)
+        for replica, depth in zip(pool.replicas, (2, 0, 1)):
+            for _ in range(depth):
+                replica.queue.append(0.0)
+            replica.version += 1
+            router.note(replica, 0.0)
+        assert router.choose(0.0, "t").name == "lenet#1"
+
+    def test_stale_entries_discarded(self):
+        pool = make_pool([{}, {}])
+        router = LeastQueueRouter(pool)
+        shallow = pool.replicas[0]
+        # Deepen the previously-shallowest replica; its old heap entry
+        # is now stale and must not win.
+        for _ in range(5):
+            shallow.queue.append(0.0)
+        shallow.version += 1
+        router.note(shallow, 0.0)
+        assert router.choose(0.0, "t").name == "lenet#1"
+
+    def test_ties_break_by_creation_index(self):
+        pool = make_pool([{}, {}])
+        router = LeastQueueRouter(pool)
+        assert router.choose(0.0, "t").name == "lenet#0"
+
+
+class TestPlanCost:
+    def test_picks_fastest_idle_replica(self):
+        pool = make_pool([{"svc1_s": 0.3}, {"svc1_s": 0.1}, {"svc1_s": 0.2}])
+        router = PlanCostRouter(pool)
+        assert router.choose(0.0, "t").name == "lenet#1"
+
+    def test_busy_fast_replica_can_beat_idle_slow_one(self):
+        # Fast-but-busy: 0.05 remaining busy + svc1 0.01 = 0.06 beats
+        # the idle replica's 0.5.
+        pool = make_pool([{"svc1_s": 0.5}, {"svc1_s": 0.01}])
+        router = PlanCostRouter(pool)
+        fast = pool.replicas[1]
+        fast.busy_until = 1.05
+        fast.version += 1
+        router.note(fast, 1.0)
+        assert router.choose(1.0, "t").name == "lenet#1"
+
+    def test_idle_slow_replica_wins_when_fast_is_swamped(self):
+        pool = make_pool(
+            [{"svc1_s": 0.5}, {"svc1_s": 0.01, "unit_s": 0.01}]
+        )
+        router = PlanCostRouter(pool)
+        fast = pool.replicas[1]
+        fast.busy_until = 2.0
+        for _ in range(10):
+            fast.queue.append(0.0)
+        fast.version += 1
+        router.note(fast, 0.0)
+        assert router.choose(0.0, "t").name == "lenet#0"
+
+    def test_replica_going_idle_is_refiled_exactly(self):
+        # A replica that was busy must be re-ranked as idle after its
+        # completion re-files it — the two-heap construction's point.
+        pool = make_pool([{"svc1_s": 0.2}, {"svc1_s": 0.1}])
+        router = PlanCostRouter(pool)
+        fast = pool.replicas[1]
+        fast.busy_until = 5.0
+        fast.version += 1
+        router.note(fast, 0.0)
+        assert router.choose(0.0, "t").name == "lenet#0"
+        # Completion at t=5: busy horizon reached, queue empty.
+        fast.version += 1
+        router.note(fast, 5.0)
+        assert router.choose(5.0, "t").name == "lenet#1"
+
+    def test_energy_objective_picks_lowest_energy(self):
+        pool = make_pool([
+            {"svc1_s": 0.01, "energy_j": 5.0},
+            {"svc1_s": 0.5, "energy_j": 0.2},
+        ])
+        router = PlanCostRouter(pool, objective=ENERGY)
+        assert router.choose(0.0, "t").name == "lenet#1"
+
+    def test_affinity_reuses_previous_replica_within_slack(self):
+        pool = make_pool([{"svc1_s": 0.10}, {"svc1_s": 0.11}])
+        router = PlanCostRouter(pool, affinity_slack=0.5)
+        first = router.choose(0.0, "tenant")
+        assert first.name == "lenet#0"
+        # Make #0 slightly worse but within 50% slack of the optimum.
+        first.busy_until = 0.02
+        first.version += 1
+        router.note(first, 0.0)
+        assert router.choose(0.0, "tenant").name == "lenet#0"
+        # A different tenant has no affinity and takes the true argmin.
+        assert router.choose(0.0, "other").name == "lenet#1"
+
+    def test_affinity_abandons_replica_beyond_slack(self):
+        pool = make_pool([{"svc1_s": 0.10}, {"svc1_s": 0.11}])
+        router = PlanCostRouter(pool, affinity_slack=0.1)
+        sticky = router.choose(0.0, "tenant")
+        sticky.busy_until = 1.0
+        sticky.version += 1
+        router.note(sticky, 0.0)
+        assert router.choose(0.0, "tenant").name == "lenet#1"
+
+    def test_validation(self):
+        pool = make_pool([{}])
+        with pytest.raises(ReproError, match="objective"):
+            PlanCostRouter(pool, objective="carbon")
+        with pytest.raises(ReproError, match="affinity_slack"):
+            PlanCostRouter(pool, affinity_slack=-0.1)
+
+
+class TestMakeRouter:
+    def test_known_names(self):
+        pool = make_pool([{}])
+        assert make_router("round_robin", pool).name == "round_robin"
+        assert make_router("least_queue", pool).name == "least_queue"
+        router = make_router(
+            "plan_cost", pool, objective=ENERGY, affinity_slack=0.2
+        )
+        assert router.objective == ENERGY
+        assert router.affinity_slack == 0.2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown router"):
+            make_router("random", make_pool([{}]))

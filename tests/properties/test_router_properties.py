@@ -1,0 +1,183 @@
+"""Property-based tests of the plan_cost router's argmin claim.
+
+The two-heap construction in :class:`repro.cluster.router.PlanCostRouter`
+promises an *exact* argmin over predicted completion delay, not an
+approximation: whatever sequence of state changes the fleet goes
+through, the chosen replica is never strictly dominated — no other
+routable replica has both a strictly smaller predicted wait and a
+strictly smaller (or equal) service time.  These tests drive the router
+through randomized replica states and verify that claim, plus exact
+argmin against a brute-force scan, and the same for the energy
+objective.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.fleet import Pool, Replica
+from repro.cluster.router import ENERGY, PlanCostRouter
+from repro.hardware.variants import full_catalog
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import BatchServiceTime
+
+
+class FixedModel:
+    """Service model with directly prescribed costs."""
+
+    def __init__(self, svc1_s, unit_s, energy_j):
+        self.svc1_s = svc1_s
+        self.unit_s = unit_s
+        self.energy_j = energy_j
+
+    def service(self, network, batch, **kwargs):
+        total = self.svc1_s if batch == 1 else self.unit_s * batch
+        return BatchServiceTime(
+            total_s=total, cpu_busy_s=0.0, gpu_busy_s=total,
+            energy_j=self.energy_j * batch,
+        )
+
+    def warm(self, network, batch):
+        return self.service(network, batch)
+
+
+replica_costs = st.tuples(
+    st.floats(min_value=1e-3, max_value=1.0),    # svc1_s
+    st.floats(min_value=1e-4, max_value=0.5),    # unit_s
+    st.floats(min_value=1e-3, max_value=10.0),   # unit energy
+)
+
+#: A state step the harness applies to one replica between choices:
+#: (replica index selector, queued requests added, busy extension).
+state_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=6),
+        st.floats(min_value=0.0, max_value=0.5),
+    ),
+    min_size=0, max_size=30,
+)
+
+
+def build_pool(costs):
+    spec = full_catalog()["jetson-agx-xavier"]
+    pool = Pool("net", "net", BatchPolicy(max_wait_s=0.0))
+    for i, (svc1, unit, energy) in enumerate(costs):
+        pool.replicas.append(
+            Replica(
+                f"net#{i}", spec, "net", "net",
+                FixedModel(svc1, min(unit, svc1), energy),
+                idx=i + 1, max_batch=4,
+            )
+        )
+    pool.replicas_start = len(pool.replicas)
+    return pool
+
+
+def dispatch(replica, t):
+    """The simulator's continuous batching: a free device with queued
+    work starts a batch immediately."""
+    if replica.busy_until <= t and replica.queue:
+        batch = min(len(replica.queue), 4)
+        for _ in range(batch):
+            replica.queue.popleft()
+        replica.busy_until = t + replica.model.warm("net", batch).total_s
+
+
+def drive(router, pool, steps):
+    """Apply randomized state mutations under the simulator's contract
+    — every busy horizon gets a completion event that re-dispatches and
+    notes the replica (the invariant the busy heap's keys rely on) —
+    and yield (now, chosen) pairs."""
+    import heapq
+
+    now = 0.0
+    pending = []                      # (busy_until, idx, replica)
+
+    def schedule(replica):
+        if replica.busy_until > now:
+            heapq.heappush(
+                pending, (replica.busy_until, replica.idx, replica)
+            )
+
+    for selector, enqueue, busy_extra in steps:
+        next_now = now + 0.05
+        while pending and pending[0][0] <= next_now:
+            t, _, done = heapq.heappop(pending)
+            if done.busy_until != t:
+                continue              # stale: the horizon moved on
+            now = t
+            dispatch(done, t)
+            done.version += 1
+            router.note(done, t)
+            schedule(done)
+        now = next_now
+        replica = pool.replicas[selector % len(pool.replicas)]
+        for _ in range(enqueue):
+            replica.queue.append(now)
+        if busy_extra > 0.0:
+            # A fault-stretched batch: the busy horizon extends.
+            replica.busy_until = max(replica.busy_until, now) + busy_extra
+        dispatch(replica, now)
+        replica.version += 1
+        router.note(replica, now)
+        schedule(replica)
+        chosen = router.choose(now, "tenant")
+        yield now, chosen
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    costs=st.lists(replica_costs, min_size=2, max_size=6),
+    steps=state_steps,
+)
+def test_plan_cost_never_picks_a_dominated_replica(costs, steps):
+    pool = build_pool(costs)
+    router = PlanCostRouter(pool)
+    for now, chosen in drive(router, pool, steps):
+        assert chosen is not None
+        wait = chosen.predicted_wait_s(now)
+        svc = chosen.svc1_s
+        for other in pool.replicas:
+            if other is chosen or not other.routable:
+                continue
+            dominated = (
+                other.predicted_wait_s(now) < wait
+                and other.svc1_s <= svc
+            )
+            assert not dominated, (
+                f"{chosen.name} (wait {wait:.4f}, svc {svc:.4f}) is "
+                f"dominated by {other.name} "
+                f"(wait {other.predicted_wait_s(now):.4f}, "
+                f"svc {other.svc1_s:.4f}) at t={now:.2f}"
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    costs=st.lists(replica_costs, min_size=2, max_size=6),
+    steps=state_steps,
+)
+def test_plan_cost_is_exact_argmin_on_predicted_latency(costs, steps):
+    pool = build_pool(costs)
+    router = PlanCostRouter(pool)
+    for now, chosen in drive(router, pool, steps):
+        best = min(
+            r.predicted_latency_s(now)
+            for r in pool.replicas if r.routable
+        )
+        assert chosen.predicted_latency_s(now) <= best + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    costs=st.lists(replica_costs, min_size=2, max_size=6),
+    steps=state_steps,
+)
+def test_energy_objective_is_exact_argmin_on_unit_energy(costs, steps):
+    pool = build_pool(costs)
+    router = PlanCostRouter(pool, objective=ENERGY)
+    for _, chosen in drive(router, pool, steps):
+        best = min(
+            r.unit_energy_j for r in pool.replicas if r.routable
+        )
+        assert chosen.unit_energy_j <= best + 1e-12

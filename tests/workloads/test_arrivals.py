@@ -5,6 +5,8 @@ import pytest
 from repro.errors import ReproError
 from repro.workloads.arrivals import (
     ClosedLoopArrivals,
+    DiurnalPoissonArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     UniformArrivals,
 )
@@ -91,3 +93,116 @@ class TestClosedLoop:
     def test_validation(self, kwargs):
         with pytest.raises(ReproError):
             ClosedLoopArrivals(**kwargs)
+
+
+class TestDiurnal:
+    def test_deterministic_given_seed(self):
+        a = DiurnalPoissonArrivals(100, 4.0, period_s=4.0, seed=3)
+        b = DiurnalPoissonArrivals(100, 4.0, period_s=4.0, seed=3)
+        assert a.initial_arrivals() == b.initial_arrivals()
+
+    def test_seed_changes_trace(self):
+        a = DiurnalPoissonArrivals(100, 4.0, period_s=4.0, seed=1)
+        b = DiurnalPoissonArrivals(100, 4.0, period_s=4.0, seed=2)
+        assert a.initial_arrivals() != b.initial_arrivals()
+
+    def test_all_within_horizon_and_sorted(self):
+        times = DiurnalPoissonArrivals(
+            80, 3.0, period_s=3.0, seed=0
+        ).initial_arrivals()
+        assert all(0.0 <= t < 3.0 for t in times)
+        assert times == sorted(times)
+
+    def test_mean_rate_is_base_rate(self):
+        # Over a whole period the sinusoid averages out: expect
+        # base_rate * duration arrivals regardless of amplitude.
+        times = DiurnalPoissonArrivals(
+            200, 10.0, period_s=10.0, amplitude=0.9, seed=0
+        ).initial_arrivals()
+        assert 1775 <= len(times) <= 2225
+
+    def test_peak_half_busier_than_trough_half(self):
+        # phase 0 puts the peak in the first half-period and the trough
+        # in the second; the arrival counts must reflect that.
+        times = DiurnalPoissonArrivals(
+            200, 10.0, period_s=10.0, amplitude=0.8, seed=0
+        ).initial_arrivals()
+        first = sum(1 for t in times if t < 5.0)
+        second = len(times) - first
+        assert first > 1.5 * second
+
+    def test_phase_shifts_the_cycle(self):
+        import math
+
+        # phase pi flips peak and trough.
+        times = DiurnalPoissonArrivals(
+            200, 10.0, period_s=10.0, amplitude=0.8, phase=math.pi,
+            seed=0,
+        ).initial_arrivals()
+        first = sum(1 for t in times if t < 5.0)
+        second = len(times) - first
+        assert second > 1.5 * first
+
+    def test_open_loop_has_no_feedback(self):
+        assert DiurnalPoissonArrivals(10, 1.0).next_after(0.5) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_rate_rps": 0, "duration_s": 1.0},
+        {"base_rate_rps": 10, "duration_s": 1.0, "period_s": 0.0},
+        {"base_rate_rps": 10, "duration_s": 1.0, "amplitude": 1.5},
+        {"base_rate_rps": 10, "duration_s": 1.0, "amplitude": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            DiurnalPoissonArrivals(**kwargs)
+
+
+class TestFlashCrowd:
+    def test_deterministic_given_seed(self):
+        a = FlashCrowdArrivals(
+            50, 4.0, spike_start_s=1.0, spike_duration_s=1.0, seed=9
+        )
+        b = FlashCrowdArrivals(
+            50, 4.0, spike_start_s=1.0, spike_duration_s=1.0, seed=9
+        )
+        assert a.initial_arrivals() == b.initial_arrivals()
+
+    def test_all_within_horizon_and_sorted(self):
+        times = FlashCrowdArrivals(
+            50, 4.0, spike_start_s=1.0, spike_duration_s=1.0, seed=0
+        ).initial_arrivals()
+        assert all(0.0 <= t < 4.0 for t in times)
+        assert times == sorted(times)
+
+    def test_spike_window_is_denser(self):
+        times = FlashCrowdArrivals(
+            100, 10.0, spike_start_s=4.0, spike_duration_s=2.0,
+            spike_factor=5.0, seed=0,
+        ).initial_arrivals()
+        inside = sum(1 for t in times if 4.0 <= t < 6.0)
+        # 2s at 500/s inside vs 8s at 100/s outside; per-second density
+        # inside must dominate clearly.
+        outside = len(times) - inside
+        assert inside / 2.0 > 3.0 * (outside / 8.0)
+
+    def test_factor_one_is_plain_poisson_rate(self):
+        times = FlashCrowdArrivals(
+            200, 10.0, spike_start_s=2.0, spike_duration_s=2.0,
+            spike_factor=1.0, seed=0,
+        ).initial_arrivals()
+        assert 1775 <= len(times) <= 2225
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_rate_rps": 0, "duration_s": 1.0,
+         "spike_start_s": 0.0, "spike_duration_s": 0.5},
+        {"base_rate_rps": 10, "duration_s": 1.0,
+         "spike_start_s": -1.0, "spike_duration_s": 0.5},
+        {"base_rate_rps": 10, "duration_s": 1.0,
+         "spike_start_s": 0.0, "spike_duration_s": 0.0},
+        {"base_rate_rps": 10, "duration_s": 1.0,
+         "spike_start_s": 0.0, "spike_duration_s": 0.5,
+         "spike_factor": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            FlashCrowdArrivals(**kwargs)
