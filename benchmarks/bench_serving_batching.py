@@ -11,7 +11,7 @@ queueing and admission control.
 from repro.eval.formatting import render_table
 from repro.serving import BatchPolicy, ServingConfig, simulate_poisson
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 NETWORKS = ("fcnn", "lenet", "alexnet")
 DURATION_S = 10.0
@@ -60,6 +60,22 @@ def test_serving_batching(benchmark, record_artifact):
             title="Serving — peak throughput, dynamic batching vs batch=1",
         ),
     )
+    write_bench_json("serving_batching", {
+        "duration_s": DURATION_S,
+        "seed": SEED,
+        "networks": {
+            net: {
+                "rate_rps": OVERLOAD_RATES[net],
+                "throughput_single_rps": pair["single"].throughput_rps,
+                "throughput_batched_rps": pair["batched"].throughput_rps,
+                "gain": (pair["batched"].throughput_rps
+                         / pair["single"].throughput_rps),
+                "mean_batch_size": pair["batched"].mean_batch_size,
+                "batched_p99_ms": pair["batched"].latency.p99_s * 1e3,
+            }
+            for net, pair in results.items()
+        },
+    })
 
     # Dynamic batching strictly improves peak throughput everywhere, and
     # the weight-bound fc network gains the most.

@@ -13,7 +13,7 @@ would dominate the counts.
 from repro.eval.formatting import format_serving
 from repro.serving import BatchPolicy, ServingConfig, poisson_tenant, simulate
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 DURATION_S = 10.0
 RATE_RPS = 5000.0  # each tenant alone already saturates batched lenet
@@ -37,6 +37,24 @@ def test_serving_multitenant(benchmark, record_artifact):
     gold = report.tenant("gold")
     bronze = report.tenant("bronze")
     share = gold.served / bronze.served
+    write_bench_json("serving_multitenant", {
+        "duration_s": DURATION_S,
+        "rate_rps": RATE_RPS,
+        "seed": SEED,
+        "served_share_gold_over_bronze": share,
+        "tenants": {
+            name: {
+                "weight": weight,
+                "offered": stats.offered,
+                "served": stats.served,
+                "shed_rate": stats.shed_rate,
+                "p99_ms": stats.latency.p99_s * 1e3,
+            }
+            for name, weight, stats in (
+                ("gold", 3.0, gold), ("bronze", 1.0, bronze),
+            )
+        },
+    })
     # The 3:1 weight split shows up in served shares (batching makes the
     # ratio approximate: grants are whole batches, not unit requests,
     # and the bronze queue sheds more of its arrivals).

@@ -23,6 +23,11 @@ The rules encode invariants this codebase actually depends on:
 * **REPRO106 — unit-suspicious numeric literal** outside ``units.py``:
   bare magnitudes like ``1e9`` or ``1024 ** 3`` are how GB-vs-GiB and
   FLOPs-vs-bytes bugs are born; spell them via :mod:`repro.units`.
+* **REPRO110 — wall-clock call in timeline telemetry.**
+  ``repro.obs.timeline`` sits under ``obs`` (outside REPRO101's scope)
+  but produces sha256-digest-gated artifacts; wall-clock reads there
+  break cross-process bit-identity only intermittently, so the module
+  gets a dedicated rule.
 
 Suppression: a trailing ``# repro-analysis: ignore[REPRO1xx]`` comment
 silences one rule on that line; repo-wide intentional hits live in the
@@ -489,6 +494,39 @@ class UnitLiteralRule(LintRule):
                     )
 
 
+class TimelineWallClockRule(LintRule):
+    """REPRO110: wall-clock reads are forbidden in timeline telemetry.
+
+    ``repro.obs.timeline`` lives under ``obs`` — deliberately outside
+    ``VIRTUAL_CLOCK_PARTS``, so REPRO101 never scans it — yet its
+    artifacts are digest-gated for cross-process bit-identity.  A single
+    ``time.time()`` leaking into a window boundary or a meta field
+    breaks that gate only intermittently (two fast runs can land in the
+    same second), which is the worst way to break it; the timeline
+    module therefore gets its own dedicated rule.
+    """
+
+    id = "REPRO110"
+    title = "wall-clock call in timeline telemetry"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return "obs" in ctx.parts and ctx.path.name == "timeline.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical_call(node, aliases)
+            if canonical in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call {canonical}() in repro.obs.timeline; "
+                    f"timeline artifacts are digest-gated and must be a "
+                    f"pure function of the virtual clock",
+                )
+
+
 #: Every registered lint rule, in id order.
 ALL_RULES: Sequence[LintRule] = (
     WallClockRule(),
@@ -497,6 +535,7 @@ ALL_RULES: Sequence[LintRule] = (
     SwallowedExceptionRule(),
     ProvenanceRule(),
     UnitLiteralRule(),
+    TimelineWallClockRule(),
 )
 
 

@@ -228,6 +228,9 @@ def cmd_serve(args) -> int:
             args.deadline_ms / 1e3 if args.deadline_ms else None
         ),
     )
+    from .obs.timeline import SloObjective
+
+    slos = tuple(SloObjective.parse(text) for text in args.slo)
     config = ServingConfig(
         policy=policy,
         precision=Precision(args.precision),
@@ -235,6 +238,10 @@ def cmd_serve(args) -> int:
         seed=args.seed,
         faults=scenario,
         resilience=not args.no_resilience,
+        timeline_window_s=(
+            args.timeline_window if (args.timeline_out or slos) else 0.0
+        ),
+        slos=slos,
     )
     tenants = []
     if args.tenant:
@@ -302,6 +309,13 @@ def cmd_serve(args) -> int:
         )
         print(f"fault digest : {simulator.injector.timeline_digest()}")
     print(f"report digest: {report.digest()}")
+    if simulator.timeline is not None:
+        if args.timeline_out:
+            path = simulator.timeline.save(args.timeline_out)
+            print(f"timeline  : {path}")
+        print(f"timeline digest: {simulator.timeline.digest()}")
+    if simulator.slo_report is not None:
+        print(simulator.slo_report.render())
     if args.trace:
         with open(args.trace, "w") as f:
             f.write(simulator.trace.to_chrome_trace())
@@ -319,9 +333,9 @@ def cmd_cluster(args) -> int:
     from .cluster import (
         AutoscalerPolicy,
         ClusterConfig,
+        ClusterSimulator,
         ClusterTenant,
         DeviceMix,
-        simulate_cluster,
     )
     from .serving.batcher import BatchPolicy
     from .workloads.arrivals import (
@@ -397,10 +411,18 @@ def cmd_cluster(args) -> int:
         faults=scenario,
         fault_share=args.fault_share,
         fault_stagger_s=args.duration * 0.25 if scenario else 0.0,
+        timeline_window_s=(
+            args.timeline_window if args.timeline_out else 0.0
+        ),
     )
-    report = simulate_cluster(tenants, mix, args.replicas, config)
+    simulator = ClusterSimulator(tenants, mix, args.replicas, config)
+    report = simulator.run()
     print(report.describe())
     print(f"report digest: {report.digest()}")
+    if simulator.timeline is not None:
+        path = simulator.timeline.save(args.timeline_out)
+        print(f"timeline  : {path}")
+        print(f"timeline digest: {simulator.timeline.digest()}")
     if args.out:
         with open(args.out, "w") as f:
             f.write(report.to_json(include_replicas=True))
@@ -431,6 +453,62 @@ def cmd_faults_show(args) -> int:
     else:
         print(scenario.describe())
     return 0
+
+
+def cmd_timeline_show(args) -> int:
+    from .obs.timeline import TimelineArtifact
+
+    artifact = TimelineArtifact.load(args.artifact)
+    metrics = tuple(args.metric) or None
+    print(artifact.describe(metrics, width=args.width))
+    print(f"timeline digest: {artifact.digest()}")
+    return 0
+
+
+def cmd_timeline_diff(args) -> int:
+    import json as _json
+
+    from .obs.timeline import (
+        DiffTolerances, TimelineArtifact, diff_timelines,
+    )
+
+    baseline = TimelineArtifact.load(args.baseline)
+    current = TimelineArtifact.load(args.current)
+    tolerances = DiffTolerances(
+        max_goodput_drop=args.max_goodput_drop,
+        max_p99_increase=args.max_p99_increase,
+        max_rate_increase=args.max_rate_increase,
+    )
+    diff = diff_timelines(baseline, current, tolerances)
+    if args.json:
+        print(_json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.render())
+    return 1 if diff.regressed else 0
+
+
+def cmd_timeline_slo(args) -> int:
+    import json as _json
+
+    from .obs.timeline import (
+        BurnRateRule, SloMonitor, SloObjective, TimelineArtifact,
+    )
+
+    artifact = TimelineArtifact.load(args.artifact)
+    monitor = SloMonitor(
+        [SloObjective.parse(text) for text in args.slo],
+        BurnRateRule(
+            short_windows=args.short,
+            long_windows=args.long,
+            factor=args.factor,
+        ),
+    )
+    report = monitor.evaluate(artifact)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.firing else 0
 
 
 def cmd_plan_compile(args) -> int:
@@ -768,6 +846,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline; requests still queued "
                             "(or completing) past it are abandoned as "
                             "timed out (0 disables)")
+    serve.add_argument("--timeline-out", default=None, metavar="FILE",
+                       help="record a windowed telemetry timeline and "
+                            "save the artifact JSON to FILE")
+    serve.add_argument("--timeline-window", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="timeline window width in virtual seconds "
+                            "(default 1.0)")
+    serve.add_argument("--slo", action="append", default=[],
+                       metavar="EXPR",
+                       help="declare an SLO objective such as "
+                            "'goodput_ratio>=0.99' or 'p99_ms<=250' "
+                            "(repeatable; enables timeline recording and "
+                            "burn-rate alerting)")
     serve.set_defaults(func=cmd_serve)
 
     cluster = sub.add_parser(
@@ -824,7 +915,79 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist/reuse tuned plans as artifacts in DIR")
     cluster.add_argument("--out", default=None, metavar="FILE",
                          help="write the full ClusterReport JSON to FILE")
+    cluster.add_argument("--timeline-out", default=None, metavar="FILE",
+                         help="record a windowed telemetry timeline and "
+                              "save the artifact JSON to FILE")
+    cluster.add_argument("--timeline-window", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="timeline window width in virtual seconds "
+                              "(default 1.0)")
     cluster.set_defaults(func=cmd_cluster)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="inspect, diff, and SLO-gate saved telemetry timelines",
+    )
+    timeline_sub = timeline.add_subparsers(
+        dest="timeline_command", required=True
+    )
+    timeline_show = timeline_sub.add_parser(
+        "show", help="render an ASCII sparkline dashboard of an artifact"
+    )
+    timeline_show.add_argument("artifact",
+                               help="path to a timeline-artifact JSON")
+    timeline_show.add_argument("--metric", action="append", default=[],
+                               metavar="NAME",
+                               help="metric to plot (repeatable; default "
+                                    "is the standard dashboard set)")
+    timeline_show.add_argument("--width", type=int, default=64,
+                               help="sparkline width in characters")
+    timeline_show.set_defaults(func=cmd_timeline_show)
+    timeline_diff = timeline_sub.add_parser(
+        "diff",
+        help="compare two timelines; exit 1 on behavioral regression",
+    )
+    timeline_diff.add_argument("baseline",
+                               help="baseline timeline-artifact JSON")
+    timeline_diff.add_argument("current",
+                               help="candidate timeline-artifact JSON")
+    timeline_diff.add_argument("--max-goodput-drop", type=float,
+                               default=0.05, metavar="FRAC",
+                               help="tolerated relative goodput drop "
+                                    "(default 0.05)")
+    timeline_diff.add_argument("--max-p99-increase", type=float,
+                               default=0.10, metavar="FRAC",
+                               help="tolerated relative p99 increase "
+                                    "(default 0.10)")
+    timeline_diff.add_argument("--max-rate-increase", type=float,
+                               default=0.02, metavar="FRAC",
+                               help="tolerated absolute shed/miss rate "
+                                    "increase (default 0.02)")
+    timeline_diff.add_argument("--json", action="store_true",
+                               help="emit the diff as JSON")
+    timeline_diff.set_defaults(func=cmd_timeline_diff)
+    timeline_slo = timeline_sub.add_parser(
+        "slo",
+        help="evaluate SLO burn-rate alerts; exit 1 if any fire",
+    )
+    timeline_slo.add_argument("artifact",
+                              help="path to a timeline-artifact JSON")
+    timeline_slo.add_argument("--slo", action="append", required=True,
+                              metavar="EXPR",
+                              help="objective such as 'goodput_ratio>=0.99' "
+                                   "(repeatable)")
+    timeline_slo.add_argument("--short", type=int, default=1,
+                              metavar="N",
+                              help="short burn window count (default 1)")
+    timeline_slo.add_argument("--long", type=int, default=5,
+                              metavar="N",
+                              help="long burn window count (default 5)")
+    timeline_slo.add_argument("--factor", type=float, default=1.0,
+                              help="burn-rate factor both windows must "
+                                   "exceed (default 1.0)")
+    timeline_slo.add_argument("--json", action="store_true",
+                              help="emit the SLO report as JSON")
+    timeline_slo.set_defaults(func=cmd_timeline_slo)
 
     faults = sub.add_parser(
         "faults", help="inspect the fault-injection scenario catalog"

@@ -52,8 +52,10 @@ from ..errors import ReproError
 from ..faults import FaultScenario
 from ..nn.precision import Precision
 from ..obs import NOOP_OBS, Observability
+from ..obs.timeline import TimelineArtifact, TimelineRecorder
 from ..serving.batcher import _EPS, BatchPolicy
 from ..serving.report import LatencyStats
+from ..sim.trace import Trace, TraceEvent
 from ..workloads.arrivals import ArrivalProcess, ClosedLoopArrivals
 from .autoscaler import Autoscaler, AutoscalerPolicy
 from .fleet import DeviceMix, Fleet, Pool, Replica, base_device_name
@@ -110,6 +112,10 @@ class ClusterConfig:
     fault_share: float = 0.25
     #: max per-replica phase offset for fault windows (rolling faults).
     fault_stagger_s: float = 0.0
+    #: timeline window width in virtual seconds (0: recording off).
+    #: When on, the run exposes a digest-stable
+    #: :class:`~repro.obs.timeline.TimelineArtifact` on the simulator.
+    timeline_window_s: float = 0.0
 
 
 class ClusterSimulator:
@@ -166,6 +172,18 @@ class ClusterSimulator:
             if cfg.autoscaler is not None
             else None
         )
+        #: windowed telemetry of the last run (None unless
+        #: ``config.timeline_window_s`` > 0).
+        self.timeline: Optional[TimelineArtifact] = None
+        #: recorder calls the last run made, total and by hook
+        #: name (feeds the analytic overhead bench).
+        self.timeline_ops: int = 0
+        self.timeline_op_counts: Dict[str, int] = {}
+        #: fleet batch-slice trace of the last run (None unless the
+        #: observability bundle is enabled) — feeds the Perfetto export.
+        self.trace: Optional[Trace] = None
+        # Recorder shared between run() and _try_dispatch().
+        self._tl: Optional[TimelineRecorder] = None
 
     # -- arrival merging --------------------------------------------------
 
@@ -236,17 +254,22 @@ class ClusterSimulator:
             return seq
         deadline = pool.policy.deadline_s
         batch: List[float] = []
+        abandoned = 0
         while replica.queue and len(batch) < pool.policy.max_batch_size:
             arrival = replica.queue.popleft()
             if deadline is not None and now - arrival > deadline + _EPS:
                 # Abandoned in queue: the client gave up before we got
                 # to it — device time is not spent on it.
                 pool.timed_out += 1
+                abandoned += 1
                 if self.autoscaler is not None:
                     self.autoscaler.observe_miss(pool)
                 continue
             batch.append(arrival)
         replica.version += 1
+        tl = self._tl
+        if tl is not None and abandoned:
+            tl.record_timed_out(now, abandoned)
         if not batch:
             return seq
         size = len(batch)
@@ -257,6 +280,20 @@ class ClusterSimulator:
         replica.energy_j += svc.energy_j
         replica.batches += 1
         pool.batch_histogram[size] = pool.batch_histogram.get(size, 0) + 1
+        if tl is not None:
+            tl.record_batch(
+                now, end, size,
+                busy=((base_device_name(replica.spec.name), svc.total_s),),
+                energy_j=svc.energy_j,
+            )
+        if self.trace is not None:
+            self.trace.add(TraceEvent(
+                resource=replica.name,
+                label=f"{pool.name}:batch(n={size})",
+                start_s=now,
+                end_s=end,
+                category="batch",
+            ))
         heapq.heappush(completions, (end, seq, replica, tuple(batch), failed))
         return seq + 1
 
@@ -277,7 +314,28 @@ class ClusterSimulator:
         cfg = self._config
         cache = default_plan_cache()
         cache_before = cache.stats()
+        tl: Optional[TimelineRecorder] = None
+        if cfg.timeline_window_s > 0.0:
+            tl = TimelineRecorder(
+                cfg.timeline_window_s,
+                source=f"cluster:{cfg.router}",
+                meta={
+                    "seed": str(cfg.seed),
+                    "tenants": ",".join(
+                        sorted(t.tenant_name for t in self._tenants)
+                    ),
+                },
+            )
+        self._tl = tl
+        self.timeline = None
+        self.timeline_ops = 0
+        self.timeline_op_counts = {}
+        self.trace = Trace() if self._obs.enabled else None
         times, owner = self._merged_arrivals()
+        if tl is not None:
+            # The whole arrival stream is known up front — one bulk
+            # call instead of one recorder call per request.
+            tl.record_offered_bulk(times)
         total = len(times)
         pools_of_tenant: List[Pool] = [
             self._pools[t.network] for t in self._tenants
@@ -344,6 +402,8 @@ class ClusterSimulator:
                     # chosen backend cannot queue — same accounting as
                     # the single-device service's bounded queues.
                     pool.shed += 1
+                    if tl is not None:
+                        tl.record_shed(now)
                     continue
                 replica.queue.append(now)
                 replica.version += 1
@@ -355,6 +415,7 @@ class ClusterSimulator:
                 now, _, replica, batch, failed = heapq.heappop(completions)
                 pool = self._pools[replica.pool_name]
                 deadline = pool.policy.deadline_s
+                lat_before = len(pool.latencies) if tl is not None else 0
                 for arrival in batch:
                     if failed:
                         pool.failed += 1
@@ -372,6 +433,16 @@ class ClusterSimulator:
                         pool.served += 1
                         replica.served += 1
                         pool.latencies.append(now - arrival)
+                if tl is not None:
+                    if failed:
+                        tl.record_failed(now, len(batch))
+                    else:
+                        served_now = pool.latencies[lat_before:]
+                        if served_now:
+                            tl.record_served(now, served_now)
+                        late_n = len(batch) - len(served_now)
+                        if late_n:
+                            tl.record_timed_out(now, late_n, late=True)
                 replica.version += 1
                 seq = self._try_dispatch(replica, pool, now, completions, seq)
                 self._retire_if_drained(replica, now)
@@ -382,6 +453,18 @@ class ClusterSimulator:
             [r.busy_until for p in self.fleet.pools for r in p.replicas]
             or [0.0]
         ))
+        if tl is not None:
+            self.timeline_op_counts = tl.op_counts
+            self.timeline_ops = tl.ops
+            self.timeline = tl.finish(
+                horizon_s=horizon,
+                makespan_s=makespan,
+                capacity={
+                    name: float(count)
+                    for name, count in self.fleet.device_counts().items()
+                },
+            )
+            self._tl = None
         cache_delta = cache.stats().delta(cache_before)
         return self._build_report(
             makespan, horizon, peak, pool_peak, cache_delta

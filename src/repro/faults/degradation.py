@@ -204,6 +204,36 @@ class DegradationManager:
             reason="zero-copy pool unavailable; serving from regular memory",
         ))
 
+    def note_slo_alert(
+        self,
+        tenant: str,
+        network: str,
+        *,
+        objective: str,
+        now: float,
+        burn: float,
+        reason: str = "",
+    ) -> None:
+        """Record one SLO burn-rate alert firing against this workload.
+
+        Timeline SLO evaluation happens after the run, so there is no
+        plan to demote here — the record ties the alert into the same
+        degradation stream operators already watch, and the burn
+        multiple is preserved as ``observed_s`` for triage.
+        """
+        self._emit(DegradationRecord(
+            network=network,
+            tenant=tenant,
+            t_s=now,
+            trigger="slo_burn_rate",
+            action="alert_fired",
+            observed_s=burn,
+            reason=reason or (
+                f"objective {objective} burned its error budget at "
+                f"{burn:.2f}x the alert factor"
+            ),
+        ))
+
     def note_artifact_discarded(
         self, network: str, path: str, *, now: float = 0.0
     ) -> None:

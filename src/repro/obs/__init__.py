@@ -39,6 +39,7 @@ from .metrics import (
     NULL_REGISTRY,
 )
 from .provenance import (
+    AlertRecord,
     DegradationRecord,
     MemoryPlacementRecord,
     NullProvenance,
@@ -50,6 +51,19 @@ from .provenance import (
     ScalingRecord,
 )
 from .spans import NoopTracer, NOOP_TRACER, Span, SpanTracer
+from .timeline import (
+    BurnRateRule,
+    DiffTolerances,
+    SloAlert,
+    SloMonitor,
+    SloObjective,
+    SloReport,
+    TimelineArtifact,
+    TimelineDiff,
+    TimelineRecorder,
+    diff_timelines,
+    sparkline,
+)
 
 __all__ = [
     "Observability", "NOOP_OBS",
@@ -59,7 +73,11 @@ __all__ = [
     "ProvenanceLog", "NullProvenance", "NULL_PROVENANCE",
     "MemoryPlacementRecord", "PlacementCandidate",
     "PartitionRecord", "PartitionCandidate", "DegradationRecord",
-    "ScalingRecord",
+    "ScalingRecord", "AlertRecord",
+    "TimelineRecorder", "TimelineArtifact", "TimelineDiff",
+    "DiffTolerances", "diff_timelines", "sparkline",
+    "SloObjective", "SloMonitor", "SloAlert", "SloReport",
+    "BurnRateRule",
 ]
 
 

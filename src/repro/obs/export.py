@@ -137,6 +137,10 @@ def _kernel_records(trace) -> List[Dict[str, Any]]:
             "pid": SIM_PID,
             "tid": tid,
         })
+    if not records:
+        # An empty (but non-None) trace contributes nothing — emitting
+        # the process meta alone would render a ghost "simulator" track.
+        return []
     meta: List[Dict[str, Any]] = [{
         "name": "process_name", "ph": "M", "pid": SIM_PID,
         "args": {"name": "simulator"},

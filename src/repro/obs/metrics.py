@@ -78,7 +78,7 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram with sum and count (Prometheus semantics)."""
 
-    __slots__ = ("buckets", "_bucket_counts", "_sum", "_count")
+    __slots__ = ("buckets", "_bucket_counts", "_sum", "_count", "_max")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         ordered = tuple(buckets)
@@ -90,15 +90,18 @@ class Histogram:
         self._bucket_counts = [0] * len(ordered)   # non-cumulative
         self._sum = 0.0
         self._count = 0
+        self._max = 0.0
 
     def observe(self, value: float) -> None:
         self._sum += value
         self._count += 1
+        if value > self._max:
+            self._max = value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self._bucket_counts[i] += 1
                 return
-        # falls into the implicit +Inf bucket only
+        # falls into the explicit +Inf overflow bucket only
 
     @property
     def sum(self) -> float:
@@ -107,6 +110,31 @@ class Histogram:
     @property
     def count(self) -> int:
         return self._count
+
+    @property
+    def max_value(self) -> float:
+        """Largest observation (exact; bounds the +Inf overflow bucket)."""
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Deterministic nearest-rank quantile from the bucket counts.
+
+        Returns the upper bound of the bucket holding the q-th
+        observation; observations past the last bound report the exact
+        maximum, so tail quantiles are never understated to a finite
+        bound they exceed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if not self._count:
+            return 0.0
+        rank = max(1, -(-q * self._count // 1))   # ceil(q * count)
+        running = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            running += n
+            if running >= rank:
+                return min(bound, self._max)
+        return self._max
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """[(upper_bound, cumulative_count), ...] ending with (+inf, count)."""

@@ -102,6 +102,26 @@ class DegradationRecord:
 
 
 @dataclass(frozen=True)
+class AlertRecord:
+    """One SLO burn-rate alert transition (fired or resolved).
+
+    Emitted by :class:`repro.obs.timeline.SloMonitor` when an
+    objective's error-budget burn crosses the multi-window alert rule
+    in either direction — the observability-level analogue of
+    :class:`DegradationRecord` (which records what the serving layer
+    *did* about it).
+    """
+
+    objective: str                # e.g. "goodput_ratio>=0.99"
+    metric: str                   # the timeline metric burned against
+    t_s: float                    # virtual instant of the transition
+    event: str                    # "fired" | "resolved"
+    burn: float                   # burn multiple at the transition
+    source: str = ""              # run/timeline source label
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class ScalingRecord:
     """One autoscaling decision made for a fleet model pool.
 
@@ -139,6 +159,9 @@ class NullProvenance:
     def record_scaling(self, record: ScalingRecord) -> None:
         pass
 
+    def record_alert(self, record: AlertRecord) -> None:
+        pass
+
     def placements(self, **filters: Any) -> List[MemoryPlacementRecord]:
         return []
 
@@ -151,6 +174,9 @@ class NullProvenance:
     def scalings(self, **filters: Any) -> List[ScalingRecord]:
         return []
 
+    def alerts(self, **filters: Any) -> List[AlertRecord]:
+        return []
+
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(
             {
@@ -158,6 +184,7 @@ class NullProvenance:
                 "partitions": [],
                 "degradations": [],
                 "scalings": [],
+                "alerts": [],
             }
         )
 
@@ -178,6 +205,7 @@ class ProvenanceLog:
     _partitions: List[PartitionRecord] = field(default_factory=list)
     _degradations: List[DegradationRecord] = field(default_factory=list)
     _scalings: List[ScalingRecord] = field(default_factory=list)
+    _alerts: List[AlertRecord] = field(default_factory=list)
 
     # -- recording -------------------------------------------------------------
 
@@ -192,6 +220,9 @@ class ProvenanceLog:
 
     def record_scaling(self, record: ScalingRecord) -> None:
         self._scalings.append(record)
+
+    def record_alert(self, record: AlertRecord) -> None:
+        self._alerts.append(record)
 
     # -- queries ---------------------------------------------------------------
 
@@ -236,6 +267,15 @@ class ProvenanceLog:
         ) if v is not None}
         return [r for r in self._scalings if self._match(r, filters)]
 
+    def alerts(self, *, objective: Optional[str] = None,
+               event: Optional[str] = None,
+               source: Optional[str] = None) -> List[AlertRecord]:
+        filters = {k: v for k, v in (
+            ("objective", objective), ("event", event),
+            ("source", source),
+        ) if v is not None}
+        return [r for r in self._alerts if self._match(r, filters)]
+
     def final_placements(self, network: str) -> Dict[str, MemoryPlacementRecord]:
         """Last recorded decision per buffer — the plan actually executed."""
         out: Dict[str, MemoryPlacementRecord] = {}
@@ -250,6 +290,7 @@ class ProvenanceLog:
             + len(self._partitions)
             + len(self._degradations)
             + len(self._scalings)
+            + len(self._alerts)
         )
 
     # -- export ----------------------------------------------------------------
@@ -260,6 +301,7 @@ class ProvenanceLog:
             "partitions": [asdict(r) for r in self._partitions],
             "degradations": [asdict(r) for r in self._degradations],
             "scalings": [asdict(r) for r in self._scalings],
+            "alerts": [asdict(r) for r in self._alerts],
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -301,5 +343,10 @@ class ProvenanceLog:
                 f"{r.pool}: {r.action} at t={r.t_s:.3f}s -> "
                 f"{r.replicas_after} replicas ({r.replica} on {r.device}; "
                 f"depth={r.queue_depth_mean:.2f}, miss={r.miss_rate:.1%})"
+            )
+        for r in self._alerts:
+            lines.append(
+                f"SLO {r.objective}: {r.event} at t={r.t_s:.3f}s "
+                f"(burn {r.burn:.2f}x)"
             )
         return "\n".join(lines) if lines else "(no decisions recorded)"

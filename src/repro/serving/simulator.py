@@ -58,6 +58,14 @@ from ..hardware.throttle import ThrottleFactors, apply_throttle
 from ..nn.precision import Precision
 from ..obs import NOOP_OBS, Observability
 from ..obs.metrics import DEFAULT_BUCKETS, SIZE_BUCKETS
+from ..obs.timeline import (
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    SloReport,
+    TimelineArtifact,
+    TimelineRecorder,
+)
 from ..sim.timeline import COPY, CPU, GPU, Timeline
 from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
 from .batcher import _EPS, BatchPolicy, TenantQueue
@@ -134,6 +142,14 @@ class ServingConfig:
     degradation: Optional[DegradationPolicy] = None
     breaker_failure_threshold: int = 3
     breaker_reset_s: float = 0.25
+    #: timeline window width in virtual seconds (0: recording off).
+    #: When on, the run exposes a digest-stable
+    #: :class:`~repro.obs.timeline.TimelineArtifact` on the simulator.
+    timeline_window_s: float = 0.0
+    #: declarative SLO objectives evaluated over the recorded timeline.
+    slos: Tuple[SloObjective, ...] = ()
+    #: burn-rate alert rule for ``slos`` (None: single/5-window default).
+    burn: Optional[BurnRateRule] = None
 
 
 @dataclass(frozen=True)
@@ -319,6 +335,15 @@ class ServingSimulator:
         self.injector: Optional[FaultInjector] = None
         self.breaker: Optional[CircuitBreaker] = None
         self.degradation: Optional[DegradationManager] = None
+        #: windowed telemetry of the last run (None unless
+        #: ``config.timeline_window_s`` > 0).
+        self.timeline: Optional[TimelineArtifact] = None
+        #: recorder calls the last run made, total and by hook
+        #: name (feeds the analytic overhead bench).
+        self.timeline_ops: int = 0
+        self.timeline_op_counts: Dict[str, int] = {}
+        #: SLO evaluation of the last run (None unless ``config.slos``).
+        self.slo_report: Optional[SloReport] = None
 
     # -- the event loop -------------------------------------------------------
 
@@ -385,6 +410,19 @@ class ServingSimulator:
             {t.tenant_name: t.weight for t in self._tenants}
         )
         timeline = Timeline((DEVICE, CPU, GPU, COPY))
+
+        # Windowed telemetry recorder (None: every hook is one identity
+        # check on the hot path, covered by the obs-overhead guard).
+        tl: Optional[TimelineRecorder] = None
+        if cfg.timeline_window_s > 0.0:
+            tl = TimelineRecorder(
+                cfg.timeline_window_s,
+                source=f"serve:{self._spec.name}",
+                meta={
+                    "seed": str(cfg.seed),
+                    "tenants": ",".join(sorted(queues)),
+                },
+            )
 
         # -- fault machinery (None when no scenario: zero-cost checks) --------
         faults = cfg.faults
@@ -494,6 +532,8 @@ class ServingSimulator:
                 if not expired:
                     continue
                 depth -= len(expired)
+                if tl is not None:
+                    tl.record_timed_out(now, len(expired))
                 for _request in expired:
                     if obs.enabled:
                         requests_total.labels(
@@ -686,6 +726,8 @@ class ServingSimulator:
                     tenant_hist[chosen][size] = (
                         tenant_hist[chosen].get(size, 0) + 1
                     )
+                    if tl is not None:
+                        tl.record_failed(now, size, from_queue=True)
                     continue
                 device_busy = True
                 total = delay + svc.total_s
@@ -708,6 +750,15 @@ class ServingSimulator:
                         tenant=chosen, size=size, start_s=now, end_s=end
                     )
                 )
+                if tl is not None:
+                    tl.record_batch(
+                        now, end, size,
+                        busy=(
+                            ("cpu", svc.cpu_busy_s),
+                            ("gpu", svc.gpu_busy_s),
+                        ),
+                        energy_j=svc.energy_j,
+                    )
                 if obs.enabled:
                     obs.tracer.record(
                         label, now, end, category="batch",
@@ -736,6 +787,8 @@ class ServingSimulator:
                 next_id += 1
                 requests.append(request)
                 by_tenant[tenant].append(request)
+                if tl is not None:
+                    tl.record_offered(now)
                 if faults is not None and injector.payload_corrupt(
                     now, request_id=request.request_id
                 ):
@@ -744,6 +797,8 @@ class ServingSimulator:
                         # payload at the door: reject, don't queue.
                         queues[tenant].reject(request)
                         request.finish_s = now
+                        if tl is not None:
+                            tl.record_rejected(now)
                         if obs.enabled:
                             requests_total.labels(
                                 tenant=tenant, outcome="rejected"
@@ -761,6 +816,8 @@ class ServingSimulator:
                     # Shed: the client sees an immediate rejection; a
                     # closed-loop client thinks, then retries.
                     request.finish_s = now
+                    if tl is not None:
+                        tl.record_shed(now)
                     if obs.enabled:
                         requests_total.labels(
                             tenant=tenant, outcome="shed"
@@ -796,6 +853,19 @@ class ServingSimulator:
                                 request.latency_s
                             )
                     followup(tenant, now)
+                if tl is not None and finished:
+                    if batch_failed:
+                        tl.record_failed(now, len(finished))
+                    else:
+                        lats = [
+                            r.latency_s for r in finished
+                            if r.status is RequestStatus.SERVED
+                        ]
+                        if lats:
+                            tl.record_served(now, lats)
+                        late_n = len(finished) - len(lats)
+                        if late_n:
+                            tl.record_timed_out(now, late_n, late=True)
                 device_busy = False
                 maybe_dispatch(now)
             else:  # _TIMER
@@ -805,6 +875,32 @@ class ServingSimulator:
 
         self.requests = requests
         self.batches = batches
+        self.timeline = None
+        self.timeline_ops = 0
+        self.timeline_op_counts = {}
+        self.slo_report = None
+        if tl is not None:
+            self.timeline_op_counts = tl.op_counts
+            self.timeline_ops = tl.ops
+            horizon = self._horizon_s()
+            last_end = max((b.end_s for b in batches), default=0.0)
+            self.timeline = tl.finish(
+                horizon_s=horizon,
+                makespan_s=max(horizon, last_end),
+                capacity={"cpu": 1.0, "gpu": 1.0},
+            )
+            if cfg.slos:
+                monitor = SloMonitor(cfg.slos, cfg.burn)
+                self.slo_report = monitor.evaluate(self.timeline)
+                monitor.record(self.slo_report, obs)
+                # SLO firings reach the same degradation stream the
+                # fault triggers use (before the report snapshots it).
+                monitor.apply(
+                    self.slo_report, degradation,
+                    network=",".join(
+                        sorted({t.network for t in self._tenants})
+                    ),
+                )
         return self._build_report(
             queues, by_tenant, tenant_hist, batches, timeline,
             depth_integral, depth_max, cpu_busy_total, gpu_busy_total,

@@ -1,0 +1,19 @@
+"""Fixture: virtual-clock-only timeline telemetry (clean for REPRO110)."""
+
+import time
+
+
+def roll_window(win_end, now, window_s):
+    while now >= win_end:
+        win_end += window_s
+    return win_end
+
+
+def stamp_meta(meta, seed):
+    meta["seed"] = str(seed)
+    return meta
+
+
+def debug_only():
+    # Suppressed: a profiling aid that never reaches an artifact.
+    return time.perf_counter()  # repro-analysis: ignore[REPRO110]

@@ -94,6 +94,39 @@ class TestUnitLiterals:
         assert lint_file(target) == []
 
 
+class TestTimelineWallClock:
+    def test_flags_wall_clock_calls_in_timeline_module(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "obs/timeline.py")
+        findings = lint_file(target)
+        # obs/ is outside REPRO101's virtual-clock scope; only the
+        # dedicated timeline rule fires.
+        assert rules_of(findings) == ["REPRO110"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "digest-gated" in messages
+        assert "time.time" in messages
+
+    def test_other_obs_modules_are_out_of_scope(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "obs/export.py")
+        assert "REPRO110" not in rules_of(lint_file(target))
+
+    def test_timeline_filename_outside_obs_is_out_of_scope(self, tmp_path):
+        target = plant_fixture(tmp_path, "wall_clock_bad.py", "nn/timeline.py")
+        assert "REPRO110" not in rules_of(lint_file(target))
+
+    def test_clean_timeline_with_suppression(self, tmp_path):
+        target = plant_fixture(
+            tmp_path, "timeline_wall_clock_ok.py", "obs/timeline.py"
+        )
+        assert lint_file(target) == []
+
+    def test_real_timeline_module_is_clean(self):
+        from .conftest import REPO_ROOT
+
+        real = REPO_ROOT / "src" / "repro" / "obs" / "timeline.py"
+        findings = lint_file(real, rules_by_id(["REPRO110"]))
+        assert findings == []
+
+
 class TestRuleSelection:
     def test_unknown_rule_id_raises(self):
         with pytest.raises(ReproError, match="unknown lint rules"):

@@ -143,3 +143,57 @@ class TestEndToEndServingTrace:
         assert all(e["ts"] >= 0 for e in body)
         ts = [e["ts"] for e in body]
         assert ts == sorted(ts)
+
+
+class TestClusterPerfettoExport:
+    """The fleet simulator's batch-slice trace through chrome_trace."""
+
+    def run_cluster(self, *, obs=None, rate=60.0):
+        from repro.cluster import (
+            ClusterConfig, ClusterSimulator, ClusterTenant, DeviceMix,
+        )
+        from repro.workloads import PoissonArrivals
+
+        sim = ClusterSimulator(
+            [ClusterTenant("squeezenet", PoissonArrivals(rate, 1.0, seed=2))],
+            DeviceMix.parse("jetson-agx-xavier:2"),
+            2,
+            ClusterConfig(seed=2),
+            obs=obs,
+        )
+        return sim, sim.run()
+
+    def test_cluster_run_exports_loadable_trace(self):
+        from repro.obs import Observability
+
+        sim, report = self.run_cluster(obs=Observability.on())
+        assert sim.trace is not None
+        doc = json.loads(chrome_trace(kernel_trace=sim.trace))
+        evs = doc["traceEvents"]
+        slices = [e for e in evs if e["ph"] == "X"]
+        # one complete slice per dispatched batch, all on the sim pid
+        batch_total = sum(
+            sum(p.batch_histogram.values()) for p in report.pools
+        )
+        assert slices and len(slices) == batch_total
+        assert all(e["pid"] == SIM_PID for e in slices)
+        assert all(e["dur"] >= 0 for e in slices)
+        assert any("batch" in e["name"] for e in slices)
+        ts = [e["ts"] for e in evs if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_disabled_observability_records_no_trace(self):
+        sim, report = self.run_cluster(obs=None)
+        assert sim.trace is None
+        assert report.served > 0
+
+    def test_empty_cluster_trace_exports_cleanly(self):
+        # A fleet that admits traffic but never dispatches (the horizon
+        # closes before any batch forms) still yields valid JSON.
+        doc = json.loads(chrome_trace(kernel_trace=Trace()))
+        assert doc["traceEvents"] == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_no_inputs_at_all_is_an_empty_trace(self):
+        doc = json.loads(chrome_trace())
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}

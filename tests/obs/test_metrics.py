@@ -164,3 +164,52 @@ class TestPrometheusText:
         assert hist["count"] == 2
         assert hist["buckets"][-1]["le"] == "+Inf"
         assert hist["buckets"][-1]["cumulative"] == 2
+
+
+class TestHistogramQuantileFidelity:
+    """Regression guard: the +Inf bucket is explicit and every exported
+    cumulative count is monotone non-decreasing (the Prometheus quantile
+    estimator silently miscomputes on either violation)."""
+
+    def fill(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_fidelity_seconds", buckets=(0.001, 0.01, 0.1, 1.0)
+        ).labels()
+        # A spread that exercises every bucket plus overflow, with
+        # boundary values landing exactly on bucket upper bounds.
+        for v in (0.0005, 0.001, 0.004, 0.01, 0.05, 0.1, 0.7, 3.0, 42.0):
+            h.observe(v)
+        return reg, h
+
+    def test_cumulative_counts_are_monotone_with_explicit_inf(self):
+        _, h = self.fill()
+        rows = h.cumulative_buckets()
+        assert rows[-1][0] == float("inf")
+        assert rows[-1][1] == h.count
+        counts = [c for _, c in rows]
+        assert counts == sorted(counts)
+        bounds = [b for b, _ in rows]
+        assert bounds == sorted(bounds)
+
+    def test_prometheus_export_keeps_monotone_order(self):
+        reg, h = self.fill()
+        text = prometheus_text(reg)
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_fidelity_seconds_bucket")
+        ]
+        assert lines[-1] == (
+            f'repro_fidelity_seconds_bucket{{le="+Inf"}} {h.count}'
+        )
+        exported = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert exported == sorted(exported)
+        assert len(lines) == len(h.buckets) + 1  # every bound + +Inf
+
+    def test_json_export_keeps_monotone_order(self):
+        reg, h = self.fill()
+        series = metrics_to_dict(reg)["repro_fidelity_seconds"]["series"][0]
+        cumulative = [b["cumulative"] for b in series["buckets"]]
+        assert cumulative == sorted(cumulative)
+        assert series["buckets"][-1]["le"] == "+Inf"
+        assert cumulative[-1] == h.count == series["count"]

@@ -107,5 +107,5 @@ class TestNullProvenance:
         assert NULL_PROVENANCE.partitions() == []
         assert json.loads(NULL_PROVENANCE.to_json()) == {
             "placements": [], "partitions": [], "degradations": [],
-            "scalings": [],
+            "scalings": [], "alerts": [],
         }
