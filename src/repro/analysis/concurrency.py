@@ -25,8 +25,10 @@ from .lint import MUTATING_METHODS, LintContext, dotted_name
 
 RULE_ID = "REPRO201"
 
-#: Path parts of modules known to be shared across threads.
-THREADED_PARTS: Set[str] = {"serving", "cluster"}
+#: Path parts of modules known to be shared across threads.  ``sim``
+#: covers :mod:`repro.sim.engine`, the struct-of-arrays event core both
+#: threaded simulators instantiate per run.
+THREADED_PARTS: Set[str] = {"serving", "cluster", "sim"}
 #: File names of modules known to be shared across threads.
 THREADED_FILES: Set[str] = {"plan_cache.py"}
 

@@ -40,11 +40,8 @@ any process; the CI gate compares digests across fresh interpreters.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from ..core.engine import EdgeNNConfig
 from ..core.plan_cache import default_plan_cache
@@ -55,6 +52,7 @@ from ..obs import NOOP_OBS, Observability
 from ..obs.timeline import TimelineArtifact, TimelineRecorder
 from ..serving.batcher import _EPS, BatchPolicy
 from ..serving.report import LatencyStats
+from ..sim.engine import ArrivalSchedule, EventEngine, EventHeap
 from ..sim.trace import Trace, TraceEvent
 from ..workloads.arrivals import ArrivalProcess, ClosedLoopArrivals
 from .autoscaler import Autoscaler, AutoscalerPolicy
@@ -66,6 +64,10 @@ from .report import (
     utilization_histogram,
 )
 from .router import LATENCY, Router, make_router
+
+#: the fleet heap's only event kind — batch completions (continuous
+#: batching has no wait timers; arrivals live in the merged epoch).
+_COMPLETION = 1
 
 
 @dataclass(frozen=True)
@@ -185,25 +187,6 @@ class ClusterSimulator:
         # Recorder shared between run() and _try_dispatch().
         self._tl: Optional[TimelineRecorder] = None
 
-    # -- arrival merging --------------------------------------------------
-
-    def _merged_arrivals(self) -> Tuple[np.ndarray, np.ndarray]:
-        """All tenants' arrivals as (times, tenant indices), time-sorted.
-
-        The sort is stable, so same-instant arrivals keep tenant
-        declaration order — a deterministic tie-break.
-        """
-        chunks: List[np.ndarray] = []
-        owners: List[np.ndarray] = []
-        for index, tenant in enumerate(self._tenants):
-            times = np.asarray(tenant.arrival.initial_arrivals(), dtype=float)
-            chunks.append(times)
-            owners.append(np.full(len(times), index, dtype=np.int32))
-        times = np.concatenate(chunks) if chunks else np.empty(0)
-        owner = np.concatenate(owners) if owners else np.empty(0, np.int32)
-        order = np.argsort(times, kind="stable")
-        return times[order], owner[order]
-
     def _horizon_s(self) -> float:
         return max(
             float(getattr(t.arrival, "duration_s", 0.0))
@@ -246,12 +229,11 @@ class ClusterSimulator:
         replica: Replica,
         pool: Pool,
         now: float,
-        completions: List,
-        seq: int,
-    ) -> int:
-        """Dispatch one batch if the device is free; returns next seq."""
+        heap: EventHeap,
+    ) -> None:
+        """Dispatch one batch if the device is free."""
         if replica.busy_until > now + _EPS or not replica.queue:
-            return seq
+            return
         deadline = pool.policy.deadline_s
         batch: List[float] = []
         abandoned = 0
@@ -271,7 +253,7 @@ class ClusterSimulator:
         if tl is not None and abandoned:
             tl.record_timed_out(now, abandoned)
         if not batch:
-            return seq
+            return
         size = len(batch)
         svc, failed = self._batch_service(replica, size, now)
         end = now + svc.total_s
@@ -294,8 +276,7 @@ class ClusterSimulator:
                 end_s=end,
                 category="batch",
             ))
-        heapq.heappush(completions, (end, seq, replica, tuple(batch), failed))
-        return seq + 1
+        heap.push(end, _COMPLETION, (replica, tuple(batch), failed))
 
     def _retire_if_drained(self, replica: Replica, now: float) -> None:
         if (
@@ -331,122 +312,124 @@ class ClusterSimulator:
         self.timeline_ops = 0
         self.timeline_op_counts = {}
         self.trace = Trace() if self._obs.enabled else None
-        times, owner = self._merged_arrivals()
+        # The shared event core merges all tenants' arrival epochs
+        # (concatenate + stable argsort, same dedup'd path serving
+        # uses) and drives the completion heap and autoscaler ticks.
+        schedule = ArrivalSchedule(
+            [t.arrival.as_arrays() for t in self._tenants]
+        )
+        heap = EventHeap()
+        engine = EventEngine(schedule, heap)
         if tl is not None:
             # The whole arrival stream is known up front — one bulk
             # call instead of one recorder call per request.
-            tl.record_offered_bulk(times)
-        total = len(times)
+            tl.record_offered_bulk(schedule.times)
         pools_of_tenant: List[Pool] = [
             self._pools[t.network] for t in self._tenants
         ]
         tenant_names: List[str] = [t.tenant_name for t in self._tenants]
-        completions: List[Tuple[float, int, Replica, Tuple[float, ...], bool]]
-        completions = []
-        seq = 0
-        ai = 0
         scaler = self.autoscaler
         tick_interval = (
             cfg.autoscaler.interval_s if cfg.autoscaler is not None else 0.0
         )
-        next_tick = tick_interval if scaler is not None else float("inf")
+        next_tick_at = tick_interval if scaler is not None else float("inf")
         peak = self.fleet.replica_count()
         pool_peak = {
             pool.name: len(pool.replicas) for pool in self.fleet.pools
         }
-        inf = float("inf")
 
-        while ai < total or completions:
-            t_arrival = times[ai] if ai < total else inf
-            t_completion = completions[0][0] if completions else inf
-            t_next = min(t_arrival, t_completion)
-
+        def on_tick(now: float) -> None:
             # Autoscaler ticks interleave with real events on the same
             # clock; a tick fires before any event at a later instant.
-            if scaler is not None and next_tick <= t_next:
-                now = next_tick
-                added = scaler.tick(now)
-                for replica in added:
-                    self.routers[replica.pool_name].on_replica_added(replica)
-                for pool in self.fleet.pools:
-                    for replica in pool.replicas:
-                        self._retire_if_drained(replica, now)
-                peak = max(
-                    peak,
-                    sum(
-                        1 for p in self.fleet.pools
-                        for r in p.replicas if r.active
-                    ),
+            nonlocal next_tick_at, peak
+            added = scaler.tick(now)
+            for replica in added:
+                self.routers[replica.pool_name].on_replica_added(replica)
+            for pool in self.fleet.pools:
+                for replica in pool.replicas:
+                    self._retire_if_drained(replica, now)
+            peak = max(
+                peak,
+                sum(
+                    1 for p in self.fleet.pools
+                    for r in p.replicas if r.active
+                ),
+            )
+            for pool in self.fleet.pools:
+                pool_peak[pool.name] = max(
+                    pool_peak[pool.name],
+                    sum(1 for r in pool.replicas if r.active),
                 )
-                for pool in self.fleet.pools:
-                    pool_peak[pool.name] = max(
-                        pool_peak[pool.name],
-                        sum(1 for r in pool.replicas if r.active),
-                    )
-                next_tick += tick_interval
-                continue
+            next_tick_at += tick_interval
 
-            if t_arrival <= t_completion:
-                now = t_arrival
-                tenant_index = int(owner[ai])
-                ai += 1
-                pool = pools_of_tenant[tenant_index]
-                router = self.routers[pool.name]
-                pool.offered += 1
-                replica = router.choose(now, tenant_names[tenant_index])
-                if (
-                    replica is None
-                    or replica.depth >= pool.policy.max_queue_depth
-                ):
-                    # Admission control: the routing tier sheds what the
-                    # chosen backend cannot queue — same accounting as
-                    # the single-device service's bounded queues.
-                    pool.shed += 1
-                    if tl is not None:
-                        tl.record_shed(now)
-                    continue
-                replica.queue.append(now)
-                replica.version += 1
-                if scaler is not None:
-                    scaler.observe_admit(pool, replica.depth)
-                seq = self._try_dispatch(replica, pool, now, completions, seq)
-                router.note(replica, now)
-            else:
-                now, _, replica, batch, failed = heapq.heappop(completions)
-                pool = self._pools[replica.pool_name]
-                deadline = pool.policy.deadline_s
-                lat_before = len(pool.latencies) if tl is not None else 0
-                for arrival in batch:
-                    if failed:
-                        pool.failed += 1
-                        replica.failed += 1
-                    elif (
-                        deadline is not None
-                        and now - arrival > deadline + _EPS
-                    ):
-                        # Completed, but past deadline: late response.
-                        pool.timed_out += 1
-                        pool.late += 1
-                        if scaler is not None:
-                            scaler.observe_miss(pool)
-                    else:
-                        pool.served += 1
-                        replica.served += 1
-                        pool.latencies.append(now - arrival)
+        def on_arrival(now: float, tenant_index: int) -> None:
+            pool = pools_of_tenant[tenant_index]
+            router = self.routers[pool.name]
+            pool.offered += 1
+            replica = router.choose(now, tenant_names[tenant_index])
+            if (
+                replica is None
+                or replica.depth >= pool.policy.max_queue_depth
+            ):
+                # Admission control: the routing tier sheds what the
+                # chosen backend cannot queue — same accounting as
+                # the single-device service's bounded queues.
+                pool.shed += 1
                 if tl is not None:
-                    if failed:
-                        tl.record_failed(now, len(batch))
-                    else:
-                        served_now = pool.latencies[lat_before:]
-                        if served_now:
-                            tl.record_served(now, served_now)
-                        late_n = len(batch) - len(served_now)
-                        if late_n:
-                            tl.record_timed_out(now, late_n, late=True)
-                replica.version += 1
-                seq = self._try_dispatch(replica, pool, now, completions, seq)
-                self._retire_if_drained(replica, now)
-                self.routers[pool.name].note(replica, now)
+                    tl.record_shed(now)
+                return
+            replica.queue.append(now)
+            replica.version += 1
+            if scaler is not None:
+                scaler.observe_admit(pool, replica.depth)
+            self._try_dispatch(replica, pool, now, heap)
+            router.note(replica, now)
+
+        def on_event(now: float, kind: int, payload: object) -> None:
+            replica, batch, failed = payload
+            pool = self._pools[replica.pool_name]
+            deadline = pool.policy.deadline_s
+            lat_before = len(pool.latencies) if tl is not None else 0
+            for arrival in batch:
+                if failed:
+                    pool.failed += 1
+                    replica.failed += 1
+                elif (
+                    deadline is not None
+                    and now - arrival > deadline + _EPS
+                ):
+                    # Completed, but past deadline: late response.
+                    pool.timed_out += 1
+                    pool.late += 1
+                    if scaler is not None:
+                        scaler.observe_miss(pool)
+                else:
+                    pool.served += 1
+                    replica.served += 1
+                    pool.latencies.append(now - arrival)
+            if tl is not None:
+                if failed:
+                    tl.record_failed(now, len(batch))
+                else:
+                    served_now = pool.latencies[lat_before:]
+                    if served_now:
+                        tl.record_served(now, served_now)
+                    late_n = len(batch) - len(served_now)
+                    if late_n:
+                        tl.record_timed_out(now, late_n, late=True)
+            replica.version += 1
+            self._try_dispatch(replica, pool, now, heap)
+            self._retire_if_drained(replica, now)
+            self.routers[pool.name].note(replica, now)
+
+        engine.run(
+            on_arrival=on_arrival,
+            on_event=on_event,
+            next_tick=(
+                (lambda: next_tick_at) if scaler is not None else None
+            ),
+            on_tick=on_tick if scaler is not None else None,
+        )
 
         horizon = self._horizon_s()
         makespan = max(horizon, *(

@@ -154,7 +154,8 @@ class TimelineRecorder:
     __slots__ = (
         "window_s", "source", "meta", "_bounds", "_nb",
         "_offered_bulk", "_offered_t", "_offered_tn",
-        "_shed_t", "_shed_tn", "_rejected_t", "_rejected_tn",
+        "_shed_bulk", "_shed_t", "_shed_tn",
+        "_rejected_t", "_rejected_tn",
         "_failed", "_timeouts",
         "_served_t", "_served_n", "_lat",
         "_batches",
@@ -187,6 +188,7 @@ class TimelineRecorder:
         self._offered_bulk: List[np.ndarray] = []
         self._offered_t = array("d")
         self._offered_tn: List[Tuple[float, int]] = []
+        self._shed_bulk: List[np.ndarray] = []
         self._shed_t = array("d")
         self._shed_tn: List[Tuple[float, int]] = []
         self._rejected_t = array("d")
@@ -219,7 +221,8 @@ class TimelineRecorder:
         return {
             "offered": len(self._offered_t) + len(self._offered_tn)
             + len(self._offered_bulk),
-            "shed": len(self._shed_t) + len(self._shed_tn),
+            "shed": len(self._shed_t) + len(self._shed_tn)
+            + len(self._shed_bulk),
             "rejected": len(self._rejected_t) + len(self._rejected_tn),
             "failed": len(self._failed),
             "timed_out": len(self._timeouts),
@@ -252,6 +255,13 @@ class TimelineRecorder:
             self._shed_t.append(t)
         else:
             self._shed_tn.append((t, n))
+
+    def record_shed_bulk(self, times_s: Sequence[float]) -> None:
+        """Record one shed request per timestamp in a single call (the
+        engine's bulk-admission path sheds whole index spans at once)."""
+        arr = np.asarray(times_s, dtype=np.float64)
+        if arr.size:
+            self._shed_bulk.append(arr)
 
     def record_rejected(self, t: float, n: int = 1) -> None:
         if n == 1:
@@ -358,6 +368,12 @@ class TimelineRecorder:
                 [np.ones(bulk.shape[0], dtype=np.float64), off_n]
             )
         shed_t, shed_n = _counted(self._shed_t, self._shed_tn)
+        if self._shed_bulk:
+            sbulk = np.concatenate(self._shed_bulk)
+            shed_t = np.concatenate([sbulk, shed_t])
+            shed_n = np.concatenate(
+                [np.ones(sbulk.shape[0], dtype=np.float64), shed_n]
+            )
         rej_t, rej_n = _counted(self._rejected_t, self._rejected_tn)
         if self._failed:
             f_t_l, f_n_l, f_q_l = zip(*self._failed)

@@ -34,9 +34,10 @@ scenario produce an identical
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..compile.backends import AnalyticBackend
 from ..compile.pipeline import CompiledPlan
@@ -66,16 +67,30 @@ from ..obs.timeline import (
     TimelineArtifact,
     TimelineRecorder,
 )
+from ..sim.engine import (
+    ArrivalSchedule,
+    DepthTracker,
+    EventEngine,
+    EventHeap,
+    IndexQueue,
+    RequestTable,
+)
+from ..sim.engine import (
+    FAILED as _ST_FAILED,
+    SERVED as _ST_SERVED,
+    SHED as _ST_SHED,
+    TIMED_OUT as _ST_TIMED_OUT,
+)
 from ..sim.timeline import COPY, CPU, GPU, Timeline
 from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
-from .batcher import _EPS, BatchPolicy, TenantQueue
+from .batcher import _EPS, BatchPolicy
 from .report import (
     LatencyStats,
     ServingReport,
     TenantServingStats,
     merge_histograms,
 )
-from .request import Request, RequestStatus
+from .request import Request
 from .scheduler import WeightedFairScheduler
 
 #: Serving-level timeline resource: the whole integrated device, which
@@ -285,6 +300,25 @@ class ServiceTimeModel:
     def warm(self, network: str, batch: int) -> BatchServiceTime:
         return self.service(network, batch)
 
+    def warm_times(
+        self, networks: Sequence[str], sizes: Sequence[int]
+    ) -> "np.ndarray":
+        """Warm total seconds for whole (network, size) vectors at once.
+
+        Built on the batched :func:`repro.core.executor.service_times`
+        entry: each distinct pair tunes once (first-occurrence order,
+        so plan-cache traffic stays deterministic) and the result comes
+        back as one float64 array — the epoch-oriented counterpart of
+        per-dispatch :meth:`warm` calls.
+        """
+        from ..core.executor import service_times
+
+        return service_times(
+            lambda network, size: self.warm(network, size).total_s,
+            networks,
+            sizes,
+        )
+
     def cold(self, network: str, batch: int) -> BatchServiceTime:
         """First-batch cost: weights still have to reach the GPU."""
         key = (network, batch)
@@ -327,9 +361,13 @@ class ServingSimulator:
             self._spec, self._config.precision, self._config.engine,
             obs=self._obs,
         )
-        #: request/batch records of the last :meth:`run`, kept for the
-        #: unified Chrome-trace export (:mod:`repro.obs.export`).
-        self.requests: List[Request] = []
+        self._names = names
+        #: struct-of-arrays request state of the last :meth:`run`;
+        #: :attr:`requests` materializes legacy objects lazily from it.
+        self._table: Optional[RequestTable] = None
+        self._requests: Optional[List[Request]] = None
+        #: batch records of the last :meth:`run`, kept for the unified
+        #: Chrome-trace export (:mod:`repro.obs.export`).
         self.batches: List[BatchRecord] = []
         #: fault machinery of the last run (None without a scenario).
         self.injector: Optional[FaultInjector] = None
@@ -344,6 +382,20 @@ class ServingSimulator:
         self.timeline_op_counts: Dict[str, int] = {}
         #: SLO evaluation of the last run (None unless ``config.slos``).
         self.slo_report: Optional[SloReport] = None
+
+    @property
+    def requests(self) -> List[Request]:
+        """Request objects of the last :meth:`run`.
+
+        Materialized lazily from the engine's request table — only the
+        Chrome-trace export and the CLI walk individual requests, so
+        the hot loop never builds them.
+        """
+        if self._requests is None:
+            if self._table is None:
+                return []
+            self._requests = self._table.materialize(self._names)
+        return self._requests
 
     # -- the event loop -------------------------------------------------------
 
@@ -400,12 +452,22 @@ class ServingSimulator:
                 "repro_serving_queue_depth",
                 "Admitted requests waiting across all tenant queues",
             )
-        queues: Dict[str, TenantQueue] = {}
+        # One merged arrival epoch (whole numpy arrays per tenant) and
+        # a struct-of-arrays request table sized for it up front.
+        schedule = ArrivalSchedule(
+            [t.arrival.as_arrays() for t in self._tenants]
+        )
+        table = RequestTable(len(schedule.times))
+        names = self._names
+        iqueues: List[IndexQueue] = []
         specs: Dict[str, TenantSpec] = {}
         for spec in self._tenants:
             name = spec.tenant_name
-            queues[name] = TenantQueue(name, spec.policy or cfg.policy)
+            iqueues.append(
+                IndexQueue(name, spec.policy or cfg.policy, table)
+            )
             specs[name] = spec
+        index_of = {n: k for k, n in enumerate(names)}
         scheduler = WeightedFairScheduler(
             {t.tenant_name: t.weight for t in self._tenants}
         )
@@ -420,7 +482,7 @@ class ServingSimulator:
                 source=f"serve:{self._spec.name}",
                 meta={
                     "seed": str(cfg.seed),
-                    "tenants": ",".join(sorted(queues)),
+                    "tenants": ",".join(sorted(names)),
                 },
             )
 
@@ -454,52 +516,38 @@ class ServingSimulator:
         retries = 0
         exhaustions = 0
 
-        heap: List[Tuple[float, int, int, str]] = []
-        seq = 0
+        heap = EventHeap()
+        engine = EventEngine(schedule, heap)
 
-        def push(time_s: float, kind: int, tenant: str) -> None:
-            nonlocal seq
-            heapq.heappush(heap, (time_s, kind, seq, tenant))
-            seq += 1
-
-        for spec in self._tenants:
-            for t in spec.arrival.initial_arrivals():
-                push(t, _ARRIVAL, spec.tenant_name)
-
-        requests: List[Request] = []
-        by_tenant: Dict[str, List[Request]] = {n: [] for n in queues}
         batches: List[BatchRecord] = []
-        tenant_hist: Dict[str, Dict[int, int]] = {n: {} for n in queues}
-        in_flight: List[Request] = []
-        inflight_failed: Dict[str, bool] = {}
-        warmed: Dict[str, bool] = {n: not cfg.cold_start for n in queues}
+        tenant_hist: Dict[str, Dict[int, int]] = {n: {} for n in names}
+        #: the single batch on the device: (owner, rows, batch_failed).
+        in_flight: Optional[Tuple[int, np.ndarray, bool]] = None
+        warmed: Dict[str, bool] = {n: not cfg.cold_start for n in names}
         armed_timers: Dict[str, float] = {}
-        late_counts: Dict[str, int] = {n: 0 for n in queues}
-        failed_counts: Dict[str, int] = {n: 0 for n in queues}
+        late_counts: Dict[str, int] = {n: 0 for n in names}
+        failed_counts: Dict[str, int] = {n: 0 for n in names}
         dispatch_seq = 0
 
         device_busy = False
         cpu_busy_total = 0.0
         gpu_busy_total = 0.0
-        next_id = 0
 
         # Time-weighted queue-depth accounting.
-        depth = 0
-        depth_max = 0
-        depth_integral = 0.0
-        last_t = 0.0
+        tracker = DepthTracker()
 
-        def advance(now: float) -> None:
-            nonlocal depth_integral, last_t
-            if now > last_t:
-                depth_integral += depth * (now - last_t)
-                last_t = now
+        #: tenants whose arrival process reacts to completions (closed
+        #: loop); open-loop follow-ups are provably no-ops and skipped.
+        has_followup = [
+            type(t.arrival).next_after is not ArrivalProcess.next_after
+            for t in self._tenants
+        ]
 
-        def followup(tenant: str, now: float) -> None:
+        def followup(owner: int, now: float) -> None:
             """Closed-loop clients re-arm after any terminal outcome."""
-            follow = specs[tenant].arrival.next_after(now)
+            follow = self._tenants[owner].arrival.next_after(now)
             if follow is not None:
-                push(follow, _ARRIVAL, tenant)
+                schedule.push(follow, owner)
 
         def note_windows(now: float) -> None:
             """Record thermal / memory-pressure window edges once."""
@@ -526,22 +574,22 @@ class ServingSimulator:
                 noted_pressure = pstart
 
         def expire_queues(now: float) -> None:
-            nonlocal depth
-            for name, queue in queues.items():
+            for k, queue in enumerate(iqueues):
                 expired = queue.expire(now)
                 if not expired:
                     continue
-                depth -= len(expired)
+                tracker.remove(expired)
                 if tl is not None:
-                    tl.record_timed_out(now, len(expired))
-                for _request in expired:
-                    if obs.enabled:
-                        requests_total.labels(
-                            tenant=name, outcome="timed_out"
-                        ).inc()
-                    followup(name, now)
+                    tl.record_timed_out(now, expired)
                 if obs.enabled:
-                    depth_gauge.set(depth)
+                    for _ in range(expired):
+                        requests_total.labels(
+                            tenant=queue.name, outcome="timed_out"
+                        ).inc()
+                    depth_gauge.set(tracker.depth)
+                if has_followup[k]:
+                    for _ in range(expired):
+                        followup(k, now)
 
         def batch_service(
             tenant: str, size: int, now: float
@@ -675,31 +723,32 @@ class ServingSimulator:
             return svc, delay, False
 
         def maybe_dispatch(now: float) -> None:
-            nonlocal device_busy, depth, cpu_busy_total, gpu_busy_total
-            nonlocal dispatch_seq
+            nonlocal device_busy, cpu_busy_total, gpu_busy_total
+            nonlocal dispatch_seq, in_flight
             while not device_busy:
                 expire_queues(now)
-                ready = [n for n, q in queues.items() if q.ready(now)]
+                ready = [q.name for q in iqueues if q.ready(now)]
                 chosen = scheduler.pick(ready)
                 if chosen is None:
                     # Nothing dispatchable yet: arm a wait-expiry timer
                     # per tenant still accumulating a batch.
-                    for name, queue in queues.items():
+                    for queue in iqueues:
                         deadline = queue.wait_deadline_s()
                         if deadline is None:
                             continue
-                        if armed_timers.get(name) == deadline:
+                        if armed_timers.get(queue.name) == deadline:
                             continue
-                        armed_timers[name] = deadline
-                        push(max(deadline, now), _TIMER, name)
+                        armed_timers[queue.name] = deadline
+                        heap.push(max(deadline, now), _TIMER, queue.name)
                     return
-                queue = queues[chosen]
-                batch = queue.take_batch(now)
-                depth -= len(batch)
-                size = len(batch)
+                owner = index_of[chosen]
+                queue = iqueues[owner]
+                rows = queue.take_batch(now)
+                size = len(rows)
+                tracker.remove(size)
                 dispatch_seq += 1
                 mode = "warm" if warmed[chosen] else "cold"
-                poisoned = any(r.corrupt for r in batch)
+                poisoned = bool(table.corrupt[rows].any())
                 if warmed[chosen]:
                     svc, delay, failed = batch_service(chosen, size, now)
                 else:
@@ -714,15 +763,17 @@ class ServingSimulator:
                 if failed and svc.total_s == 0.0 and delay == 0.0:
                     # Fail-fast path (allocation failure): the batch is
                     # lost before consuming any device time.
-                    for request in batch:
-                        request.status = RequestStatus.FAILED
-                        request.finish_s = now
-                        failed_counts[chosen] += 1
-                        if obs.enabled:
+                    table.status[rows] = _ST_FAILED
+                    table.finish_s[rows] = now
+                    failed_counts[chosen] += size
+                    if obs.enabled:
+                        for _ in range(size):
                             requests_total.labels(
                                 tenant=chosen, outcome="failed"
                             ).inc()
-                        followup(chosen, now)
+                    if has_followup[owner]:
+                        for _ in range(size):
+                            followup(owner, now)
                     tenant_hist[chosen][size] = (
                         tenant_hist[chosen].get(size, 0) + 1
                     )
@@ -766,114 +817,210 @@ class ServingSimulator:
                     )
                     batches_total.labels(tenant=chosen).inc()
                     batch_size_hist.observe(size)
-                    depth_gauge.set(depth)
+                    depth_gauge.set(tracker.depth)
                 tenant_hist[chosen][size] = (
                     tenant_hist[chosen].get(size, 0) + 1
                 )
-                in_flight.extend(batch)
-                inflight_failed[chosen] = failed
-                push(end, _COMPLETION, chosen)
+                in_flight = (owner, rows, failed)
+                heap.push(end, _COMPLETION, chosen)
                 return
 
-        while heap:
-            now, kind, _, tenant = heapq.heappop(heap)
-            advance(now)
+        def on_arrival(now: float, owner: int) -> None:
+            """Exact per-arrival path (the legacy scalar semantics)."""
+            tracker.advance(now)
             if faults is not None:
                 note_windows(now)
-            if kind == _ARRIVAL:
-                request = Request(
-                    request_id=next_id, tenant=tenant, arrival_s=now
-                )
-                next_id += 1
-                requests.append(request)
-                by_tenant[tenant].append(request)
-                if tl is not None:
-                    tl.record_offered(now)
-                if faults is not None and injector.payload_corrupt(
-                    now, request_id=request.request_id
-                ):
-                    if cfg.resilience:
-                        # Request validation catches the malformed
-                        # payload at the door: reject, don't queue.
-                        queues[tenant].reject(request)
-                        request.finish_s = now
-                        if tl is not None:
-                            tl.record_rejected(now)
-                        if obs.enabled:
-                            requests_total.labels(
-                                tenant=tenant, outcome="rejected"
-                            ).inc()
-                        followup(tenant, now)
-                        maybe_dispatch(now)
-                        continue
-                    request.corrupt = True
-                if queues[tenant].offer(request):
-                    depth += 1
-                    depth_max = max(depth_max, depth)
-                    if obs.enabled:
-                        depth_gauge.set(depth)
-                else:
-                    # Shed: the client sees an immediate rejection; a
-                    # closed-loop client thinks, then retries.
-                    request.finish_s = now
+            queue = iqueues[owner]
+            name = queue.name
+            idx = table.append(now, owner)
+            if tl is not None:
+                tl.record_offered(now)
+            if faults is not None and injector.payload_corrupt(
+                now, request_id=idx
+            ):
+                if cfg.resilience:
+                    # Request validation catches the malformed
+                    # payload at the door: reject, don't queue.
+                    queue.reject(idx)
+                    table.finish_s[idx] = now
                     if tl is not None:
-                        tl.record_shed(now)
+                        tl.record_rejected(now)
                     if obs.enabled:
                         requests_total.labels(
-                            tenant=tenant, outcome="shed"
+                            tenant=name, outcome="rejected"
                         ).inc()
-                    followup(tenant, now)
-                maybe_dispatch(now)
-            elif kind == _COMPLETION:
-                finished = [r for r in in_flight if r.tenant == tenant]
-                in_flight[:] = [r for r in in_flight if r.tenant != tenant]
-                batch_failed = inflight_failed.pop(tenant, False)
-                for request in finished:
-                    request.finish_s = now
-                    if batch_failed:
-                        request.status = RequestStatus.FAILED
-                        failed_counts[tenant] += 1
-                        outcome = "failed"
-                    elif request.expired(now, _EPS):
-                        # Completed, but past its deadline: the client
-                        # already gave up — a late, useless response.
-                        request.status = RequestStatus.TIMED_OUT
-                        queues[tenant].timed_out += 1
-                        late_counts[tenant] += 1
-                        outcome = "timed_out"
-                    else:
-                        request.status = RequestStatus.SERVED
-                        outcome = "served"
+                    followup(owner, now)
+                    maybe_dispatch(now)
+                    return
+                table.corrupt[idx] = True
+            if queue.offer(idx, now):
+                tracker.admit()
+                if obs.enabled:
+                    depth_gauge.set(tracker.depth)
+            else:
+                # Shed: the client sees an immediate rejection; a
+                # closed-loop client thinks, then retries.
+                table.finish_s[idx] = now
+                if tl is not None:
+                    tl.record_shed(now)
+                if obs.enabled:
+                    requests_total.labels(
+                        tenant=name, outcome="shed"
+                    ).inc()
+                followup(owner, now)
+            maybe_dispatch(now)
+
+        def on_arrivals(times: np.ndarray, owners: np.ndarray) -> None:
+            """Bulk admission: a whole busy-device arrival span at once.
+
+            Only reachable when the device is busy, no faults are
+            active, per-request metrics are off, and every tenant is
+            open loop — conditions under which the scalar path reduces
+            to admit-or-shed plus depth accounting, all vectorizable.
+            """
+            start = table.append_bulk(times, owners)
+            if tl is not None:
+                tl.record_offered_bulk(times)
+            total = len(times)
+            if len(iqueues) == 1:
+                # Single tenant: the span is one FIFO fill — slice
+                # writes only, no index gathers.
+                queue = iqueues[0]
+                queue.offered += total
+                room = queue.policy.max_queue_depth - len(queue)
+                take_n = min(total, room) if room > 0 else 0
+                if take_n:
+                    queue.admit_span(start, take_n, times[:take_n])
+                if take_n < total:
+                    table.status[start + take_n:start + total] = _ST_SHED
+                    table.finish_s[start + take_n:start + total] = (
+                        times[take_n:]
+                    )
+                    queue.shed += total - take_n
+                    if tl is not None:
+                        tl.record_shed_bulk(times[take_n:])
+                tracker.advance_span(times, take_n)
+                return
+            admitted = np.zeros(total, dtype=np.int64)
+            for k, queue in enumerate(iqueues):
+                pos = np.nonzero(owners == k)[0]
+                npos = len(pos)
+                if not npos:
+                    continue
+                queue.offered += npos
+                room = queue.policy.max_queue_depth - len(queue)
+                if room < 0:
+                    room = 0
+                take = pos[:room]
+                over = pos[room:]
+                if len(take):
+                    queue.admit_bulk(start + take, times[take])
+                    admitted[take] = 1
+                if len(over):
+                    shed_rows = start + over
+                    table.status[shed_rows] = _ST_SHED
+                    table.finish_s[shed_rows] = times[over]
+                    queue.shed += len(over)
+                    if tl is not None:
+                        tl.record_shed_bulk(times[over])
+            tracker.advance_bulk(times, admitted)
+
+        def on_event(now: float, kind: int, payload: object) -> None:
+            nonlocal device_busy, in_flight
+            tracker.advance(now)
+            if faults is not None:
+                note_windows(now)
+            if kind == _COMPLETION:
+                owner, rows, batch_failed = in_flight
+                in_flight = None
+                name = names[owner]
+                n = len(rows)
+                table.finish_s[rows] = now
+                if batch_failed:
+                    table.status[rows] = _ST_FAILED
+                    failed_counts[name] += n
+                    lats: Optional[List[float]] = None
+                    late_n = 0
                     if obs.enabled:
-                        requests_total.labels(
-                            tenant=tenant, outcome=outcome
-                        ).inc()
-                        if outcome == "served":
-                            latency_hist.labels(tenant=tenant).observe(
-                                request.latency_s
-                            )
-                    followup(tenant, now)
-                if tl is not None and finished:
-                    if batch_failed:
-                        tl.record_failed(now, len(finished))
+                        for _ in range(n):
+                            requests_total.labels(
+                                tenant=name, outcome="failed"
+                            ).inc()
+                else:
+                    queue = iqueues[owner]
+                    if queue.policy.deadline_s is not None:
+                        # Completed, but past deadline: the client
+                        # already gave up — late, useless responses.
+                        late_mask = now > table.deadline_s[rows] + _EPS
+                        late_n = int(late_mask.sum())
                     else:
-                        lats = [
-                            r.latency_s for r in finished
-                            if r.status is RequestStatus.SERVED
-                        ]
+                        late_n = 0
+                    if late_n:
+                        served_rows = rows[~late_mask]
+                        table.status[rows[late_mask]] = _ST_TIMED_OUT
+                        queue.timed_out += late_n
+                        late_counts[name] += late_n
+                    else:
+                        served_rows = rows
+                    table.status[served_rows] = _ST_SERVED
+                    lats = None
+                    if tl is not None:
+                        lats = (
+                            now - table.arrival_s[served_rows]
+                        ).tolist()
+                    if obs.enabled:
+                        late_list = (
+                            late_mask.tolist() if late_n else [False] * n
+                        )
+                        arrivals = table.arrival_s[rows].tolist()
+                        for i in range(n):
+                            if late_list[i]:
+                                requests_total.labels(
+                                    tenant=name, outcome="timed_out"
+                                ).inc()
+                            else:
+                                requests_total.labels(
+                                    tenant=name, outcome="served"
+                                ).inc()
+                                latency_hist.labels(tenant=name).observe(
+                                    now - arrivals[i]
+                                )
+                if has_followup[owner]:
+                    for _ in range(n):
+                        followup(owner, now)
+                if tl is not None and n:
+                    if batch_failed:
+                        tl.record_failed(now, n)
+                    else:
                         if lats:
                             tl.record_served(now, lats)
-                        late_n = len(finished) - len(lats)
                         if late_n:
                             tl.record_timed_out(now, late_n, late=True)
                 device_busy = False
                 maybe_dispatch(now)
             else:  # _TIMER
-                if armed_timers.get(tenant) is not None:
-                    armed_timers.pop(tenant, None)
+                if armed_timers.get(payload) is not None:
+                    armed_timers.pop(payload, None)
                 maybe_dispatch(now)
 
-        self.requests = requests
+        # The bulk path is only sound when busy-span arrivals are
+        # unobservable one-by-one: no fault injection (per-arrival RNG
+        # draws), no per-request metrics, and fully open-loop tenants
+        # (no completion-driven follow-up arrivals).
+        open_loop = all(
+            type(t.arrival).next_after is ArrivalProcess.next_after
+            for t in self._tenants
+        )
+        use_bulk = faults is None and not obs.enabled and open_loop
+        engine.run(
+            on_arrival=on_arrival,
+            on_event=on_event,
+            bulk_ready=(lambda: device_busy) if use_bulk else None,
+            on_arrivals=on_arrivals if use_bulk else None,
+        )
+
+        self._table = table
+        self._requests = None
         self.batches = batches
         self.timeline = None
         self.timeline_ops = 0
@@ -902,8 +1049,8 @@ class ServingSimulator:
                     ),
                 )
         return self._build_report(
-            queues, by_tenant, tenant_hist, batches, timeline,
-            depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
+            iqueues, table, tenant_hist, batches, timeline,
+            tracker, cpu_busy_total, gpu_busy_total,
             late_counts, failed_counts, retries, exhaustions,
         )
 
@@ -916,47 +1063,47 @@ class ServingSimulator:
         )
 
     def _build_report(
-        self, queues, by_tenant, tenant_hist, batches, timeline,
-        depth_integral, depth_max, cpu_busy_total, gpu_busy_total,
+        self, queues, table, tenant_hist, batches, timeline,
+        tracker, cpu_busy_total, gpu_busy_total,
         late_counts, failed_counts, retries, exhaustions,
     ) -> ServingReport:
         horizon = self._horizon_s()
         last_end = max((b.end_s for b in batches), default=0.0)
         makespan = max(horizon, last_end)
+        n = len(table)
+        arrival = table.arrival_s[:n]
+        finish = table.finish_s[:n]
+        status = table.status[:n]
+        owner = table.tenant[:n]
         tenant_stats = []
-        for spec in self._tenants:
+        all_latencies: List[float] = []
+        abandoned: List[float] = []
+        for k, spec in enumerate(self._tenants):
             name = spec.tenant_name
-            latencies = [
-                r.latency_s for r in by_tenant[name]
-                if r.status is RequestStatus.SERVED
-            ]
+            mine = owner == k
+            served_mask = mine & (status == _ST_SERVED)
+            latencies = (
+                finish[served_mask] - arrival[served_mask]
+            ).tolist()
+            all_latencies.extend(latencies)
+            gone = mine & (status == _ST_TIMED_OUT) & ~np.isnan(finish)
+            abandoned.extend((finish[gone] - arrival[gone]).tolist())
+            queue = queues[k]
             tenant_stats.append(
                 TenantServingStats(
                     name=name,
                     network=spec.network,
                     weight=spec.weight,
-                    offered=queues[name].offered,
+                    offered=queue.offered,
                     served=len(latencies),
-                    shed=queues[name].shed,
-                    timed_out=queues[name].timed_out,
+                    shed=queue.shed,
+                    timed_out=queue.timed_out,
                     failed=failed_counts[name],
-                    rejected=queues[name].rejected,
+                    rejected=queue.rejected,
                     latency=LatencyStats.from_latencies(latencies),
                     batch_histogram=dict(tenant_hist[name]),
                 )
             )
-        all_latencies = [
-            r.latency_s
-            for name in by_tenant
-            for r in by_tenant[name]
-            if r.status is RequestStatus.SERVED
-        ]
-        abandoned = [
-            r.finish_s - r.arrival_s
-            for name in by_tenant
-            for r in by_tenant[name]
-            if r.status is RequestStatus.TIMED_OUT and r.finish_s is not None
-        ]
         offered = sum(t.offered for t in tenant_stats)
         served = sum(t.served for t in tenant_stats)
         shed = sum(t.shed for t in tenant_stats)
@@ -975,9 +1122,9 @@ class ServingSimulator:
                 [t.batch_histogram for t in tenant_stats]
             ),
             queue_depth_mean=(
-                depth_integral / makespan if makespan > 0 else 0.0
+                tracker.integral_s / makespan if makespan > 0 else 0.0
             ),
-            queue_depth_max=depth_max,
+            queue_depth_max=tracker.depth_max,
             cpu_utilization=(
                 min(1.0, cpu_busy_total / makespan) if makespan > 0 else 0.0
             ),

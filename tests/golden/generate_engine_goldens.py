@@ -1,0 +1,40 @@
+"""Regenerate tests/golden/engine_parity.json.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/golden/generate_engine_goldens.py
+
+The file pins the vectorized event engine to the pre-refactor
+per-request loops: every scenario's ServingReport / ClusterReport
+digest — and TimelineArtifact digest where recorded — must stay
+bit-identical.  Only regenerate when a scenario is *intentionally*
+added or its workload changed, never to paper over a digest drift.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from sim.engine_scenarios import SCENARIOS  # noqa: E402
+
+OUT = pathlib.Path(__file__).resolve().parent / "engine_parity.json"
+
+
+def main() -> None:
+    goldens = {}
+    for name, fn in SCENARIOS.items():
+        report_digest, timeline_digest = fn()
+        goldens[name] = {
+            "report_digest": report_digest,
+            "timeline_digest": timeline_digest,
+        }
+        print(f"{name}: report={report_digest[:12]} "
+              f"timeline={(timeline_digest or 'none')[:12]}")
+    OUT.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,275 @@
+"""Shared scenario matrix pinning the event-engine refactor.
+
+Each scenario builds and runs a simulator through the *public* entry
+points and returns the digests the golden file records: the report
+digest, and the timeline digest when the scenario records one.  The
+golden file (``tests/golden/engine_parity.json``) was generated from
+the pre-refactor per-request event loops; the vectorized engine must
+reproduce every digest bit-for-bit.
+
+Scenarios deliberately cover every structurally distinct code path:
+the saturated knee (bulk admission under a busy device), deadlines
+and shed, multi-tenant weighted fair share, fault injection with
+resilience on and off, closed-loop tenants (dynamic arrivals), an
+observability-enabled run, and cluster routing/autoscaling/flash
+crowds over the merged-arrival loop.
+"""
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster import (
+    AutoscalerPolicy,
+    ClusterConfig,
+    ClusterSimulator,
+    ClusterTenant,
+    DeviceMix,
+)
+from repro.faults import load_scenario, scale_to_horizon
+from repro.serving.batcher import BatchPolicy
+from repro.serving.simulator import (
+    ServingConfig,
+    ServingSimulator,
+    TenantSpec,
+    poisson_tenant,
+)
+from repro.workloads.arrivals import (
+    ClosedLoopArrivals,
+    DiurnalPoissonArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
+
+#: scenario name -> zero-arg callable returning
+#: (report_digest, timeline_digest_or_None)
+ScenarioFn = Callable[[], Tuple[str, Optional[str]]]
+
+
+def _finish(sim, report) -> Tuple[str, Optional[str]]:
+    timeline = sim.timeline.digest() if sim.timeline is not None else None
+    return report.digest(), timeline
+
+
+def serving_knee() -> Tuple[str, Optional[str]]:
+    """Overloaded single tenant: bulk admission, sheds, full batches."""
+    sim = ServingSimulator(
+        None,
+        [poisson_tenant("lenet", 400.0, 2.0, seed=7)],
+        ServingConfig(
+            policy=BatchPolicy(max_batch_size=4, max_queue_depth=32),
+            seed=7,
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_deadline() -> Tuple[str, Optional[str]]:
+    """Tight deadlines: expiry sweeps, timeouts, and a timeline."""
+    sim = ServingSimulator(
+        None,
+        [poisson_tenant("lenet", 200.0, 1.5, seed=11)],
+        ServingConfig(
+            policy=BatchPolicy(
+                max_batch_size=4, max_queue_depth=16, deadline_s=0.003
+            ),
+            seed=11,
+            timeline_window_s=0.25,
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_multitenant() -> Tuple[str, Optional[str]]:
+    """Weighted fair share across three tenants, one with its own policy."""
+    tenants = [
+        poisson_tenant("lenet", 120.0, 2.0, seed=5, weight=3.0),
+        poisson_tenant("fcnn", 60.0, 2.0, seed=6, weight=1.0),
+        TenantSpec(
+            network="lenet",
+            arrival=PoissonArrivals(40.0, 2.0, seed=9),
+            weight=1.0,
+            name="lenet-b",
+            policy=BatchPolicy(max_batch_size=2, max_queue_depth=8),
+        ),
+    ]
+    sim = ServingSimulator(
+        None, tenants, ServingConfig(policy=BatchPolicy(max_batch_size=8))
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_faults() -> Tuple[str, Optional[str]]:
+    """edge-storm with the resilience layer on, timeline recorded."""
+    sim = ServingSimulator(
+        None,
+        [poisson_tenant("lenet", 40.0, 3.0, seed=7)],
+        ServingConfig(
+            policy=BatchPolicy(max_batch_size=4, deadline_s=0.5),
+            seed=7,
+            faults=scale_to_horizon(load_scenario("edge-storm"), 3.0),
+            timeline_window_s=0.5,
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_faults_naive() -> Tuple[str, Optional[str]]:
+    """The same storm without resilience (stale plans, no retries)."""
+    sim = ServingSimulator(
+        None,
+        [poisson_tenant("lenet", 40.0, 3.0, seed=7)],
+        ServingConfig(
+            policy=BatchPolicy(max_batch_size=4, deadline_s=0.5),
+            seed=7,
+            faults=scale_to_horizon(load_scenario("edge-storm"), 3.0),
+            resilience=False,
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_closed_loop() -> Tuple[str, Optional[str]]:
+    """Closed-loop clients: arrivals depend on completions."""
+    tenants = [
+        TenantSpec(
+            network="lenet",
+            arrival=ClosedLoopArrivals(
+                clients=6, think_s=0.005, duration_s=1.5
+            ),
+        ),
+        poisson_tenant("lenet", 50.0, 1.5, seed=3, name="open"),
+    ]
+    sim = ServingSimulator(
+        None, tenants, ServingConfig(policy=BatchPolicy(max_batch_size=4))
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_obs() -> Tuple[str, Optional[str]]:
+    """Observability on: per-request spans must not perturb the report."""
+    from repro.obs import Observability
+
+    sim = ServingSimulator(
+        None,
+        [poisson_tenant("lenet", 150.0, 0.5, seed=3)],
+        ServingConfig(policy=BatchPolicy(max_batch_size=4)),
+        obs=Observability.on(),
+    )
+    return _finish(sim, sim.run())
+
+
+def serving_cold_start() -> Tuple[str, Optional[str]]:
+    """Cold-start premium charged to each tenant's first batch."""
+    sim = ServingSimulator(
+        None,
+        [poisson_tenant("lenet", 80.0, 1.0, seed=2)],
+        ServingConfig(
+            policy=BatchPolicy(max_batch_size=4), cold_start=True, seed=2
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def cluster_routing() -> Tuple[str, Optional[str]]:
+    """Heterogeneous fleet, plan_cost router, rolling thermal faults."""
+    sim = ClusterSimulator(
+        [ClusterTenant("lenet", PoissonArrivals(200.0, 4.0, seed=7))],
+        DeviceMix.parse(
+            "jetson-agx-xavier:2,raspberry-pi-4", throttled_share=0.34
+        ),
+        6,
+        ClusterConfig(
+            router="plan_cost",
+            seed=7,
+            policy=BatchPolicy(max_wait_s=0.0, deadline_s=2.0),
+            faults=scale_to_horizon(load_scenario("thermal-soak"), 4.0),
+            fault_share=0.5,
+            fault_stagger_s=0.5,
+            timeline_window_s=1.0,
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def cluster_scale() -> Tuple[str, Optional[str]]:
+    """Diurnal load with the autoscaler growing and shrinking the pool."""
+    sim = ClusterSimulator(
+        [
+            ClusterTenant(
+                "squeezenet",
+                DiurnalPoissonArrivals(30.0, 4.0, period_s=2.0, seed=5),
+            )
+        ],
+        DeviceMix.parse("jetson-agx-xavier"),
+        2,
+        ClusterConfig(
+            router="least_queue",
+            seed=5,
+            policy=BatchPolicy(max_wait_s=0.0, deadline_s=2.0),
+            autoscaler=AutoscalerPolicy(
+                interval_s=0.5,
+                high_depth=2.0,
+                low_depth=0.25,
+                cooldown_s=0.5,
+                min_replicas=1,
+                max_replicas=6,
+            ),
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def cluster_flash_crowd() -> Tuple[str, Optional[str]]:
+    """Two pools, flash-crowd burst, round-robin, timeline recorded."""
+    sim = ClusterSimulator(
+        [
+            ClusterTenant(
+                "lenet",
+                FlashCrowdArrivals(
+                    60.0, 3.0, spike_start_s=1.0, spike_duration_s=0.5,
+                    spike_factor=4.0, seed=4,
+                ),
+            ),
+            ClusterTenant("fcnn", PoissonArrivals(40.0, 3.0, seed=8)),
+        ],
+        DeviceMix.parse("jetson-agx-xavier:2,raspberry-pi-4"),
+        4,
+        ClusterConfig(
+            router="round_robin",
+            seed=4,
+            policy=BatchPolicy(max_wait_s=0.0, deadline_s=1.0),
+            timeline_window_s=0.5,
+        ),
+    )
+    return _finish(sim, sim.run())
+
+
+def _hermetic(fn: ScenarioFn) -> ScenarioFn:
+    """Isolate a scenario from process-global state.
+
+    Plan-cache hits/misses are part of the report digest, and the
+    default plan cache is process-global — without a reset, digests
+    would depend on which scenarios (or other tests) ran earlier in
+    the same process."""
+
+    def run() -> Tuple[str, Optional[str]]:
+        from repro.core.plan_cache import default_plan_cache
+
+        default_plan_cache().clear()
+        return fn()
+
+    return run
+
+
+SCENARIOS: Dict[str, ScenarioFn] = {
+    "serving_knee": _hermetic(serving_knee),
+    "serving_deadline": _hermetic(serving_deadline),
+    "serving_multitenant": _hermetic(serving_multitenant),
+    "serving_faults": _hermetic(serving_faults),
+    "serving_faults_naive": _hermetic(serving_faults_naive),
+    "serving_closed_loop": _hermetic(serving_closed_loop),
+    "serving_obs": _hermetic(serving_obs),
+    "serving_cold_start": _hermetic(serving_cold_start),
+    "cluster_routing": _hermetic(cluster_routing),
+    "cluster_scale": _hermetic(cluster_scale),
+    "cluster_flash_crowd": _hermetic(cluster_flash_crowd),
+}
