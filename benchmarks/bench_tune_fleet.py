@@ -1,0 +1,226 @@
+"""Tune-fleet cold start — fault-tolerant AOT compilation at catalog scale.
+
+Cold-starts the full plan catalog (every benchmark network x every
+catalog device x batch sizes 1/2/4/8 — 200+ plans) across a
+multiprocess fleet with the ``flaky-fleet`` scenario injected: every
+(job, attempt) has a 20% chance its worker dies mid-write and a 10%
+chance it writes a corrupt artifact.  The run must still land every
+plan exactly once, with zero poisoned jobs, and two same-seed runs
+must produce byte-identical store manifests.
+
+Runs two ways:
+
+* under pytest (the bench suite): times the cold start and writes the
+  ``tune_fleet`` artifact + ``BENCH_tune_fleet.json``;
+* as a script (the CI ``fleet`` job): ``python benchmarks/\
+bench_tune_fleet.py`` runs the full gate; ``--quick`` shrinks the
+  catalog for a fast smoke.
+"""
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults import load_scenario
+from repro.faults.resilience import RetryPolicy
+from repro.store.plan_store import PlanStore
+from repro.tuning import fleet_catalog, run_fleet
+
+SEED = 0
+WORKERS = 4
+SCENARIO = "flaky-fleet"
+MAX_ATTEMPTS = 6
+#: the cold-start floor the CI gate enforces
+MIN_PLANS = 200
+#: flaky-fleet must actually hurt: injected failure share of attempts
+MIN_FAILURE_SHARE = 0.20
+
+QUICK_CATALOG = dict(
+    networks=["lenet", "squeezenet"],
+    devices=["jetson-agx-xavier", "raspberry-pi-4"],
+    batch_sizes=(1, 2),
+)
+
+
+def _jobs(quick=False):
+    return fleet_catalog(**QUICK_CATALOG) if quick else fleet_catalog()
+
+
+def _run(store_root, jobs):
+    return run_fleet(
+        store_root,
+        jobs,
+        workers=WORKERS,
+        seed=SEED,
+        scenario=load_scenario(SCENARIO),
+        retry_policy=RetryPolicy(
+            max_attempts=MAX_ATTEMPTS,
+            base_delay_s=0.01,
+            max_delay_s=0.25,
+            seed=SEED,
+        ),
+    )
+
+
+def run_gate(root, jobs, *, min_failure_share=MIN_FAILURE_SHARE):
+    """Cold start + determinism double-run + warm no-op; returns
+    (cold report, rerun report, warm report, failures).
+
+    ``min_failure_share`` only makes statistical sense at full catalog
+    scale; the ``--quick`` smoke passes 0 (a tiny catalog may draw few
+    faults at p=0.2).
+    """
+    cold = _run(Path(root) / "a", jobs)
+    rerun = _run(Path(root) / "b", jobs)
+    warm = _run(Path(root) / "a", jobs)
+
+    failures = []
+    if cold.completed != len(jobs) or cold.poisoned:
+        failures.append(
+            f"cold start incomplete: {cold.completed}/{len(jobs)} done, "
+            f"{cold.poisoned} poisoned"
+        )
+    failed_attempts = cold.attempts - cold.completed
+    share = failed_attempts / cold.attempts if cold.attempts else 0.0
+    if share < min_failure_share:
+        failures.append(
+            f"fault injection too tame: {share:.0%} of attempts failed, "
+            f"gate wants >= {min_failure_share:.0%}"
+        )
+    manifest_a = (Path(root) / "a" / "manifest.json").read_bytes()
+    manifest_b = (Path(root) / "b" / "manifest.json").read_bytes()
+    if manifest_a != manifest_b:
+        failures.append("same-seed manifests are not byte-identical")
+    if warm.attempts != 0:
+        failures.append(
+            f"warm re-run compiled {warm.attempts} plans; store misses"
+        )
+    store = PlanStore(Path(root) / "a")
+    objects = len(list(store.objects_dir.glob("*.json")))
+    if objects != len(jobs):
+        failures.append(
+            f"{objects} objects for {len(jobs)} plans: duplicates or loss"
+        )
+    return cold, rerun, warm, failures
+
+
+def render(cold, jobs):
+    failed_attempts = cold.attempts - cold.completed
+    share = failed_attempts / cold.attempts if cold.attempts else 0.0
+    return "\n".join([
+        f"{'plans':<22} {cold.completed}/{len(jobs)}",
+        f"{'workers':<22} {cold.workers}",
+        f"{'cold-start wall':<22} {cold.wall_s:.2f} s",
+        f"{'attempts':<22} {cold.attempts} "
+        f"({failed_attempts} failed, {share:.0%})",
+        f"{'worker crashes':<22} {cold.worker_crashes}",
+        f"{'corrupt ingests':<22} {cold.corrupt_ingests} "
+        f"({cold.quarantined} quarantined)",
+        f"{'lease expirations':<22} {cold.lease_expirations}",
+        f"{'poisoned':<22} {cold.poisoned}",
+        f"{'manifest digest':<22} {cold.manifest_digest}",
+    ])
+
+
+def bench_payload(cold, warm, jobs):
+    """The machine-readable BENCH_tune_fleet.json body."""
+    failed_attempts = cold.attempts - cold.completed
+    return {
+        "seed": SEED,
+        "workers": WORKERS,
+        "scenario": SCENARIO,
+        "max_attempts": MAX_ATTEMPTS,
+        "planned": len(jobs),
+        "completed": cold.completed,
+        "poisoned": cold.poisoned,
+        "attempts": cold.attempts,
+        "failed_attempts": failed_attempts,
+        "failed_attempt_share": (
+            failed_attempts / cold.attempts if cold.attempts else 0.0
+        ),
+        "worker_crashes": cold.worker_crashes,
+        "corrupt_ingests": cold.corrupt_ingests,
+        "quarantined": cold.quarantined,
+        "lease_expirations": cold.lease_expirations,
+        "cold_start_wall_s": cold.wall_s,
+        "warm_rerun_attempts": warm.attempts,
+        "manifest_digest": cold.manifest_digest,
+    }
+
+
+# -- pytest entry points --------------------------------------------------------
+
+
+def test_tune_fleet(benchmark, record_artifact, tmp_path):
+    from conftest import run_once, write_bench_json
+
+    jobs = _jobs()
+    assert len(jobs) >= MIN_PLANS
+    cold, rerun, warm, failures = run_once(
+        benchmark, lambda: run_gate(tmp_path, jobs)
+    )
+    assert failures == [], failures
+    record_artifact(
+        "tune_fleet",
+        "Tune-fleet cold start — full catalog under flaky-fleet "
+        f"(crash p={0.20}, corrupt p={0.10}, seed {SEED})\n\n"
+        + render(cold, jobs),
+    )
+    write_bench_json("tune_fleet", bench_payload(cold, warm, jobs))
+
+
+# -- CI gate script --------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small catalog smoke instead of the full 200+ plan gate",
+    )
+    parser.add_argument(
+        "--keep", default=None, metavar="DIR",
+        help="run in DIR and keep the stores (default: temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = _jobs(quick=args.quick)
+    if not args.quick and len(jobs) < MIN_PLANS:
+        print(
+            f"FAIL: catalog shrank to {len(jobs)} plans, "
+            f"gate wants >= {MIN_PLANS}",
+            file=sys.stderr,
+        )
+        return 1
+
+    root = args.keep or tempfile.mkdtemp(prefix="tune-fleet-bench-")
+    try:
+        cold, rerun, warm, failures = run_gate(
+            root, jobs,
+            min_failure_share=0.0 if args.quick else MIN_FAILURE_SHARE,
+        )
+        print(render(cold, jobs))
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"determinism gate OK: manifest {cold.manifest_digest[:16]}… "
+            f"reproduced; warm re-run 0 attempts"
+        )
+        from conftest import write_bench_json
+
+        path = write_bench_json(
+            "tune_fleet", bench_payload(cold, warm, jobs)
+        )
+        print(f"[written to {path}]")
+        return 0
+    finally:
+        if not args.keep:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from .verifiers import (
     verify_fault_scenario_data,
     verify_network_graph,
     verify_plan_artifact_data,
+    verify_plan_store,
 )
 
 __all__ = [
@@ -67,4 +68,5 @@ __all__ = [
     "verify_fault_scenario_data",
     "verify_network_graph",
     "verify_plan_artifact_data",
+    "verify_plan_store",
 ]

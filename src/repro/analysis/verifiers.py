@@ -26,6 +26,17 @@ Fault scenarios:
 * schema / version / probability ranges (REPRO301/307);
 * fault windows of the same kind must not overlap (REPRO306).
 
+Plan stores (``repro check-plan <store-dir>``):
+
+* manifest schema / version / entry structure (REPRO310);
+* every entry's object exists, hashes to its content address, carries
+  a valid payload checksum, and embeds the entry's key (REPRO311);
+* objects not referenced by any manifest entry are orphans (REPRO312,
+  warning — recoverable via ``PlanStore.rebuild``);
+* producer fingerprints that no longer match the current DeviceSpec /
+  cost-model build are stale (REPRO313, warning — the store serves
+  them as misses until swept).
+
 Every check returns :class:`~repro.analysis.findings.Finding` records
 rather than raising, so one corrupt file yields a complete diagnosis.
 """
@@ -64,6 +75,12 @@ RULE_WINDOWS = "REPRO306"
 RULE_PROBABILITY = "REPRO307"
 RULE_ROOFLINE = "REPRO308"
 RULE_DATAFLOW = "REPRO309"
+RULE_STORE_SCHEMA = "REPRO310"
+RULE_STORE_OBJECT = "REPRO311"
+RULE_STORE_ORPHAN = "REPRO312"
+RULE_STORE_STALE = "REPRO313"
+
+_SHA256_HEX = 64
 
 
 def _finding(rule: str, path: str, message: str, symbol: str = "") -> Finding:
@@ -363,7 +380,7 @@ def verify_fault_scenario_data(
             f"{SCENARIO_SCHEMA!r}",
         )]
     for label in ("kernel_failure_p", "payload_corrupt_p",
-                  "artifact_corrupt_p"):
+                  "artifact_corrupt_p", "worker_crash_p"):
         raw = data.get(label, 0.0)
         try:
             p = float(raw)  # type: ignore[arg-type]
@@ -405,17 +422,219 @@ def verify_fault_scenario(
 
 
 # ---------------------------------------------------------------------------
+# Plan stores
+# ---------------------------------------------------------------------------
+
+def _entry_shape_problems(record: Mapping[str, object]) -> List[str]:
+    """Structural problems with one manifest entry record."""
+    problems: List[str] = []
+    key = record.get("key")
+    if not isinstance(key, Mapping):
+        problems.append(f"entry key must be an object, got {key!r}")
+    sha = record.get("sha256")
+    if not (
+        isinstance(sha, str)
+        and len(sha) == _SHA256_HEX
+        and all(c in "0123456789abcdef" for c in sha)
+    ):
+        problems.append(f"entry sha256 must be {_SHA256_HEX} hex chars, got {sha!r}")
+    fingerprints = record.get("fingerprints")
+    if not isinstance(fingerprints, Mapping):
+        problems.append(
+            f"entry fingerprints must be an object, got {fingerprints!r}"
+        )
+    return problems
+
+
+def verify_plan_store(root: Union[str, Path]) -> List[Finding]:
+    """Verify a :class:`~repro.store.plan_store.PlanStore` directory.
+
+    Checks the manifest's schema/version and entry structure (REPRO310),
+    re-hashes every referenced object against its content address and
+    re-validates its embedded artifact + key (REPRO311), reports objects
+    no manifest entry references (REPRO312, warning — ``rebuild()``
+    re-indexes them), and compares recorded producer fingerprints with
+    the current DeviceSpec / cost-model build (REPRO313, warning — the
+    store already serves such entries as stale misses).
+    """
+    from ..fsutil import TMP_SUFFIX, sha256_text
+    from ..store.fingerprint import cost_model_fingerprint, device_fingerprint_for
+    from ..store.plan_store import (
+        MANIFEST_NAME,
+        OBJECTS_DIR,
+        STORE_SCHEMA,
+        STORE_VERSION,
+    )
+
+    store_root = Path(root)
+    manifest_path = store_root / MANIFEST_NAME
+    display = str(manifest_path)
+    out: List[Finding] = []
+    if not manifest_path.is_file():
+        return [_finding(
+            RULE_STORE_SCHEMA, str(store_root),
+            f"no {MANIFEST_NAME} here — not a plan store "
+            f"(or one that never completed a write)",
+        )]
+    try:
+        data = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [_finding(
+            RULE_STORE_SCHEMA, display, f"manifest unreadable: {exc}",
+        )]
+    if not isinstance(data, Mapping):
+        return [_finding(
+            RULE_STORE_SCHEMA, display, "manifest top level must be an object",
+        )]
+    schema = data.get("schema")
+    if schema != STORE_SCHEMA:
+        out.append(_finding(
+            RULE_STORE_SCHEMA, display,
+            f"manifest schema is {schema!r} (expected {STORE_SCHEMA!r})",
+        ))
+        return out
+    version = data.get("version")
+    if version != STORE_VERSION:
+        out.append(_finding(
+            RULE_STORE_SCHEMA, display,
+            f"manifest version {version!r} is not {STORE_VERSION} — "
+            f"fingerprint semantics may have drifted across builds",
+        ))
+    entries = data.get("entries", {})
+    if not isinstance(entries, Mapping):
+        out.append(_finding(
+            RULE_STORE_SCHEMA, display,
+            f"manifest entries must be an object, got {type(entries).__name__}",
+        ))
+        return out
+
+    current_cost_fp = cost_model_fingerprint()
+    referenced: Dict[str, str] = {}
+    for slug in sorted(str(s) for s in entries):
+        record = entries[slug]
+        if not isinstance(record, Mapping):
+            out.append(_finding(
+                RULE_STORE_SCHEMA, display,
+                f"entry for {slug!r} must be an object, "
+                f"got {type(record).__name__}",
+                symbol=slug,
+            ))
+            continue
+        problems = _entry_shape_problems(record)
+        if problems:
+            out.extend(
+                _finding(RULE_STORE_SCHEMA, display, problem, symbol=slug)
+                for problem in problems
+            )
+            continue
+        sha = str(record["sha256"])
+        referenced[sha] = slug
+        object_path = store_root / OBJECTS_DIR / f"{sha}.json"
+        object_display = str(object_path)
+        try:
+            text = object_path.read_text()
+        except OSError:
+            out.append(_finding(
+                RULE_STORE_OBJECT, object_display,
+                f"object for {slug!r} is missing — crashed writer or "
+                f"manual deletion; the store treats this entry as a miss",
+                symbol=slug,
+            ))
+            continue
+        actual = sha256_text(text)
+        if actual != sha:
+            out.append(_finding(
+                RULE_STORE_OBJECT, object_display,
+                f"object bytes hash to {actual[:12]}… but the address "
+                f"says {sha[:12]}… — content-address violation "
+                f"(corrupt write); the store quarantines this on read",
+                symbol=slug,
+            ))
+            continue
+        try:
+            artifact = PlanArtifact.from_json(text)
+        except ReproError as exc:
+            out.append(_finding(
+                RULE_STORE_OBJECT, object_display,
+                f"object for {slug!r} is not a valid plan artifact: {exc}",
+                symbol=slug,
+            ))
+            continue
+        if artifact.key.slug() != slug:
+            out.append(_finding(
+                RULE_STORE_OBJECT, object_display,
+                f"object embeds key {artifact.key.slug()!r} but the "
+                f"manifest indexes it as {slug!r}",
+                symbol=slug,
+            ))
+        fingerprints = record.get("fingerprints")
+        recorded_device = ""
+        recorded_cost = ""
+        if isinstance(fingerprints, Mapping):
+            recorded_device = str(fingerprints.get("device", ""))
+            recorded_cost = str(fingerprints.get("cost_model", ""))
+        current_device = device_fingerprint_for(artifact.key.device)
+        if recorded_device and current_device and recorded_device != current_device:
+            out.append(Finding(
+                rule=RULE_STORE_STALE, path=display, severity="warning",
+                message=(
+                    f"entry {slug!r} was tuned against a different "
+                    f"{artifact.key.device!r} spec (device fingerprint "
+                    f"drift); sweep_stale() or re-tune"
+                ),
+                symbol=slug,
+            ))
+        if recorded_cost and recorded_cost != current_cost_fp:
+            out.append(Finding(
+                rule=RULE_STORE_STALE, path=display, severity="warning",
+                message=(
+                    f"entry {slug!r} predates the current cost-model "
+                    f"calibration (cost-model fingerprint drift); "
+                    f"sweep_stale() or re-tune"
+                ),
+                symbol=slug,
+            ))
+
+    objects_dir = store_root / OBJECTS_DIR
+    if objects_dir.is_dir():
+        for object_path in sorted(objects_dir.glob("*.json")):
+            if object_path.stem not in referenced:
+                out.append(Finding(
+                    rule=RULE_STORE_ORPHAN, path=str(object_path),
+                    severity="warning",
+                    message=(
+                        "object is not referenced by any manifest entry "
+                        "(interrupted registration?); PlanStore.rebuild() "
+                        "re-indexes it"
+                    ),
+                ))
+        for tmp_path in sorted(objects_dir.glob(f"*{TMP_SUFFIX}")):
+            out.append(Finding(
+                rule=RULE_STORE_ORPHAN, path=str(tmp_path),
+                severity="warning",
+                message=(
+                    "torn temporary write left behind by a crashed "
+                    "worker; PlanStore.sweep_tmp() collects it"
+                ),
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Files
 # ---------------------------------------------------------------------------
 
 def verify_artifact_file(path: Union[str, Path]) -> List[Finding]:
-    """Verify one JSON file, dispatching on its ``schema`` field.
+    """Verify one path, dispatching on its JSON ``schema`` field.
 
-    Accepts plan artifacts and fault scenarios; anything else (or a file
-    that is not JSON at all) is itself a finding.
+    Accepts plan artifacts, fault scenarios, and plan-store manifests;
+    a directory is treated as a plan-store root.  Anything else (or a
+    file that is not JSON at all) is itself a finding.
     """
     file_path = Path(path)
     display = str(path)
+    if file_path.is_dir():
+        return verify_plan_store(file_path)
     try:
         text = file_path.read_text()
     except OSError as exc:
@@ -431,10 +650,13 @@ def verify_artifact_file(path: Union[str, Path]) -> List[Finding]:
         return verify_plan_artifact_data(data, path=display)
     if schema == SCENARIO_SCHEMA:
         return verify_fault_scenario_data(data, path=display)
+    from ..store.plan_store import STORE_SCHEMA
+    if schema == STORE_SCHEMA:
+        return verify_plan_store(file_path.parent)
     return [_finding(
         RULE_SCHEMA, display,
         f"unknown schema {schema!r}; verifiable schemas are "
-        f"{ARTIFACT_SCHEMA!r} and {SCENARIO_SCHEMA!r}",
+        f"{ARTIFACT_SCHEMA!r}, {SCENARIO_SCHEMA!r}, and {STORE_SCHEMA!r}",
     )]
 
 
@@ -463,4 +685,5 @@ __all__ = [
     "verify_fault_scenario_data",
     "verify_network_graph",
     "verify_plan_artifact_data",
+    "verify_plan_store",
 ]

@@ -93,10 +93,15 @@ def _device_from(args):
 
 def cmd_run(args) -> int:
     plan_cache = None
-    if getattr(args, "plan_dir", None):
+    if getattr(args, "plan_dir", None) or getattr(args, "store", None):
         from .core.plan_cache import PlanCache
 
-        plan_cache = PlanCache(save_dir=args.plan_dir)
+        store = None
+        if getattr(args, "store", None):
+            from .store.plan_store import PlanStore
+
+            store = PlanStore(args.store)
+        plan_cache = PlanCache(save_dir=args.plan_dir, store=store)
     engine = EdgeNN(args.network, _device_from(args), _config_from(args),
                     plan_cache=plan_cache)
     tuning = engine.tune()
@@ -281,13 +286,16 @@ def cmd_serve(args) -> int:
     from .obs import Observability
     from .obs.export import write_obs_artifacts
 
-    if args.plan_dir:
+    if args.plan_dir or args.store:
         # Warm-start serving: plans tuned in any earlier process are
-        # reloaded from DIR as artifacts (zero tuner rounds), and plans
-        # tuned here are persisted for the next run.
+        # reloaded from DIR (or the content-addressed plan store) as
+        # artifacts (zero tuner rounds), and plans tuned here are
+        # persisted for the next run.
         from .core.plan_cache import configure_default_plan_cache
 
-        configure_default_plan_cache(save_dir=args.plan_dir)
+        configure_default_plan_cache(
+            save_dir=args.plan_dir, store_dir=args.store
+        )
     obs = Observability.on() if args.obs_out else Observability.off()
     if args.obs_out:
         # A warm plan cache would skip tuning entirely and leave the
@@ -387,10 +395,12 @@ def cmd_cluster(args) -> int:
         scenario = scale_to_horizon(
             load_scenario(args.faults), args.duration
         )
-    if args.plan_dir:
+    if args.plan_dir or args.store:
         from .core.plan_cache import configure_default_plan_cache
 
-        configure_default_plan_cache(save_dir=args.plan_dir)
+        configure_default_plan_cache(
+            save_dir=args.plan_dir, store_dir=args.store
+        )
     mix = DeviceMix.parse(
         args.devices, throttled_share=args.throttled_share
     )
@@ -452,6 +462,62 @@ def cmd_faults_show(args) -> int:
         print(scenario.to_json(indent=2))
     else:
         print(scenario.describe())
+    return 0
+
+
+def _csv(value: Optional[str]) -> List[str]:
+    if not value:
+        return []
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def cmd_tune_fleet(args) -> int:
+    import json
+
+    from .faults import load_scenario
+    from .faults.resilience import RetryPolicy
+    from .tuning import DEFAULT_BATCH_SIZES, fleet_catalog, run_fleet
+
+    scenario = load_scenario(args.faults) if args.faults else None
+    networks = _csv(args.networks) or None
+    devices = _csv(args.devices) or None
+    batches = tuple(int(b) for b in _csv(args.batches)) or DEFAULT_BATCH_SIZES
+    jobs = fleet_catalog(
+        networks, devices, batches, hot=tuple(_csv(args.hot))
+    )
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay_s=0.01,
+        max_delay_s=0.25,
+        seed=args.seed,
+    )
+    progress = None if args.json else print
+    report = run_fleet(
+        args.store,
+        jobs,
+        workers=args.workers,
+        seed=args.seed,
+        scenario=scenario,
+        retry_policy=policy,
+        lease_timeout_s=args.lease_timeout,
+        progress=progress,
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    if report.poisoned and not args.allow_poison:
+        print(
+            f"error: {report.poisoned} job(s) poisoned after "
+            f"{args.max_attempts} attempts each; the store is incomplete "
+            f"(re-run to retry, or pass --allow-poison to accept)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -735,6 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Chrome trace of the schedule here")
     run.add_argument("--plan-dir", default=None, metavar="DIR",
                      help="persist/reuse tuned plans as artifacts in DIR")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="read/write plans through a content-addressed "
+                          "plan store (see `repro tune-fleet`)")
     add_engine_flags(run)
     run.set_defaults(func=cmd_run)
 
@@ -834,6 +903,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--plan-dir", default=None, metavar="DIR",
                        help="persist/reuse tuned plans as artifacts in DIR "
                             "(warm-start serving across processes)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="warm-start from a `repro tune-fleet` plan "
+                            "store (zero tuner rounds on catalog hits)")
     serve.add_argument("--faults", default=None, metavar="SCENARIO",
                        help="inject faults: a built-in scenario name "
                             "(see `repro faults list`) or a scenario "
@@ -913,6 +985,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run seed (same seed replays bit-identically)")
     cluster.add_argument("--plan-dir", default=None, metavar="DIR",
                          help="persist/reuse tuned plans as artifacts in DIR")
+    cluster.add_argument("--store", default=None, metavar="DIR",
+                         help="warm-start every pool from a `repro "
+                              "tune-fleet` plan store")
     cluster.add_argument("--out", default=None, metavar="FILE",
                          help="write the full ClusterReport JSON to FILE")
     cluster.add_argument("--timeline-out", default=None, metavar="FILE",
@@ -1007,6 +1082,50 @@ def build_parser() -> argparse.ArgumentParser:
                                   "for custom scenario files)")
     faults_show.set_defaults(func=cmd_faults_show)
 
+    tune_fleet = sub.add_parser(
+        "tune-fleet",
+        help="ahead-of-time compile a plan catalog across a fault-"
+             "tolerant multiprocess fleet into a content-addressed store",
+    )
+    tune_fleet.add_argument("--store", required=True, metavar="DIR",
+                            help="plan-store root (created if missing; "
+                                 "warm re-runs skip plans already there)")
+    tune_fleet.add_argument("--workers", type=int, default=4,
+                            help="process-pool size (default 4)")
+    tune_fleet.add_argument("--seed", type=int, default=0,
+                            help="fault + retry-jitter seed (same seed, "
+                                 "same catalog -> byte-identical manifest)")
+    tune_fleet.add_argument("--faults", default=None, metavar="SCENARIO",
+                            help="inject worker crashes / artifact "
+                                 "corruption: a scenario name (e.g. "
+                                 "flaky-fleet) or a JSON file")
+    tune_fleet.add_argument("--networks", default=None, metavar="A,B,...",
+                            help="restrict the catalog to these networks "
+                                 "(default: all benchmark networks)")
+    tune_fleet.add_argument("--devices", default=None, metavar="A,B,...",
+                            help="restrict to these devices (default: "
+                                 "the full catalog incl. variants)")
+    tune_fleet.add_argument("--batches", default=None, metavar="N,N,...",
+                            help="batch sizes to compile (default 1,2,4,8)")
+    tune_fleet.add_argument("--hot", default=None, metavar="A,B,...",
+                            help="networks to prioritize (claimed first, "
+                                 "like batch-1 keys)")
+    tune_fleet.add_argument("--max-attempts", type=int, default=6,
+                            help="attempts before a job is poisoned "
+                                 "(default 6)")
+    tune_fleet.add_argument("--lease-timeout", type=float, default=60.0,
+                            metavar="SECONDS",
+                            help="claim lease before the coordinator "
+                                 "re-queues a silent worker (default 60)")
+    tune_fleet.add_argument("--allow-poison", action="store_true",
+                            help="exit 0 even if some jobs were poisoned "
+                                 "(default: incomplete store exits 1)")
+    tune_fleet.add_argument("--json", action="store_true",
+                            help="emit the fleet report as JSON")
+    tune_fleet.add_argument("--out", default=None, metavar="FILE",
+                            help="also write the fleet report JSON here")
+    tune_fleet.set_defaults(func=cmd_tune_fleet)
+
     trace = sub.add_parser(
         "trace", help="tune + run one network fully instrumented: span "
                       "tree, decision provenance, Perfetto trace"
@@ -1060,11 +1179,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_plan = sub.add_parser(
         "check-plan", help="statically verify plan-artifact / fault-"
-                           "scenario JSON files without executing them"
+                           "scenario JSON files or a whole plan store "
+                           "without executing them"
     )
     check_plan.add_argument("artifacts", nargs="+",
-                            help="JSON files to verify (plan artifacts or "
-                                 "fault scenarios, by schema)")
+                            help="JSON files (plan artifacts, fault "
+                                 "scenarios, store manifests — by schema) "
+                                 "or plan-store directories to verify")
     check_plan.add_argument("--format", default="text",
                             choices=("text", "json"))
     check_plan.set_defaults(func=cmd_check_plan)

@@ -258,10 +258,16 @@ class PlanArtifact:
         return cls.from_dict(data)
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the artifact as JSON; returns the path."""
-        path = Path(path)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Write the artifact as JSON atomically; returns the path.
+
+        Goes through :func:`repro.fsutil.atomic_write_text` (tmp sibling
+        + ``os.replace``), so a writer killed mid-save can never leave a
+        half-written artifact where a reader expects a plan — at worst
+        an orphaned ``*.tmp`` file remains.
+        """
+        from ..fsutil import atomic_write_text
+
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "PlanArtifact":

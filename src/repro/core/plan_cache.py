@@ -35,11 +35,12 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Callable, Dict, Mapping, Optional, Union, TYPE_CHECKING
+from typing import Callable, Dict, List, Mapping, Optional, Union, TYPE_CHECKING
 
 from ..errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..store.plan_store import PlanStore
     from .tuner import TuningResult
 
 _LOG = logging.getLogger(__name__)
@@ -192,12 +193,20 @@ class PlanCache:
     as :class:`~repro.compile.artifact.PlanArtifact` JSON files (one per
     key, named by :meth:`PlanKey.slug`) and read back on a miss, so
     tuning survives process restarts.
+
+    ``store`` goes one step further: the cache becomes a thin
+    read-through client of a content-addressed
+    :class:`~repro.store.plan_store.PlanStore` (the fleet-tuned plan
+    database).  Store hits count as ``disk_hits``; fresh tunes are
+    ``put`` back into the store.  ``store`` and ``save_dir`` compose —
+    the store is consulted first.
     """
 
     def __init__(
         self,
         capacity: int = 128,
         save_dir: Optional[Union[str, Path]] = None,
+        store: Optional["PlanStore"] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -205,9 +214,11 @@ class PlanCache:
         self._entries: "OrderedDict[PlanKey, TuningResult]" = OrderedDict()
         self._lock = threading.RLock()
         self._save_dir = Path(save_dir) if save_dir is not None else None
+        self._plan_store = store
         self.hits = 0
         self.misses = 0
-        #: hits served from ``save_dir`` artifacts (subset of ``hits``).
+        #: hits served from persistent layers — ``save_dir`` artifacts
+        #: or the plan store (subset of ``hits``).
         self.disk_hits = 0
         #: disk artifacts that failed to load (corrupt / truncated /
         #: checksum mismatch); each also counted as a miss.
@@ -216,6 +227,10 @@ class PlanCache:
     @property
     def save_dir(self) -> Optional[Path]:
         return self._save_dir
+
+    @property
+    def store(self) -> Optional["PlanStore"]:
+        return self._plan_store
 
     def __len__(self) -> int:
         with self._lock:
@@ -241,10 +256,10 @@ class PlanCache:
     ) -> "TuningResult":
         """Return the cached result for ``key``, tuning on first use.
 
-        Lookup order: in-memory LRU, then the ``save_dir`` artifact (if
-        configured), then ``tune()``.  The whole operation holds the
-        cache lock, so concurrent callers of the same key tune once and
-        the counters stay consistent.
+        Lookup order: in-memory LRU, then the plan store (if attached),
+        then the ``save_dir`` artifact (if configured), then ``tune()``.
+        The whole operation holds the cache lock, so concurrent callers
+        of the same key tune once and the counters stay consistent.
         """
         with self._lock:
             cached = self._entries.get(key)
@@ -252,7 +267,9 @@ class PlanCache:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return cached
-            loaded = self._load(key)
+            loaded = self._load_from_store(key)
+            if loaded is None:
+                loaded = self._load(key)
             if loaded is not None:
                 self.hits += 1
                 self.disk_hits += 1
@@ -264,21 +281,42 @@ class PlanCache:
             self._persist(key, result)
             return result
 
-    def invalidate(self, key: PlanKey, *, remove_disk: bool = False) -> bool:
+    def invalidate(
+        self, key: PlanKey, *, remove_disk: bool = False
+    ) -> List[str]:
         """Drop ``key``'s in-memory entry (graceful degradation: a plan
         whose predicted cost has drifted from reality must be re-tuned).
 
-        ``remove_disk=True`` also deletes the on-disk artifact, forcing
-        the next lookup to re-tune instead of re-loading the stale plan.
-        Returns True when anything was removed.
+        ``remove_disk=True`` also deletes every on-disk trace of the
+        key's slug — the artifact itself, any quarantined
+        (``*.corrupt*``) siblings from earlier bad loads, orphaned
+        ``*.tmp`` corpses of torn writes, and the plan-store entry when
+        a store is attached — forcing the next lookup to re-tune
+        instead of re-loading a stale or poisoned plan.
+
+        Returns what was removed: the marker ``"memory"`` for the
+        in-memory entry plus the path of every deleted file (empty list
+        when nothing was found, so truthiness means "removed anything").
         """
         with self._lock:
-            removed = self._entries.pop(key, None) is not None
+            removed: List[str] = []
+            if self._entries.pop(key, None) is not None:
+                removed.append("memory")
             if remove_disk and self._save_dir is not None:
-                path = self._artifact_path(key)
-                if path.exists():
-                    path.unlink()
-                    removed = True
+                # The slug's whole sibling family: `<slug>.json`,
+                # `<slug>.json.tmp` (torn write), `<slug>.json.corrupt*`
+                # (quarantined earlier loads).
+                pattern = f"{key.slug()}.json*"
+                for path in sorted(self._save_dir.glob(pattern)):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed.append(str(path))
+            if remove_disk and self._plan_store is not None:
+                removed.extend(
+                    str(p) for p in self._plan_store.remove(key)
+                )
             return removed
 
     def clear(self) -> None:
@@ -305,6 +343,27 @@ class PlanCache:
         assert self._save_dir is not None
         return self._save_dir / f"{key.slug()}.json"
 
+    def _load_from_store(self, key: PlanKey) -> Optional["TuningResult"]:
+        """Read-through to the attached plan store, if any.
+
+        The store does its own integrity work (content-hash check,
+        checksum, key equality, staleness fingerprints, quarantine on
+        corruption) and degrades every failure to ``None``; corrupt
+        store objects also bump our ``corrupt_loads`` so serving
+        reports stay comparable with the ``save_dir`` path.
+        """
+        if self._plan_store is None:
+            return None
+        quarantined_before = self._plan_store.quarantined
+        artifact = self._plan_store.get(key)
+        with self._lock:  # re-entrant: callers already hold it
+            self.corrupt_loads += (
+                self._plan_store.quarantined - quarantined_before
+            )
+        if artifact is None:
+            return None
+        return artifact.to_tuning_result()
+
     def _load(self, key: PlanKey) -> Optional["TuningResult"]:
         """Rehydrate a TuningResult from the key's artifact, if present."""
         if self._save_dir is None:
@@ -319,12 +378,14 @@ class PlanCache:
         except ReproError as exc:
             # A corrupt or truncated artifact (torn write, bit rot,
             # checksum mismatch) must not take the service down: warn,
-            # count it as a miss, and fall back to re-tuning.
+            # quarantine the evidence next to the slot (so the re-tuned
+            # artifact can take its place), count a miss, and re-tune.
             self.corrupt_loads += 1
             _LOG.warning(
                 "discarding corrupt plan artifact %s (%s); re-tuning",
                 path, exc,
             )
+            self._quarantine_sibling(path)
             return None
         if artifact.key != key:
             raise ReproError(
@@ -333,18 +394,43 @@ class PlanCache:
             )
         return artifact.to_tuning_result()
 
+    @staticmethod
+    def _quarantine_sibling(path: Path) -> None:
+        """Move a corrupt artifact aside as ``<name>.corrupt[N]``."""
+        target = path.with_name(path.name + ".corrupt")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_name(f"{path.name}.corrupt{counter}")
+        try:
+            path.replace(target)
+        except OSError as exc:
+            # Quarantine is best-effort forensics; the load already
+            # degraded to a miss, so a failed rename only costs the
+            # evidence file, not correctness.
+            _LOG.warning("could not quarantine %s: %s", path, exc)
+
     def _persist(self, key: PlanKey, result: "TuningResult") -> None:
-        """Write the tuned result as a PlanArtifact JSON file."""
-        if self._save_dir is None:
-            return
+        """Write the tuned result to the store and/or ``save_dir``.
+
+        Both sinks write atomically (tmp sibling + ``os.replace``), so
+        a crash mid-persist never leaves a torn artifact behind.
+        """
         # Duck-typed guard: unit tests exercise the LRU with plain
         # sentinel values; only real tuning results are persistable.
         if not hasattr(result, "plan") or not hasattr(result, "rounds"):
             return
         from ..compile.artifact import PlanArtifact
 
-        self._save_dir.mkdir(parents=True, exist_ok=True)
-        PlanArtifact.from_tuning(key, result).save(self._artifact_path(key))
+        artifact: Optional["PlanArtifact"] = None
+        if self._plan_store is not None:
+            artifact = PlanArtifact.from_tuning(key, result)
+            self._plan_store.put(artifact)
+        if self._save_dir is not None:
+            if artifact is None:
+                artifact = PlanArtifact.from_tuning(key, result)
+            self._save_dir.mkdir(parents=True, exist_ok=True)
+            artifact.save(self._artifact_path(key))
 
 
 _DEFAULT: Optional[PlanCache] = None
@@ -363,12 +449,21 @@ def default_plan_cache() -> PlanCache:
 def configure_default_plan_cache(
     save_dir: Optional[Union[str, Path]] = None,
     capacity: int = 128,
+    store_dir: Optional[Union[str, Path]] = None,
 ) -> PlanCache:
     """Replace the process-wide cache (e.g. to point it at a plan
-    directory for ahead-of-time-tuned serving).  Returns the new cache."""
+    directory for ahead-of-time-tuned serving).  ``store_dir`` attaches
+    a content-addressed :class:`~repro.store.plan_store.PlanStore`
+    (what ``repro tune-fleet`` produces) as the first persistent layer.
+    Returns the new cache."""
     global _DEFAULT
+    store: Optional["PlanStore"] = None
+    if store_dir is not None:
+        from ..store.plan_store import PlanStore
+
+        store = PlanStore(store_dir)
     with _DEFAULT_LOCK:
-        _DEFAULT = PlanCache(capacity=capacity, save_dir=save_dir)
+        _DEFAULT = PlanCache(capacity=capacity, save_dir=save_dir, store=store)
         return _DEFAULT
 
 

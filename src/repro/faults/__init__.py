@@ -35,6 +35,7 @@ from .scenario import (
     BAD_PAYLOADS,
     CORRUPT_ARTIFACTS,
     EDGE_STORM,
+    FLAKY_FLEET,
     FLAKY_KERNELS,
     FaultScenario,
     MEMORY_PRESSURE,
@@ -50,6 +51,7 @@ __all__ = [
     "BAD_PAYLOADS",
     "CORRUPT_ARTIFACTS",
     "EDGE_STORM",
+    "FLAKY_FLEET",
     "FLAKY_KERNELS",
     "MEMORY_PRESSURE",
     "THERMAL_SOAK",

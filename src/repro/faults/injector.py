@@ -120,6 +120,50 @@ class FaultInjector:
             self._record("artifact_corrupt", now, index=index, path=path)
         return corrupt
 
+    # -- keyed draws (order-independent: safe under parallel scheduling) ------
+
+    def worker_crashes(
+        self, *, job_id: str, attempt: int, now: float = 0.0
+    ) -> bool:
+        """Does the worker running (``job_id``, ``attempt``) die mid-write?
+
+        Unlike the stream-indexed draws above, this one is keyed by the
+        *identity* of the work, not by draw order — a tuning fleet
+        schedules jobs concurrently in nondeterministic order, and the
+        crash schedule must not depend on which worker got there first.
+        Same (seed, job, attempt) → same outcome, in any process.
+        """
+        p = self.scenario.worker_crash_p
+        if p <= 0.0:
+            return False
+        crashes = _unit_draw(
+            self.seed, "worker_crash", job_id, attempt
+        ) < p
+        if crashes:
+            self._record("worker_crash", now, job_id=job_id, attempt=attempt)
+        return crashes
+
+    def artifact_corrupt_keyed(
+        self, *, job_id: str, attempt: int, now: float = 0.0
+    ) -> bool:
+        """Is the artifact written by (``job_id``, ``attempt``) corrupted?
+
+        Keyed like :meth:`worker_crashes` (scheduling-order independent);
+        the stream-indexed :meth:`artifact_corrupt` remains for the
+        sequential disk-corruption sweep in :func:`corrupt_artifacts`.
+        """
+        p = self.scenario.artifact_corrupt_p
+        if p <= 0.0:
+            return False
+        corrupt = _unit_draw(
+            self.seed, "artifact_keyed", job_id, attempt
+        ) < p
+        if corrupt:
+            self._record(
+                "artifact_corrupt", now, job_id=job_id, attempt=attempt
+            )
+        return corrupt
+
     # -- window-edge events (recorded once per window by the driver) ----------
 
     def note_thermal_enter(self, now: float, window: ThermalWindow) -> None:

@@ -138,6 +138,9 @@ class FaultScenario:
     payload_corrupt_p: float = 0.0
     #: per-file probability that a plan artifact on disk is corrupted.
     artifact_corrupt_p: float = 0.0
+    #: per-(job, attempt) probability that a tuning-fleet worker dies
+    #: mid-write (torn tmp file, no result reported).
+    worker_crash_p: float = 0.0
     version: int = SCENARIO_VERSION
 
     def __post_init__(self) -> None:
@@ -146,6 +149,7 @@ class FaultScenario:
         _probability("kernel_failure_p", self.kernel_failure_p)
         _probability("payload_corrupt_p", self.payload_corrupt_p)
         _probability("artifact_corrupt_p", self.artifact_corrupt_p)
+        _probability("worker_crash_p", self.worker_crash_p)
 
     @property
     def is_quiet(self) -> bool:
@@ -156,6 +160,7 @@ class FaultScenario:
             and self.kernel_failure_p == 0.0
             and self.payload_corrupt_p == 0.0
             and self.artifact_corrupt_p == 0.0
+            and self.worker_crash_p == 0.0
         )
 
     def thermal_at(self, now: float):
@@ -241,6 +246,7 @@ class FaultScenario:
             "kernel_failure_p": self.kernel_failure_p,
             "payload_corrupt_p": self.payload_corrupt_p,
             "artifact_corrupt_p": self.artifact_corrupt_p,
+            "worker_crash_p": self.worker_crash_p,
         }
 
     @classmethod
@@ -278,6 +284,9 @@ class FaultScenario:
             ),
             artifact_corrupt_p=_probability(
                 "artifact_corrupt_p", data.get("artifact_corrupt_p", 0.0)
+            ),
+            worker_crash_p=_probability(
+                "worker_crash_p", data.get("worker_crash_p", 0.0)
             ),
             version=version,
         )
@@ -329,6 +338,11 @@ class FaultScenario:
             lines.append(
                 f"  disk faults   : p={self.artifact_corrupt_p:g} per "
                 f"plan artifact"
+            )
+        if self.worker_crash_p:
+            lines.append(
+                f"  worker crashes: p={self.worker_crash_p:g} per "
+                f"tuning attempt"
             )
         if self.is_quiet:
             lines.append("  (quiet: injects nothing)")
@@ -383,6 +397,16 @@ CORRUPT_ARTIFACTS = FaultScenario(
     artifact_corrupt_p=1.0,
 )
 
+#: A tuning fleet having a bad day: workers die mid-write and some of
+#: the writes that do land are corrupt (exercises lease expiry, retry
+#: backoff, and the store's quarantine path).
+FLAKY_FLEET = FaultScenario(
+    name="flaky-fleet",
+    description="tuning workers crash mid-write and corrupt artifacts",
+    worker_crash_p=0.20,
+    artifact_corrupt_p=0.10,
+)
+
 #: Everything at once: the bad day a resilient service must survive.
 EDGE_STORM = FaultScenario(
     name="edge-storm",
@@ -404,7 +428,7 @@ SCENARIO_CATALOG: Mapping[str, FaultScenario] = {
     s.name: s
     for s in (
         THERMAL_SOAK, FLAKY_KERNELS, MEMORY_PRESSURE,
-        BAD_PAYLOADS, CORRUPT_ARTIFACTS, EDGE_STORM,
+        BAD_PAYLOADS, CORRUPT_ARTIFACTS, FLAKY_FLEET, EDGE_STORM,
     )
 }
 
@@ -459,6 +483,7 @@ __all__ = [
     "BAD_PAYLOADS",
     "CORRUPT_ARTIFACTS",
     "EDGE_STORM",
+    "FLAKY_FLEET",
     "FLAKY_KERNELS",
     "FaultScenario",
     "MEMORY_PRESSURE",

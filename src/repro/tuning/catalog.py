@@ -1,0 +1,127 @@
+"""Fleet catalogs: which plan keys a tuning fleet should pre-compile.
+
+A serving deployment's plan demand is enumerable up front: every
+(network, device, batch size) it may dispatch.  :func:`fleet_catalog`
+expands that cross product into :class:`~repro.tuning.queue.TuneJob`
+records, choosing per device how the key compiles:
+
+* integrated CPU-GPU devices get the **adaptive** five-stage pipeline
+  (the paper's EdgeNN path, default ablation flags all on);
+* CPU-only devices (raspberry-pi-4) get ``fixed:cpu``;
+* discrete-GPU hosts (rtx-2080ti-host) get ``fixed:gpu``
+
+— exactly the plans :class:`repro.cluster.fleet.Fleet` compiles lazily
+today, so a warmed store covers serving and cluster runs with zero
+tuner rounds.
+
+Priorities: batch-1 keys (interactive traffic) and any ``hot``
+networks claim first (priority 0); everything else is backfill
+(priority 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.plan_cache import PlanKey
+from ..errors import ReproError
+from ..hardware.specs import DeviceSpec
+from ..hardware.variants import full_catalog
+from ..nn.models import MODEL_BUILDERS
+from .queue import TuneJob
+
+#: Batch sizes a serving deployment dispatches (dynamic batcher range).
+DEFAULT_BATCH_SIZES: Sequence[int] = (1, 2, 4, 8)
+
+
+def mode_for(spec: DeviceSpec) -> str:
+    """How plans for this device are compiled (see module docstring)."""
+    if spec.is_integrated:
+        return "adaptive"
+    if spec.has_gpu:
+        return "fixed:gpu"
+    return "fixed:cpu"
+
+
+def key_for(network: str, spec: DeviceSpec, batch_size: int) -> PlanKey:
+    """The plan key the fleet compiles for one catalog cell.
+
+    Adaptive devices use the default engine flags (all optimizations
+    on — the keys :class:`~repro.core.engine.EdgeNNConfig` defaults
+    produce at serve time); fixed devices use the all-off flags
+    :func:`~repro.compile.pipeline.compile_fixed` stamps.
+    """
+    adaptive = spec.is_integrated
+    return PlanKey(
+        network=network,
+        device=spec.name,
+        batch_size=batch_size,
+        precision="fp32",
+        use_memory_management=adaptive,
+        use_hybrid_execution=adaptive,
+        use_inter_kernel=adaptive,
+        use_intra_kernel=adaptive,
+        objective="latency",
+    )
+
+
+def fleet_catalog(
+    networks: Optional[Iterable[str]] = None,
+    devices: Optional[Iterable[str]] = None,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    *,
+    hot: Iterable[str] = (),
+) -> List[TuneJob]:
+    """Expand (networks x devices x batches) into prioritized jobs.
+
+    Defaults to every registered model on every catalog device (paper
+    catalog + variants).  ``hot`` networks are elevated to priority 0
+    at every batch size.  The result is sorted in claim order
+    ``(priority, job_id)``, so the catalog itself is deterministic.
+    """
+    catalog = full_catalog()
+    chosen_networks = list(networks) if networks else sorted(MODEL_BUILDERS)
+    chosen_devices = list(devices) if devices else sorted(catalog)
+    hot_set = set(hot)
+    for name in chosen_networks:
+        if name not in MODEL_BUILDERS:
+            raise ReproError(
+                f"unknown network {name!r}; "
+                f"available: {sorted(MODEL_BUILDERS)}"
+            )
+    for name in hot_set:
+        if name not in MODEL_BUILDERS:
+            raise ReproError(
+                f"unknown hot network {name!r}; "
+                f"available: {sorted(MODEL_BUILDERS)}"
+            )
+    for name in chosen_devices:
+        if name not in catalog:
+            raise ReproError(
+                f"unknown device {name!r}; available: {sorted(catalog)}"
+            )
+    if not batch_sizes:
+        raise ReproError("fleet catalog needs at least one batch size")
+    for batch in batch_sizes:
+        if not isinstance(batch, int) or batch < 1:
+            raise ReproError(
+                f"batch sizes must be ints >= 1, got {batch!r}"
+            )
+
+    jobs: List[TuneJob] = []
+    for device_name in chosen_devices:
+        spec = catalog[device_name]
+        mode = mode_for(spec)
+        for network in chosen_networks:
+            for batch in batch_sizes:
+                priority = 0 if (batch == 1 or network in hot_set) else 1
+                jobs.append(TuneJob(
+                    key=key_for(network, spec, batch),
+                    mode=mode,
+                    priority=priority,
+                ))
+    jobs.sort(key=lambda job: (job.priority, job.job_id))
+    return jobs
+
+
+__all__ = ["DEFAULT_BATCH_SIZES", "fleet_catalog", "key_for", "mode_for"]

@@ -1,0 +1,117 @@
+"""Torn-write regression: a writer killed mid-persist never corrupts
+the artifact directory (satellite of the crash-safe plan store).
+
+The subprocess patches ``os.fsync`` to SIGKILL itself after the data
+reaches the ``*.tmp`` sibling but *before* ``os.replace`` — the widest
+torn-write window ``atomic_write_text`` leaves open.  The destination
+must stay untouched (absent, or byte-identical old content) and the
+only debris must be a ``*.tmp`` file that ``sweep_tmp_files`` collects.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.plan_cache import PlanCache, PlanKey
+from repro.core.tuner import AdaptiveTuner
+from repro.fsutil import TMP_SUFFIX, atomic_write_text, sweep_tmp_files
+from repro.hardware.device import Device
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.nn.models import build as build_model
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+KILL_AFTER_FSYNC = """
+import os, sys
+sys.path.insert(0, {src!r})
+real_fsync = os.fsync
+def killing_fsync(fd):
+    real_fsync(fd)
+    os.kill(os.getpid(), 9)
+os.fsync = killing_fsync
+"""
+
+
+def make_key(**overrides) -> PlanKey:
+    fields = dict(
+        network="lenet", device="jetson-agx-xavier", batch_size=1,
+        precision="fp32", use_memory_management=True,
+        use_hybrid_execution=True, use_inter_kernel=True,
+        use_intra_kernel=True, objective="latency",
+    )
+    fields.update(overrides)
+    return PlanKey(**fields)
+
+
+def tune_lenet():
+    tuner = AdaptiveTuner(build_model("lenet"), Device(JETSON_AGX_XAVIER))
+    return tuner.tune()
+
+
+def run_killed_writer(body: str) -> subprocess.CompletedProcess:
+    script = KILL_AFTER_FSYNC.format(src=SRC) + body
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"writer should die by SIGKILL mid-write, got "
+        f"rc={proc.returncode}\nstdout={proc.stdout}\nstderr={proc.stderr}"
+    )
+    return proc
+
+
+class TestKilledCachePersist:
+    def test_no_torn_artifact_and_clean_recovery(self, tmp_path):
+        save_dir = tmp_path / "plans"
+        run_killed_writer(f"""
+from repro.core.plan_cache import PlanCache, PlanKey
+from repro.core.tuner import AdaptiveTuner
+from repro.hardware.device import Device
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.nn.models import build
+key = PlanKey(network="lenet", device="jetson-agx-xavier", batch_size=1,
+              precision="fp32", use_memory_management=True,
+              use_hybrid_execution=True, use_inter_kernel=True,
+              use_intra_kernel=True, objective="latency")
+cache = PlanCache(save_dir={str(save_dir)!r})
+cache.get_or_tune(
+    key,
+    lambda: AdaptiveTuner(build("lenet"),
+                          Device(JETSON_AGX_XAVIER)).tune(),
+)
+print("UNREACHABLE")
+""")
+        # The destination never appeared; only tmp debris is allowed.
+        assert list(save_dir.glob("*.json")) == []
+        debris = list(save_dir.glob(f"*{TMP_SUFFIX}"))
+        assert debris, "the kill window should leave the tmp sibling"
+
+        # Recovery: sweep the corpse, re-tune, persist for real.
+        assert sweep_tmp_files(save_dir) == debris
+        key = make_key()
+        cache = PlanCache(save_dir=save_dir)
+        cache.get_or_tune(key, tune_lenet)
+        assert (save_dir / f"{key.slug()}.json").exists()
+        assert cache.corrupt_loads == 0
+
+        # And a *fresh* process-view cache loads it with zero tuning.
+        warm = PlanCache(save_dir=save_dir)
+        result = warm.get_or_tune(
+            key, lambda: (_ for _ in ()).throw(AssertionError("re-tuned"))
+        )
+        assert result.source == "artifact"
+
+    def test_killed_overwrite_keeps_old_bytes(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, '{"old": "complete content"}\n')
+        before = target.read_bytes()
+        run_killed_writer(f"""
+from repro.fsutil import atomic_write_text
+atomic_write_text({str(target)!r}, '{{"new": "' + "x" * 65536 + '"}}')
+""")
+        assert target.read_bytes() == before
+        assert sweep_tmp_files(tmp_path)
+        assert target.read_bytes() == before

@@ -1,0 +1,134 @@
+"""PlanCache as a read-through client of the content-addressed store."""
+
+import pytest
+
+from repro.core.plan_cache import (
+    PlanCache,
+    PlanKey,
+    configure_default_plan_cache,
+    default_plan_cache,
+)
+from repro.core.tuner import AdaptiveTuner
+from repro.hardware.device import Device
+from repro.hardware.specs import JETSON_AGX_XAVIER
+from repro.nn.models import build as build_model
+from repro.store.plan_store import PlanStore
+
+
+def make_key(**overrides) -> PlanKey:
+    fields = dict(
+        network="lenet", device="jetson-agx-xavier", batch_size=1,
+        precision="fp32", use_memory_management=True,
+        use_hybrid_execution=True, use_inter_kernel=True,
+        use_intra_kernel=True, objective="latency",
+    )
+    fields.update(overrides)
+    return PlanKey(**fields)
+
+
+def tune_lenet():
+    tuner = AdaptiveTuner(build_model("lenet"), Device(JETSON_AGX_XAVIER))
+    return tuner.tune()
+
+
+def fail_tune():
+    raise AssertionError("tuner should not run on a store hit")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PlanStore(tmp_path / "store")
+
+
+class TestReadThrough:
+    def test_store_hit_skips_tuning(self, store):
+        key = make_key()
+        writer = PlanCache(store=store)
+        writer.get_or_tune(key, tune_lenet)
+        assert store.contains(key)
+
+        reader = PlanCache(store=store)
+        result = reader.get_or_tune(key, fail_tune)
+        assert result.source == "artifact"
+        assert result.rounds == []
+        assert reader.disk_hits == 1
+        assert reader.misses == 0
+
+    def test_memory_wins_over_store(self, store):
+        key = make_key()
+        cache = PlanCache(store=store)
+        first = cache.get_or_tune(key, tune_lenet)
+        store_hits_before = store.hits
+        assert cache.get_or_tune(key, fail_tune) is first
+        assert store.hits == store_hits_before
+
+    def test_corrupt_store_object_degrades_to_retune(self, store):
+        key = make_key()
+        PlanCache(store=store).get_or_tune(key, tune_lenet)
+        (obj,) = store.objects_dir.glob("*.json")
+        obj.write_text(obj.read_text()[:50])
+
+        reader = PlanCache(store=store)
+        result = reader.get_or_tune(key, tune_lenet)
+        assert result is not None
+        assert reader.corrupt_loads == 1
+        assert store.quarantined == 1
+        # The re-tuned plan healed the store.
+        assert store.contains(key)
+
+    def test_persist_feeds_both_sinks(self, store, tmp_path):
+        save_dir = tmp_path / "plans"
+        key = make_key()
+        cache = PlanCache(save_dir=save_dir, store=store)
+        cache.get_or_tune(key, tune_lenet)
+        assert store.contains(key)
+        assert (save_dir / f"{key.slug()}.json").exists()
+
+
+class TestInvalidate:
+    def test_remove_disk_sweeps_store_and_siblings(self, store, tmp_path):
+        save_dir = tmp_path / "plans"
+        key = make_key()
+        cache = PlanCache(save_dir=save_dir, store=store)
+        cache.get_or_tune(key, tune_lenet)
+        # Plant quarantine-style siblings next to the save_dir slot.
+        slug = key.slug()
+        (save_dir / f"{slug}.json.corrupt").write_text("x")
+        (save_dir / f"{slug}.json.tmp").write_text("y")
+
+        removed = cache.invalidate(key, remove_disk=True)
+        assert "memory" in removed
+        names = [r for r in removed if r != "memory"]
+        assert any(name.endswith(f"{slug}.json") for name in names)
+        assert any(".corrupt" in name for name in names)
+        assert any(name.endswith(".tmp") for name in names)
+        assert not store.contains(key)
+        assert list(save_dir.glob(f"{slug}*")) == []
+
+    def test_invalidate_without_remove_disk_keeps_files(self, store):
+        key = make_key()
+        cache = PlanCache(store=store)
+        cache.get_or_tune(key, tune_lenet)
+        removed = cache.invalidate(key)
+        assert removed == ["memory"]
+        assert store.contains(key)
+
+    def test_empty_invalidate_is_falsy(self, store):
+        cache = PlanCache(store=store)
+        assert not cache.invalidate(make_key())
+
+
+class TestDefaultCacheWiring:
+    def test_configure_store_dir(self, tmp_path):
+        try:
+            configure_default_plan_cache(store_dir=tmp_path / "store")
+            cache = default_plan_cache()
+            assert cache.store is not None
+            key = make_key()
+            cache.get_or_tune(key, tune_lenet)
+            assert PlanStore(tmp_path / "store").contains(key)
+        finally:
+            configure_default_plan_cache()
+
+    def test_store_property_default_none(self):
+        assert PlanCache().store is None

@@ -1,0 +1,127 @@
+"""REPRO310-313: static verification of plan-store directories."""
+
+import json
+
+import pytest
+
+from repro.analysis import verify_artifact_file, verify_plan_store
+from repro.compile.pipeline import compile_fixed
+from repro.hardware.variants import spec_by_name
+from repro.store.plan_store import MANIFEST_NAME, PlanStore
+
+
+def make_store(tmp_path, networks=("lenet",)):
+    store = PlanStore(tmp_path / "store")
+    for network in networks:
+        compiled = compile_fixed(
+            network, spec_by_name("raspberry-pi-4"), placement="cpu"
+        )
+        store.put(compiled.artifact)
+    return store
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestCleanStore:
+    def test_no_findings(self, tmp_path):
+        store = make_store(tmp_path)
+        assert verify_plan_store(store.root) == []
+
+    def test_dispatch_from_directory(self, tmp_path):
+        store = make_store(tmp_path)
+        assert verify_artifact_file(store.root) == []
+
+    def test_dispatch_from_manifest_file(self, tmp_path):
+        store = make_store(tmp_path)
+        assert verify_artifact_file(store.root / MANIFEST_NAME) == []
+
+
+class TestRepro310Schema:
+    def test_missing_manifest(self, tmp_path):
+        findings = verify_plan_store(tmp_path)
+        assert rules(findings) == ["REPRO310"]
+
+    def test_unreadable_manifest(self, tmp_path):
+        store = make_store(tmp_path)
+        (store.root / MANIFEST_NAME).write_text('{"torn')
+        assert rules(verify_plan_store(store.root)) == ["REPRO310"]
+
+    def test_wrong_schema(self, tmp_path):
+        store = make_store(tmp_path)
+        (store.root / MANIFEST_NAME).write_text('{"schema": "nope"}')
+        assert rules(verify_plan_store(store.root)) == ["REPRO310"]
+
+    def test_malformed_entry(self, tmp_path):
+        store = make_store(tmp_path)
+        manifest = store.root / MANIFEST_NAME
+        doc = json.loads(manifest.read_text())
+        slug = next(iter(doc["entries"]))
+        doc["entries"][slug]["sha256"] = "short"
+        manifest.write_text(json.dumps(doc))
+        findings = verify_plan_store(store.root)
+        # Bad sha -> structural error; its object is now unreferenced.
+        assert "REPRO310" in rules(findings)
+        assert all(f.severity == "error" for f in findings
+                   if f.rule == "REPRO310")
+
+
+class TestRepro311Objects:
+    def test_missing_object(self, tmp_path):
+        store = make_store(tmp_path)
+        for path in store.objects_dir.glob("*.json"):
+            path.unlink()
+        findings = verify_plan_store(store.root)
+        assert rules(findings) == ["REPRO311"]
+        assert all(f.severity == "error" for f in findings)
+
+    def test_checksum_mismatch(self, tmp_path):
+        store = make_store(tmp_path)
+        (path,) = store.objects_dir.glob("*.json")
+        path.write_text(path.read_text()[:60])
+        findings = verify_plan_store(store.root)
+        assert rules(findings) == ["REPRO311"]
+
+
+class TestRepro312Orphans:
+    def test_unreferenced_object_is_warning(self, tmp_path):
+        store = make_store(tmp_path)
+        extra = compile_fixed(
+            "squeezenet", spec_by_name("raspberry-pi-4"), placement="cpu"
+        ).artifact
+        store.write_object(extra)  # objects/ only, no manifest entry
+        findings = verify_plan_store(store.root)
+        assert rules(findings) == ["REPRO312"]
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_torn_tmp_is_warning(self, tmp_path):
+        store = make_store(tmp_path)
+        (store.objects_dir / "deadbeef.json.tmp").write_text('{"torn')
+        findings = verify_plan_store(store.root)
+        assert rules(findings) == ["REPRO312"]
+
+
+class TestRepro313Staleness:
+    @pytest.mark.parametrize("field", ["device", "cost_model"])
+    def test_fingerprint_drift_is_warning(self, tmp_path, field):
+        store = make_store(tmp_path)
+        manifest = store.root / MANIFEST_NAME
+        doc = json.loads(manifest.read_text())
+        slug = next(iter(doc["entries"]))
+        doc["entries"][slug]["fingerprints"][field] = "f" * 64
+        manifest.write_text(json.dumps(doc))
+        findings = verify_plan_store(store.root)
+        assert rules(findings) == ["REPRO313"]
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_blank_fingerprints_not_flagged(self, tmp_path):
+        store = make_store(tmp_path)
+        manifest = store.root / MANIFEST_NAME
+        doc = json.loads(manifest.read_text())
+        slug = next(iter(doc["entries"]))
+        doc["entries"][slug]["fingerprints"] = {
+            "device": "", "cost_model": "",
+        }
+        manifest.write_text(json.dumps(doc))
+        assert verify_plan_store(store.root) == []

@@ -1,0 +1,66 @@
+"""Satellite gate: two same-seed `repro tune-fleet` runs in fresh
+processes produce byte-identical store manifests.
+
+This is the subprocess version of the in-process determinism tests —
+it additionally proves that nothing about interpreter startup, hash
+randomization, process-pool scheduling, or CLI plumbing leaks into the
+manifest bytes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+FLEET_ARGS = [
+    "tune-fleet",
+    "--networks", "lenet,squeezenet",
+    "--devices", "jetson-agx-xavier,raspberry-pi-4",
+    "--batches", "1,2",
+    "--workers", "4",
+    "--seed", "0",
+    "--faults", "flaky-fleet",
+]
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, timeout=300,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_double_run_manifests_are_byte_identical(tmp_path):
+    manifests = []
+    for run in ("a", "b"):
+        store = tmp_path / run
+        proc = run_cli(*FLEET_ARGS, "--store", str(store))
+        assert proc.returncode == 0, proc.stderr
+        manifests.append((store / "manifest.json").read_bytes())
+        # The injected faults really fired in each fresh process.
+        assert "tune-fleet:" in proc.stdout
+    assert manifests[0] == manifests[1]
+
+
+def test_warm_rerun_reports_zero_attempts(tmp_path):
+    store = tmp_path / "store"
+    cold = run_cli(*FLEET_ARGS, "--store", str(store))
+    assert cold.returncode == 0, cold.stderr
+    warm = run_cli(*FLEET_ARGS, "--store", str(store), "--json")
+    assert warm.returncode == 0, warm.stderr
+    import json
+
+    report = json.loads(warm.stdout)
+    assert report["attempts"] == 0
+    assert report["completed"] == report["planned"]
+
+
+def test_check_plan_passes_on_fleet_store(tmp_path):
+    store = tmp_path / "store"
+    proc = run_cli(*FLEET_ARGS, "--store", str(store))
+    assert proc.returncode == 0, proc.stderr
+    check = run_cli("check-plan", str(store))
+    assert check.returncode == 0, check.stderr
+    assert "OK" in check.stdout
