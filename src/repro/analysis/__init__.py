@@ -10,7 +10,20 @@ Three complementary passes, all exposed through ``repro analyze`` and
   degradation decision branches, no bare unit magnitudes outside
   :mod:`repro.units`.
 * **Concurrency** (:mod:`repro.analysis.concurrency`) — shared-state
-  mutations outside ``with self._lock`` in the threaded modules.
+  mutations outside ``with self._lock`` in the threaded modules,
+  sharpened by the per-class lock escape analysis in
+  :mod:`repro.analysis.locks` (helpers proven to run with the lock
+  held are exempt, not baselined).
+* **Dataflow** (:mod:`repro.analysis.callgraph` +
+  :mod:`repro.analysis.dataflow` / :mod:`repro.analysis.locks` /
+  :mod:`repro.analysis.durability`) — interprocedural passes over a
+  project-wide call graph: REPRO21x seed-taint (every RNG descends
+  from an explicit seed), REPRO220 lock-acquisition-order cycles,
+  REPRO23x durability discipline (durable writes go through
+  ``fsutil.atomic_write_text``).
+* **Protocol** (:mod:`repro.analysis.protocol`) — REPRO240, an
+  exhaustive two-worker model check of the tuning lease protocol
+  against the real :class:`~repro.tuning.queue.JobQueue`.
 * **Verifiers** (:mod:`repro.analysis.verifiers`) — static validation
   of plan artifacts, fault scenarios, device specs, and network graphs
   *without executing them*: checksums, partition-fraction ranges,
@@ -30,10 +43,22 @@ from .baseline import (
     DEFAULT_BASELINE_NAME,
     find_default_baseline,
 )
+from .callgraph import CallGraph, build_call_graph
 from .concurrency import RULE_ID as CONCURRENCY_RULE_ID
+from .dataflow import check_seed_taint
+from .durability import check_durability
 from .findings import Finding, FindingCollector
 from .lint import ALL_RULES, LintContext, LintRule, lint_file, rules_by_id
-from .runner import AnalysisReport, analyze_paths, collect_python_files
+from .locks import analyze_class_escapes, check_lock_order, proven_lock_held
+from .protocol import LeaseModelChecker, check_lease_protocol
+from .runner import (
+    AnalysisReport,
+    EXTRA_RULES,
+    analyze_paths,
+    collect_python_files,
+    expand_rule_ids,
+    known_rule_ids,
+)
 from .verifiers import (
     verify_artifact_file,
     verify_catalogs,
@@ -51,15 +76,27 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "CONCURRENCY_RULE_ID",
+    "CallGraph",
     "DEFAULT_BASELINE_NAME",
+    "EXTRA_RULES",
     "Finding",
     "FindingCollector",
+    "LeaseModelChecker",
     "LintContext",
     "LintRule",
+    "analyze_class_escapes",
     "analyze_paths",
+    "build_call_graph",
+    "check_durability",
+    "check_lease_protocol",
+    "check_lock_order",
+    "check_seed_taint",
     "collect_python_files",
+    "expand_rule_ids",
     "find_default_baseline",
+    "known_rule_ids",
     "lint_file",
+    "proven_lock_held",
     "rules_by_id",
     "verify_artifact_file",
     "verify_catalogs",

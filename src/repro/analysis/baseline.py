@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from ..errors import ReproError
+from ..fsutil import atomic_write_text
 from .findings import Finding
 
 BASELINE_SCHEMA = "repro.analysis-baseline"
@@ -136,7 +137,9 @@ class Baseline:
                 self.entries, key=lambda e: (e.path, e.rule, e.symbol)
             )],
         }
-        file_path.write_text(json.dumps(payload, indent=1) + "\n")
+        # The committed baseline is a durable artifact: a crash mid-save
+        # must not leave a torn file that fails every later run (REPRO230).
+        atomic_write_text(file_path, json.dumps(payload, indent=1) + "\n")
         return file_path
 
     def fingerprints(self) -> Dict[str, BaselineEntry]:

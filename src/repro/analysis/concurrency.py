@@ -9,9 +9,11 @@ assignments, subscript stores, and calls of known container mutators on
 ``self.<attr>`` — that are not lexically inside a ``with self._lock:``
 block (rule **REPRO201**).
 
-It is a heuristic, not an escape analysis: helpers documented as
-"call with the lock held" are legitimate hits and belong in the
-committed baseline with a one-line justification.
+Helpers that only ever run with the lock held are *proven* safe by the
+per-class escape analysis in :mod:`repro.analysis.locks` and exempted —
+they no longer need baseline entries.  What remains after the proof is
+a real finding (or a deliberate baseline with a one-line
+justification).
 """
 
 from __future__ import annotations
@@ -27,8 +29,10 @@ RULE_ID = "REPRO201"
 
 #: Path parts of modules known to be shared across threads.  ``sim``
 #: covers :mod:`repro.sim.engine`, the struct-of-arrays event core both
-#: threaded simulators instantiate per run.
-THREADED_PARTS: Set[str] = {"serving", "cluster", "sim"}
+#: threaded simulators instantiate per run; ``tuning`` and ``store``
+#: hold the PR 9 fleet (scheduler thread + worker pool over a shared
+#: queue and content-addressed store).
+THREADED_PARTS: Set[str] = {"serving", "cluster", "sim", "tuning", "store"}
 #: File names of modules known to be shared across threads.
 THREADED_FILES: Set[str] = {"plan_cache.py"}
 
@@ -135,12 +139,18 @@ def check_class(
     locks = _lock_attributes(cls)
     if not locks:
         return
+    # Imported lazily: locks.py builds on this module's lexical helpers.
+    from .locks import proven_lock_held
+
+    proven = proven_lock_held(cls, locks)
     lock_list = ", ".join(sorted(locks))
     for method in cls.body:
         if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         if method.name == "__init__":
             continue  # construction happens-before sharing
+        if method.name in proven:
+            continue  # escape analysis: only runs with the lock held
         for stmt, locked in _walk_statements(method.body, locks, False):
             if locked:
                 continue

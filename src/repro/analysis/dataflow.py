@@ -1,0 +1,422 @@
+"""REPRO21x — interprocedural seed-taint analysis.
+
+Determinism in this codebase reduces to one dataflow property: **every
+random draw descends from an explicit seed**.  REPRO102 enforces the
+lexical half (no hidden-global-state draws); this pass enforces the
+interprocedural half over the call graph:
+
+* **REPRO210** — an RNG constructed with *no* seed at all
+  (``default_rng()``, ``random.Random()``) in deterministic code.
+* **REPRO211** — an RNG whose seed expression cannot be traced, through
+  the project call graph, to a **taint source**:
+
+  - a parameter whose name spells seed-ness (``seed``, ``rng``,
+    ``*_seed``, ``seed_*``, ``entropy``),
+  - an integer literal (a pinned constant is deterministic by
+    definition),
+  - a ``sha256(...)``-derived value (the repo's canonical way to fold
+    strings into seeds),
+  - a CLI ``args.seed`` / ``self.seed`` attribute.
+
+  A seed that is a *plain* parameter is chased to every call site of
+  the enclosing function; it is tainted only if **all** known call
+  sites pass a tainted value (a function nobody calls cannot be
+  proven and is flagged — rename the parameter to ``seed`` or add a
+  pragma).
+
+Scope: the parts of the tree whose behavior must replay bit-identically
+(``sim``, ``serving``, ``cluster``, ``faults``, ``tuning``, ``eval``,
+``workloads``).  Taint *tracing* follows callers anywhere in the
+project, including out-of-scope modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, _spelled_name
+from .findings import Finding
+from .lint import enclosing_symbols
+
+RULE_UNSEEDED = "REPRO210"
+RULE_UNTAINTED = "REPRO211"
+
+#: Path parts whose RNG constructions must be seed-tainted.
+TAINT_PARTS: Set[str] = {
+    "sim", "serving", "cluster", "faults", "tuning", "eval", "workloads",
+}
+
+#: Canonical names that construct an RNG (after alias resolution).
+RNG_CONSTRUCTORS: Set[str] = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+}
+
+#: Parameter / attribute names that are axiomatically seed-derived.
+_SEED_NAME_RE = re.compile(
+    r"(^|_)(seed|seeds|rng|generator|entropy)(_|$)", re.IGNORECASE
+)
+
+#: Call targets that *produce* seeds by construction.
+_SEED_CALL_RE = re.compile(r"(sha256|sha1|blake2|seed)", re.IGNORECASE)
+
+#: How many caller hops the taint chase will follow.
+_MAX_DEPTH = 8
+
+
+def is_seedish_name(name: str) -> bool:
+    return bool(_SEED_NAME_RE.search(name))
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    return bool(TAINT_PARTS.intersection(module.ctx.parts))
+
+
+@dataclass(frozen=True)
+class _RngSite:
+    """One RNG construction: where, what, and its seed expression."""
+
+    module: ModuleInfo
+    owner: str                    # enclosing function qualname (or <module>)
+    canonical: str                # e.g. "numpy.random.default_rng"
+    node: ast.Call
+    seed: Optional[ast.expr]      # None = constructed with no seed at all
+
+
+def _canonical_call_name(
+    node: ast.Call, module: ModuleInfo
+) -> Optional[str]:
+    spelled = _spelled_name(node.func)
+    if spelled is None:
+        return None
+    head, _, rest = spelled.partition(".")
+    target = module.aliases.get(head, head)
+    return f"{target}.{rest}" if rest else target
+
+
+def _seed_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg in ("seed", "x"):  # random.Random(x=...) is exotic but legal
+            return keyword.value
+    return None
+
+
+class TaintAnalysis:
+    """Evaluates seed-taint over the project call graph."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        #: (qualname, param) -> proven taint; None marks in-progress
+        #: (cycles resolve optimistically — a self-feeding seed loop is
+        #: somebody's deliberate construction, not an accident).
+        self._param_memo: Dict[Tuple[str, str], Optional[bool]] = {}
+        #: qualname -> "every return statement is tainted"
+        self._return_memo: Dict[str, Optional[bool]] = {}
+        self._site_index: Optional[Dict[Tuple[int, str], str]] = None
+
+    # -- public ---------------------------------------------------------------
+
+    def check(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for site in self._rng_sites():
+            line = site.node.lineno
+            symbol = enclosing_symbols(site.module.tree).get(line, "")
+            if site.seed is None:
+                rule = RULE_UNSEEDED
+                message = (
+                    f"{site.canonical}() constructed with no seed in "
+                    f"deterministic code; derive the generator from an "
+                    f"explicit seed"
+                )
+            elif self._expr_tainted(site.seed, site.owner, _MAX_DEPTH):
+                continue
+            else:
+                rule = RULE_UNTAINTED
+                message = (
+                    f"seed of {site.canonical}(...) is not derived from "
+                    f"any taint source (seed/rng parameter, sha256 "
+                    f"digest, or CLI --seed) on any call path"
+                )
+            if self.graph.suppressed(site.module, line, rule):
+                continue
+            findings.append(Finding(
+                rule=rule,
+                path=site.module.display_path,
+                line=line,
+                symbol=symbol,
+                message=message,
+            ))
+        return findings
+
+    # -- site collection ------------------------------------------------------
+
+    def _rng_sites(self) -> List[_RngSite]:
+        sites: List[_RngSite] = []
+        for module in self.graph.modules.values():
+            if not _in_scope(module):
+                continue
+            owners = _owner_map(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                canonical = _canonical_call_name(node, module)
+                if canonical not in RNG_CONSTRUCTORS:
+                    continue
+                sites.append(_RngSite(
+                    module=module,
+                    owner=owners.get(node.lineno, _module_owner(module)),
+                    canonical=canonical,
+                    node=node,
+                    seed=_seed_argument(node),
+                ))
+        return sites
+
+    # -- taint lattice --------------------------------------------------------
+
+    def _expr_tainted(self, expr: ast.expr, owner: str, depth: int) -> bool:
+        """Is ``expr``, evaluated in ``owner``'s scope, seed-derived?"""
+        if depth <= 0:
+            return False
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, (int, str, bytes)) and not isinstance(
+                expr.value, bool
+            )
+        if isinstance(expr, ast.Name):
+            return self._name_tainted(expr.id, owner, depth)
+        if isinstance(expr, ast.Attribute):
+            # self.seed, args.seed, cfg.base_seed — trust the name.
+            return is_seedish_name(expr.attr)
+        if isinstance(expr, ast.BinOp):
+            return (
+                self._expr_tainted(expr.left, owner, depth)
+                and self._expr_tainted(expr.right, owner, depth)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr_tainted(expr.operand, owner, depth)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return bool(expr.elts) and all(
+                self._expr_tainted(el, owner, depth) for el in expr.elts
+            )
+        if isinstance(expr, ast.Subscript):
+            return self._expr_tainted(expr.value, owner, depth)
+        if isinstance(expr, ast.IfExp):
+            return (
+                self._expr_tainted(expr.body, owner, depth)
+                and self._expr_tainted(expr.orelse, owner, depth)
+            )
+        if isinstance(expr, ast.Call):
+            return self._call_tainted(expr, owner, depth)
+        return False
+
+    def _call_tainted(self, call: ast.Call, owner: str, depth: int) -> bool:
+        module = self.graph.module_of(owner)
+        spelled = _spelled_name(call.func) or ""
+        canonical = spelled
+        if module is not None:
+            resolved = _canonical_call_name(call, module)
+            if resolved is not None:
+                canonical = resolved
+        # sha256(...) and friends are taint sources by construction;
+        # int(...) / int.from_bytes(...) / abs(...) are transparent.
+        if _SEED_CALL_RE.search(canonical):
+            return True
+        transparent = {"int", "int.from_bytes", "abs", "hash", "min", "max"}
+        if canonical in transparent:
+            return bool(call.args) and any(
+                self._expr_tainted(a, owner, depth) for a in call.args
+            )
+        # A project function whose every return is tainted.
+        callee = self._resolve_project_callee(call, owner)
+        if callee is not None:
+            return self._returns_tainted(callee, depth - 1)
+        return False
+
+    def _resolve_project_callee(
+        self, call: ast.Call, owner: str
+    ) -> Optional[str]:
+        if self._site_index is None:
+            self._site_index = {
+                (id(site.node), site.caller): site.callee
+                for site in self.graph.calls
+            }
+        return self._site_index.get((id(call), owner))
+
+    def _name_tainted(self, name: str, owner: str, depth: int) -> bool:
+        if is_seedish_name(name):
+            return True
+        fn = self.graph.function(owner)
+        if fn is not None and name in fn.params:
+            return self._param_tainted(fn, name, depth)
+        # A local: chase its (last textual) binding in the owner scope.
+        binding = self._local_binding(name, owner)
+        if binding is not None:
+            return self._expr_tainted(binding, owner, depth - 1)
+        return False
+
+    def _local_binding(self, name: str, owner: str) -> Optional[ast.expr]:
+        body = self._owner_body(owner)
+        if body is None:
+            return None
+        bound: Optional[ast.expr] = None
+        for node in body:
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == name:
+                            bound = stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    if (
+                        isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == name
+                        and stmt.value is not None
+                    ):
+                        bound = stmt.value
+        return bound
+
+    def _owner_body(self, owner: str) -> Optional[Sequence[ast.stmt]]:
+        fn = self.graph.function(owner)
+        if fn is not None:
+            return fn.node.body
+        module = self.graph.module_of(owner)
+        if module is not None:
+            return module.tree.body
+        return None
+
+    def _param_tainted(
+        self, fn: FunctionInfo, param: str, depth: int
+    ) -> bool:
+        """All known call sites pass a tainted value for ``param``."""
+        key = (fn.qualname, param)
+        if key in self._param_memo:
+            memoized = self._param_memo[key]
+            # In-progress (None) resolves optimistically: a self-feeding
+            # seed loop is a deliberate construction, not an accident.
+            return True if memoized is None else memoized
+        self._param_memo[key] = None
+        sites = self.graph.call_sites_of(fn.qualname)
+        if not sites:
+            self._param_memo[key] = False
+            return False
+        verdict = True
+        for site in sites:
+            arg = _argument_for(site.node, fn, param)
+            if arg is None or not self._expr_tainted(
+                arg, site.caller, depth - 1
+            ):
+                verdict = False
+                break
+        self._param_memo[key] = verdict
+        return verdict
+
+    def _returns_tainted(self, qualname: str, depth: int) -> bool:
+        if qualname in self._return_memo:
+            memoized = self._return_memo[qualname]
+            return True if memoized is None else memoized
+        fn = self.graph.function(qualname)
+        if fn is None:
+            self._return_memo[qualname] = False
+            return False
+        self._return_memo[qualname] = None
+        returns = [
+            node for node in ast.walk(fn.node)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        verdict = bool(returns) and all(
+            self._expr_tainted(node.value, qualname, depth)
+            for node in returns
+            if node.value is not None
+        )
+        self._return_memo[qualname] = verdict
+        return verdict
+
+
+def _owner_map(module: ModuleInfo) -> Dict[int, str]:
+    """Line -> qualname of the innermost enclosing def."""
+    out: Dict[int, str] = {}
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, class_name: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                prefix = (
+                    f"{module.name}.{class_name}."
+                    if class_name else f"{module.name}."
+                )
+                qualname = f"{prefix}{child.name}"
+                end = getattr(child, "end_lineno", child.lineno)
+                spans.append((child.lineno, end or child.lineno, qualname))
+                visit(child, class_name)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+            else:
+                visit(child, class_name)
+
+    visit(module.tree, "")
+    for start, end, qualname in sorted(spans, key=lambda s: (s[0], -(s[1]))):
+        for line in range(start, end + 1):
+            out[line] = qualname
+    return out
+
+
+def _module_owner(module: ModuleInfo) -> str:
+    from .callgraph import MODULE_SCOPE
+
+    return f"{module.name}.{MODULE_SCOPE}"
+
+
+def _argument_for(
+    call: ast.Call, fn: FunctionInfo, param: str
+) -> Optional[ast.expr]:
+    """The expression a call site passes for ``param`` (None if absent)."""
+    for keyword in call.keywords:
+        if keyword.arg == param:
+            return keyword.value
+    try:
+        index = fn.params.index(param)
+    except ValueError:
+        return None
+    if index < len(call.args):
+        arg = call.args[index]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    # Not passed: the default applies.  Look it up; a literal default
+    # is deterministic.
+    defaults = fn.node.args.defaults
+    positional = [a.arg for a in (*fn.node.args.posonlyargs, *fn.node.args.args)]
+    if positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    offset = len(positional) - len(defaults)
+    if param in positional:
+        d_index = positional.index(param) - offset
+        if 0 <= d_index < len(defaults):
+            return defaults[d_index]
+    for kw_arg, kw_default in zip(
+        fn.node.args.kwonlyargs, fn.node.args.kw_defaults
+    ):
+        if kw_arg.arg == param and kw_default is not None:
+            return kw_default
+    return None
+
+
+def check_seed_taint(graph: CallGraph) -> List[Finding]:
+    """Run the REPRO21x pass over a built call graph."""
+    return TaintAnalysis(graph).check()
+
+
+__all__ = [
+    "RNG_CONSTRUCTORS",
+    "RULE_UNSEEDED",
+    "RULE_UNTAINTED",
+    "TAINT_PARTS",
+    "TaintAnalysis",
+    "check_seed_taint",
+    "is_seedish_name",
+]

@@ -47,8 +47,11 @@ from ..errors import ReproError
 from .findings import Finding
 
 #: Directories (path parts) whose code runs on the virtual clock.
+#: ``tuning`` and ``store`` joined with the PR 9 fleet: their replay
+#: determinism (byte-identical double-run manifests) depends on the
+#: same no-wall-clock / no-hidden-RNG discipline.
 VIRTUAL_CLOCK_PARTS: Set[str] = {
-    "sim", "serving", "faults", "workloads", "cluster",
+    "sim", "serving", "faults", "workloads", "cluster", "tuning", "store",
 }
 #: File names that run on the virtual clock wherever they live.
 VIRTUAL_CLOCK_FILES: Set[str] = {"tuner.py"}

@@ -1,0 +1,451 @@
+"""REPRO22x — lock escape analysis and global lock-acquisition order.
+
+Two upgrades over the lexical REPRO201 heuristic:
+
+**Escape analysis (no new rule id — it makes REPRO201 smarter).**
+A private helper that mutates shared state without taking the lock is
+fine *if the lock is always already held when it runs*.  The old rule
+could not see that, so such helpers lived in the baseline with a
+"call with the lock held" justification.  This pass proves it instead,
+per class, as a fixed point:
+
+  a private method ``_m`` is **proven lock-held** when
+  (1) it never escapes — every ``self._m`` reference in the class is a
+      direct call, never a value (no callbacks, no ``getattr``), and
+  (2) every internal call site is lexically inside ``with self._lock``,
+      inside ``__init__`` (construction happens-before sharing), or
+      inside another method already proven lock-held.
+
+Proven methods are exempt from REPRO201; everything else still flags.
+The proof is deliberately per-class and intraprocedural — a helper
+called from *outside* its class is never proven.
+
+**REPRO220 lock order (new rule).**
+Every ``with self.<lock>`` acquisition is a node; an edge ``A -> B``
+means some code path acquires ``B`` (directly, or transitively through
+project calls) while holding ``A``.  Any strongly connected component
+with two or more locks is a potential deadlock: two threads entering
+the cycle from different ends can block each other forever.  Self
+re-acquisition (``A -> A``) is not reported — the repo's shared classes
+use ``RLock`` where they re-enter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, ModuleInfo
+from .concurrency import _is_lock_with, _lock_attributes
+from .findings import Finding
+
+RULE_ORDER = "REPRO220"
+
+
+# ---------------------------------------------------------------------------
+# Escape analysis (per-class proof that helpers run with the lock held)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EscapeProof:
+    """The outcome of the per-class lock escape analysis."""
+
+    #: method name -> one-line proof ("all N call sites hold the lock").
+    proven: Dict[str, str] = field(default_factory=dict)
+    #: method name -> why the proof failed (for docs and debugging).
+    unproven: Dict[str, str] = field(default_factory=dict)
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The statement's direct expressions (not nested statement bodies)."""
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+                elif isinstance(item, ast.withitem):
+                    yield item.context_expr
+
+
+def _self_method_calls(expr: ast.expr) -> Iterator[str]:
+    """Names of methods invoked as ``self.<m>(...)`` anywhere in ``expr``."""
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            yield node.func.attr
+
+
+def _call_sites_by_callee(
+    cls: ast.ClassDef, locks: Set[str]
+) -> Dict[str, List[Tuple[str, bool]]]:
+    """callee method -> [(caller method, lock lexically held)] within the
+    class."""
+    sites: Dict[str, List[Tuple[str, bool]]] = {}
+
+    def walk(body: Sequence[ast.stmt], caller: str, locked: bool) -> None:
+        for stmt in body:
+            inner = locked
+            if isinstance(stmt, ast.With):
+                inner = locked or _is_lock_with(stmt, locks)
+            for expr in _own_exprs(stmt):
+                for callee in _self_method_calls(expr):
+                    sites.setdefault(callee, []).append((caller, locked))
+            for field_name in ("body", "orelse", "finalbody"):
+                children = getattr(stmt, field_name, None)
+                if children:
+                    walk(children, caller, inner)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    walk(handler.body, caller, locked)
+
+    for method in cls.body:
+        if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            walk(method.body, method.name, False)
+    return sites
+
+
+def _escaped_methods(cls: ast.ClassDef, candidates: Set[str]) -> Set[str]:
+    """Candidates referenced as values (``self._m`` without a call)."""
+    call_funcs = {
+        id(node.func)
+        for node in ast.walk(cls)
+        if isinstance(node, ast.Call)
+    }
+    escaped: Set[str] = set()
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in candidates
+            and id(node) not in call_funcs
+        ):
+            escaped.add(node.attr)
+    return escaped
+
+
+def analyze_class_escapes(cls: ast.ClassDef, locks: Set[str]) -> EscapeProof:
+    """Prove which private methods of ``cls`` only run with a lock held."""
+    proof = EscapeProof()
+    if not locks:
+        return proof
+    methods = {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    # Public methods are callable from outside the class; dunders are
+    # invoked by the runtime.  Neither can be proven from internal
+    # evidence alone.
+    candidates = {
+        name for name in methods
+        if name.startswith("_") and not name.startswith("__")
+    }
+    escaped = _escaped_methods(cls, candidates)
+    for name in sorted(escaped):
+        proof.unproven[name] = "escapes as a value (referenced without a call)"
+    sites = _call_sites_by_callee(cls, locks)
+
+    proven: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(candidates - proven - escaped):
+            calls = sites.get(name, [])
+            if not calls:
+                continue
+            if all(
+                locked or caller == "__init__" or caller in proven
+                for caller, locked in calls
+            ):
+                proven.add(name)
+                changed = True
+    for name in sorted(proven):
+        count = len(sites[name])
+        proof.proven[name] = (
+            f"all {count} internal call site(s) hold the lock "
+            f"(lexically, via __init__, or via a proven caller)"
+        )
+    for name in sorted(candidates - proven - escaped):
+        calls = sites.get(name, [])
+        if not calls:
+            proof.unproven[name] = "no internal call sites (cannot prove)"
+        else:
+            unlocked = [c for c, locked in calls if not locked]
+            proof.unproven[name] = (
+                f"called without the lock from {', '.join(sorted(set(unlocked)))}"
+            )
+    return proof
+
+
+def proven_lock_held(cls: ast.ClassDef, locks: Optional[Set[str]] = None) -> Set[str]:
+    """Method names of ``cls`` proven to always run with the lock held."""
+    if locks is None:
+        locks = _lock_attributes(cls)
+    return set(analyze_class_escapes(cls, locks).proven)
+
+
+# ---------------------------------------------------------------------------
+# REPRO220 — global lock-acquisition-order graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``holder`` is held when ``acquired`` is (or may be) taken."""
+
+    holder: str                   # lock id: module.Class.<attr>
+    acquired: str
+    path: str                     # display path of the acquisition site
+    line: int
+    symbol: str
+
+
+class LockOrderAnalysis:
+    """Builds the lock graph over a project call graph and finds cycles."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.edges: Dict[Tuple[str, str], LockEdge] = {}
+        self._locks_memo: Dict[str, Set[str]] = {}
+        self._callee_index: Dict[int, str] = {
+            id(site.node): site.callee for site in self.graph.calls
+        }
+
+    # -- lock identity --------------------------------------------------------
+
+    def _lock_id(self, qualname: str, stmt: ast.With) -> Optional[str]:
+        fn = self.graph.function(qualname)
+        if fn is None or not fn.cls:
+            return None
+        cls = self.graph.classes.get(f"{fn.module}.{fn.cls}")
+        if cls is None:
+            return None
+        for item in stmt.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in cls.lock_attrs
+            ):
+                return f"{cls.qualname}.{expr.attr}"
+        return None
+
+    # -- transitive acquisition -----------------------------------------------
+
+    def locks_acquired(self, qualname: str) -> Set[str]:
+        """Every lock ``qualname`` may acquire, directly or via project
+        calls (memoized; cycles contribute nothing extra)."""
+        memoized = self._locks_memo.get(qualname)
+        if memoized is not None:
+            return memoized
+        self._locks_memo[qualname] = set()  # cycle guard
+        fn = self.graph.function(qualname)
+        acquired: Set[str] = set()
+        if fn is not None:
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.With):
+                    lock = self._lock_id(qualname, node)
+                    if lock is not None:
+                        acquired.add(lock)
+            for callee in self.graph.callees_of(qualname):
+                acquired |= self.locks_acquired(callee)
+        self._locks_memo[qualname] = acquired
+        return acquired
+
+    # -- edge collection ------------------------------------------------------
+
+    def _add_edge(self, edge: LockEdge) -> None:
+        if edge.holder == edge.acquired:
+            return  # RLock re-entry; not an ordering hazard
+        self.edges.setdefault((edge.holder, edge.acquired), edge)
+
+    def _walk(
+        self,
+        body: Sequence[ast.stmt],
+        qualname: str,
+        module: ModuleInfo,
+        held: Tuple[str, ...],
+    ) -> None:
+        for stmt in body:
+            inner = held
+            if isinstance(stmt, ast.With):
+                lock = self._lock_id(qualname, stmt)
+                if lock is not None:
+                    for holder in held:
+                        self._add_edge(LockEdge(
+                            holder=holder,
+                            acquired=lock,
+                            path=module.display_path,
+                            line=stmt.lineno,
+                            symbol=_symbol_of(qualname),
+                        ))
+                    inner = held + (lock,)
+            if held:
+                for expr in _own_exprs(stmt):
+                    for call in ast.walk(expr):
+                        if not isinstance(call, ast.Call):
+                            continue
+                        callee = self._callee_index.get(id(call))
+                        if callee is None:
+                            continue
+                        for lock in self.locks_acquired(callee):
+                            for holder in held:
+                                self._add_edge(LockEdge(
+                                    holder=holder,
+                                    acquired=lock,
+                                    path=module.display_path,
+                                    line=call.lineno,
+                                    symbol=_symbol_of(qualname),
+                                ))
+            for field_name in ("body", "orelse", "finalbody"):
+                children = getattr(stmt, field_name, None)
+                if children:
+                    self._walk(children, qualname, module, inner)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    self._walk(handler.body, qualname, module, held)
+
+    def build(self) -> "LockOrderAnalysis":
+        for fn in self.graph.functions.values():
+            module = self.graph.modules.get(fn.module)
+            if module is None:
+                continue
+            self._walk(fn.node.body, fn.qualname, module, ())
+        return self
+
+    # -- cycle detection ------------------------------------------------------
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """Strongly connected components with >= 2 locks, canonically
+        ordered (rotated so the smallest lock id leads)."""
+        adjacency: Dict[str, Set[str]] = {}
+        for holder, acquired in self.edges:
+            adjacency.setdefault(holder, set()).add(acquired)
+            adjacency.setdefault(acquired, set())
+        sccs = _tarjan(adjacency)
+        out: List[Tuple[str, ...]] = []
+        for component in sccs:
+            if len(component) >= 2:
+                out.append(tuple(sorted(component)))
+        return sorted(out)
+
+    def check(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for cycle in self.cycles():
+            anchor = self._anchor_for(cycle)
+            chain = " -> ".join((*cycle, cycle[0]))
+            if anchor is not None and self.graph.modules.get(
+                _module_of_path(self.graph, anchor.path)
+            ) is not None:
+                module = self.graph.modules[
+                    _module_of_path(self.graph, anchor.path)
+                ]
+                if self.graph.suppressed(module, anchor.line, RULE_ORDER):
+                    continue
+            findings.append(Finding(
+                rule=RULE_ORDER,
+                path=anchor.path if anchor else "<project>",
+                line=anchor.line if anchor else 0,
+                symbol=anchor.symbol if anchor else "",
+                message=(
+                    f"lock-order cycle (potential deadlock): {chain}; "
+                    f"acquire these locks in one global order"
+                ),
+            ))
+        return findings
+
+    def _anchor_for(self, cycle: Tuple[str, ...]) -> Optional[LockEdge]:
+        members = set(cycle)
+        best: Optional[LockEdge] = None
+        for (holder, acquired), edge in sorted(self.edges.items()):
+            if holder in members and acquired in members:
+                if best is None:
+                    best = edge
+        return best
+
+
+def _symbol_of(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else qualname
+
+
+def _module_of_path(graph: CallGraph, path: str) -> str:
+    for name, module in graph.modules.items():
+        if module.display_path == path:
+            return name
+    return ""
+
+
+def _tarjan(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Iterative Tarjan SCC (no recursion limit surprises)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(adjacency[root])))
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def check_lock_order(graph: CallGraph) -> List[Finding]:
+    """Run the REPRO220 pass over a built call graph."""
+    return LockOrderAnalysis(graph).build().check()
+
+
+__all__ = [
+    "EscapeProof",
+    "LockEdge",
+    "LockOrderAnalysis",
+    "RULE_ORDER",
+    "analyze_class_escapes",
+    "check_lock_order",
+    "proven_lock_held",
+]

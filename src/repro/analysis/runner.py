@@ -1,27 +1,51 @@
 """The analysis driver behind ``repro analyze``.
 
 One run = lint rules over every Python file under the given paths,
-the concurrency heuristic over the threaded modules, and (optionally)
-the in-process catalog verifiers — filtered through the committed
-baseline into *new* findings (fail CI) and *baselined* findings
-(explicitly accepted, with justification).
+the concurrency heuristic over the threaded modules, the
+interprocedural dataflow passes (seed-taint, lock order, durability)
+over a project-wide call graph, the lease-protocol model check, and
+(optionally) the in-process catalog verifiers — filtered through the
+committed baseline into *new* findings (fail CI) and *baselined*
+findings (explicitly accepted, with justification).
+
+Rule selection accepts **families**: ``REPRO21x`` expands to every
+registered rule sharing the first two digits (REPRO210, REPRO211), so
+CI can say ``--rules REPRO21x,REPRO22x,REPRO23x,REPRO24x`` and keep
+working as families grow.
 """
 
 from __future__ import annotations
 
+import ast
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..errors import ReproError
-from . import concurrency
+from ..fsutil import atomic_write_text
+from . import concurrency, dataflow, durability, locks, protocol
 from .baseline import Baseline, BaselineEntry
+from .callgraph import CallGraph, build_call_graph
 from .findings import Finding, FindingCollector
-from .lint import LintRule, lint_file, rules_by_id
+from .lint import LintContext, LintRule, rules_by_id
 
 #: Directory names never worth analyzing.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+#: Non-lint rules the runner drives directly (id -> short description).
+EXTRA_RULES: Dict[str, str] = {
+    concurrency.RULE_ID: "shared-state mutation outside the lock",
+    dataflow.RULE_UNSEEDED: "RNG constructed without a seed",
+    dataflow.RULE_UNTAINTED: "RNG seed not derived from a taint source",
+    locks.RULE_ORDER: "lock-acquisition-order cycle",
+    durability.RULE_RAW_WRITE: "non-atomic durable write",
+    durability.RULE_RENAME_NO_FSYNC: "rename after write without fsync",
+    protocol.RULE_ID: "lease-protocol invariant violation",
+}
+
+_FAMILY_RE = re.compile(r"^(REPRO\d\d)x$")
 
 
 def collect_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
@@ -48,6 +72,37 @@ def _display(path: Path, root: Optional[Path]) -> str:
         if resolved.is_relative_to(resolved_root):
             return resolved.relative_to(resolved_root).as_posix()
     return path.as_posix()
+
+
+def known_rule_ids() -> Set[str]:
+    """Every rule id the runner can drive."""
+    return {r.id for r in rules_by_id(None)} | set(EXTRA_RULES)
+
+
+def expand_rule_ids(wanted: Iterable[str]) -> List[str]:
+    """Expand family tokens (``REPRO21x``) and validate ids."""
+    known = known_rule_ids()
+    out: List[str] = []
+    for token in wanted:
+        family = _FAMILY_RE.match(token)
+        if family:
+            members = sorted(
+                rule for rule in known if rule.startswith(family.group(1))
+            )
+            if not members:
+                raise ReproError(
+                    f"rule family {token} matches nothing; available: "
+                    f"{sorted(known)}"
+                )
+            out.extend(members)
+        elif token in known:
+            out.append(token)
+        else:
+            raise ReproError(
+                f"unknown analysis rules ['{token}']; available: "
+                f"{sorted(known)} (families like REPRO21x also work)"
+            )
+    return out
 
 
 @dataclass
@@ -103,6 +158,27 @@ class AnalysisReport:
         return "\n".join(lines)
 
 
+def _lint_contexts(
+    files: Sequence[Path], root: Optional[Path]
+) -> List[LintContext]:
+    return [
+        LintContext.for_file(path, _display(path, root)) for path in files
+    ]
+
+
+def _run_lint(
+    ctx: LintContext, rules: Sequence[LintRule]
+) -> List[Finding]:
+    out: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                out.append(finding)
+    return out
+
+
 def analyze_paths(
     paths: Sequence[Union[str, Path]],
     *,
@@ -110,43 +186,72 @@ def analyze_paths(
     baseline: Optional[Baseline] = None,
     include_catalogs: bool = True,
     root: Optional[Union[str, Path]] = None,
+    graph_out: Optional[Union[str, Path]] = None,
 ) -> AnalysisReport:
     """Run the full static analysis over ``paths``.
 
-    ``rules`` narrows the lint pass to specific rule ids (the
-    concurrency heuristic runs unless narrowed out with ids that
-    exclude ``REPRO201``; catalog verifiers run unless
-    ``include_catalogs`` is False).  ``root`` makes reported paths
-    repo-relative, which is what baseline fingerprints should use.
+    ``rules`` narrows the run to specific rule ids or families
+    (``REPRO21x``); by default every pass runs.  ``root`` makes
+    reported paths repo-relative, which is what baseline fingerprints
+    should use.  ``graph_out`` dumps the project call graph as
+    deterministic JSON.
     """
     if rules is None:
-        active_rules: List[LintRule] = rules_by_id(None)
-        run_concurrency = True
+        active_ids = sorted(known_rule_ids())
     else:
-        wanted = list(rules)
-        known = {r.id for r in rules_by_id(None)} | {concurrency.RULE_ID}
-        unknown = [r for r in wanted if r not in known]
-        if unknown:
-            raise ReproError(
-                f"unknown analysis rules {unknown}; available: "
-                f"{sorted(known)}"
-            )
-        active_rules = rules_by_id(
-            [r for r in wanted if r != concurrency.RULE_ID]
-        )
-        run_concurrency = concurrency.RULE_ID in wanted
+        active_ids = expand_rule_ids(rules)
+    active_set = set(active_ids)
+    lint_rules = rules_by_id(
+        [r for r in active_ids if r not in EXTRA_RULES]
+    )
     root_path = Path(root) if root is not None else None
     collector = FindingCollector()
     files = collect_python_files(paths)
-    for file_path in files:
-        display = _display(file_path, root_path)
-        collector.extend(
-            lint_file(file_path, active_rules, display_path=display)
-        )
-        if run_concurrency and concurrency.is_threaded_module(file_path):
+    contexts = _lint_contexts(files, root_path)
+
+    for ctx in contexts:
+        collector.extend(_run_lint(ctx, lint_rules))
+        if (
+            concurrency.RULE_ID in active_set
+            and concurrency.is_threaded_module(ctx.path)
+        ):
+            collector.extend(_concurrency_findings(ctx))
+
+    # Interprocedural passes share one call graph over all analyzed files.
+    graph_rules = {
+        dataflow.RULE_UNSEEDED, dataflow.RULE_UNTAINTED,
+        locks.RULE_ORDER,
+        durability.RULE_RAW_WRITE, durability.RULE_RENAME_NO_FSYNC,
+    }
+    graph: Optional[CallGraph] = None
+    if active_set.intersection(graph_rules) or graph_out is not None:
+        graph = build_call_graph(contexts)
+    if graph is not None:
+        if active_set.intersection(
+            {dataflow.RULE_UNSEEDED, dataflow.RULE_UNTAINTED}
+        ):
             collector.extend(
-                concurrency.check_file(file_path, display_path=display)
+                f for f in dataflow.check_seed_taint(graph)
+                if f.rule in active_set
             )
+        if locks.RULE_ORDER in active_set:
+            collector.extend(locks.check_lock_order(graph))
+        if active_set.intersection(
+            {durability.RULE_RAW_WRITE, durability.RULE_RENAME_NO_FSYNC}
+        ):
+            collector.extend(
+                f for f in durability.check_durability(graph)
+                if f.rule in active_set
+            )
+        if graph_out is not None:
+            atomic_write_text(
+                Path(graph_out),
+                json.dumps(graph.to_dict(), indent=1, sort_keys=True) + "\n",
+            )
+
+    if protocol.RULE_ID in active_set:
+        collector.extend(protocol.check_lease_protocol())
+
     if include_catalogs:
         from .verifiers import verify_catalogs
 
@@ -162,4 +267,19 @@ def analyze_paths(
     )
 
 
-__all__ = ["AnalysisReport", "analyze_paths", "collect_python_files"]
+def _concurrency_findings(ctx: LintContext) -> List[Finding]:
+    out: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            out.extend(concurrency.check_class(ctx, node))
+    return out
+
+
+__all__ = [
+    "AnalysisReport",
+    "EXTRA_RULES",
+    "analyze_paths",
+    "collect_python_files",
+    "expand_rule_ids",
+    "known_rule_ids",
+]

@@ -661,7 +661,11 @@ def cmd_analyze(args) -> int:
         baseline=baseline,
         include_catalogs=not args.no_catalogs,
         root=root,
+        graph_out=args.graph,
     )
+    if args.graph:
+        # stderr: --format json consumers parse stdout as one document.
+        print(f"call graph written to {args.graph}", file=sys.stderr)
     if args.write_baseline:
         all_findings = report.new + report.baselined
         target = args.baseline or str(root / "analysis-baseline.json")
@@ -1154,13 +1158,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze", help="static analysis: determinism lint, concurrency "
-                        "heuristic, catalog verifiers"
+                        "heuristic, interprocedural dataflow (seed-taint, "
+                        "lock order, durability), lease-protocol model "
+                        "check, catalog verifiers"
     )
     analyze.add_argument("paths", nargs="*",
                          help="files/directories to analyze (default: src/)")
     analyze.add_argument("--rules", default=None, metavar="IDS",
-                         help="comma-separated rule ids (default: all; "
-                              "e.g. REPRO101,REPRO201)")
+                         help="comma-separated rule ids or families "
+                              "(default: all; e.g. REPRO101,REPRO201 or "
+                              "REPRO21x,REPRO22x,REPRO23x,REPRO24x)")
+    analyze.add_argument("--graph", default=None, metavar="FILE",
+                         help="also dump the project call graph as "
+                              "deterministic JSON to FILE")
     analyze.add_argument("--format", default="text",
                          choices=("text", "json"),
                          help="output format (default text)")

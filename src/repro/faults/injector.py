@@ -224,7 +224,8 @@ def corrupt_artifacts(
     for path in sorted(directory.glob("*.json")):
         if injector.artifact_corrupt(path=path.name):
             text = path.read_text()
-            path.write_text(text[: max(1, len(text) // 2)])
+            # Chaos injection: deliberately tears the file mid-JSON.
+            path.write_text(text[: max(1, len(text) // 2)])  # repro-analysis: ignore[REPRO230]
             victims.append(path)
     return victims
 

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Tuple, Union
 
 from ..errors import ReproError
+from ..fsutil import atomic_write_text
 from ..hardware.throttle import ThrottleFactors
 
 SCENARIO_SCHEMA = "repro.fault-scenario"
@@ -307,9 +308,8 @@ class FaultScenario:
         return cls.from_dict(data)
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.write_text(self.to_json() + "\n")
-        return path
+        # Scenario files are golden artifacts; write atomically (REPRO230).
+        return atomic_write_text(Path(path), self.to_json() + "\n")
 
     def describe(self) -> str:
         """One-paragraph human summary (``repro faults show``)."""

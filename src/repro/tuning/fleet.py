@@ -127,7 +127,8 @@ def _run_worker_job(
         # worker vanishes without reporting a result.
         path.parent.mkdir(parents=True, exist_ok=True)
         torn = path.with_name(path.name + ".tmp")
-        torn.write_text(text[: max(1, len(text) // 2)])
+        # Chaos injection: the torn write IS the point here.
+        torn.write_text(text[: max(1, len(text) // 2)])  # repro-analysis: ignore[REPRO230]
         raise WorkerCrashError(
             f"worker crashed mid-write of {job_id} (attempt {attempt})"
         )

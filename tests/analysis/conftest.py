@@ -30,6 +30,23 @@ def plant_fixture(tmp_path: pathlib.Path, fixture: str, dest: str) -> pathlib.Pa
     return target
 
 
+def build_graph(tmp_path: pathlib.Path, plants):
+    """Plant ``(fixture, dest)`` pairs and build a call graph over them.
+
+    Display paths are the relative ``dest`` strings, so module names in
+    the graph mirror the planted tree (``sim/rng.py`` -> ``sim.rng``),
+    exactly as repo files get ``repro.*`` names from ``src/repro/...``.
+    """
+    from repro.analysis.callgraph import build_call_graph
+    from repro.analysis.lint import LintContext
+
+    contexts = []
+    for fixture, dest in plants:
+        target = plant_fixture(tmp_path, fixture, dest)
+        contexts.append(LintContext.for_file(target, dest))
+    return build_call_graph(contexts)
+
+
 @pytest.fixture
 def golden_plan() -> dict:
     """A fresh parsed copy of the known-good lenet plan artifact."""

@@ -1,0 +1,23 @@
+"""Fixture: every way to write a durable file wrongly.
+
+``save`` / ``save_handle`` are raw sinks (REPRO230 x3: write_text,
+open-for-write, json.dump); ``fake_atomic`` hand-rolls tmp+replace
+without fsync (REPRO230 for the write + REPRO231 for the rename).
+"""
+
+import json
+import os
+
+
+class ManifestWriter:
+    def save(self, path, doc):
+        path.write_text(json.dumps(doc))
+
+    def save_handle(self, path, doc):
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+
+    def fake_atomic(self, path, doc):
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc))
+        os.replace(tmp, path)

@@ -1,0 +1,27 @@
+"""Fixture: durable writes done right — every sink is the atomic one.
+
+Reads are fine, ``atomic_write_text`` is fine, and a write + rename
+pair *with* an ``os.fsync`` between them does not trip REPRO231.
+"""
+
+import json
+import os
+
+from repro.fsutil import atomic_write_text
+
+
+class ManifestWriter:
+    def save(self, path, doc):
+        atomic_write_text(path, json.dumps(doc) + "\n")
+
+    def load(self, path):
+        with open(path) as handle:
+            return json.load(handle)
+
+    def careful_swap(self, path, doc):
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:  # repro-analysis: ignore[REPRO230]
+            handle.write(json.dumps(doc))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

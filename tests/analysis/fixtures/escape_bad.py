@@ -1,0 +1,19 @@
+"""Fixture: a lock-held proof that must FAIL.
+
+``put`` calls ``_helper`` without the lock, so escape analysis cannot
+prove the helper safe and REPRO201 flags its unlocked mutation.
+"""
+
+import threading
+
+
+class Shared:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        self._helper(key, value)
+
+    def _helper(self, key, value):
+        self._items[key] = value

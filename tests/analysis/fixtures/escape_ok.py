@@ -1,0 +1,33 @@
+"""Fixture: helpers that mutate without a lexical lock — but safely.
+
+Every internal call site of ``_helper`` / ``_clear`` holds the lock
+(directly, or through a proven caller), so escape analysis proves them
+lock-held and REPRO201 stays silent without a baseline entry.
+"""
+
+import threading
+
+
+class Shared:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._helper(key, value)
+
+    def drain(self):
+        with self._lock:
+            out = dict(self._items)
+            self._reset()
+            return out
+
+    def _helper(self, key, value):
+        self._items[key] = value
+
+    def _reset(self):
+        self._clear()
+
+    def _clear(self):
+        self._items.clear()

@@ -1,0 +1,38 @@
+"""Fixture: two classes acquiring each other's locks in opposite order.
+
+``Right.poke`` holds right_lock then (via ``Left.prod``) takes
+left_lock; ``Left.poke`` holds left_lock then takes right_lock — a
+classic AB/BA deadlock, reported by REPRO220.  The annotated
+``__init__`` parameters are what let the call graph resolve the
+cross-class ``self.left.prod()`` edges.
+"""
+
+import threading
+
+
+class Right:
+    def __init__(self, left: "Left"):
+        self._right_lock = threading.Lock()
+        self.left = left
+
+    def poke(self):
+        with self._right_lock:
+            self.left.prod()
+
+    def prod_inner(self):
+        with self._right_lock:
+            pass
+
+
+class Left:
+    def __init__(self, right: Right):
+        self._left_lock = threading.Lock()
+        self.right = right
+
+    def poke(self):
+        with self._left_lock:
+            self.right.prod_inner()
+
+    def prod(self):
+        with self._left_lock:
+            pass

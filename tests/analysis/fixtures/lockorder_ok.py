@@ -1,0 +1,26 @@
+"""Fixture: two locks always taken in one global order (a then b).
+
+Both the nested ``with`` and the helper call acquire ``_b_lock`` while
+holding ``_a_lock`` — edges exist, but no cycle, so REPRO220 is silent.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def both(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def again(self):
+        with self._a_lock:
+            self._tail()
+
+    def _tail(self):
+        with self._b_lock:
+            pass

@@ -1,0 +1,26 @@
+"""Fixture: RNG constructions that violate the seed-taint discipline.
+
+``unseeded`` trips REPRO210 (no seed at all); ``untainted`` trips
+REPRO211 because one of its call sites feeds the parameter from an
+unresolvable call, so taint cannot be proven at every site.
+"""
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def untainted(count):
+    rng = np.random.default_rng(count)
+    return rng
+
+
+def run():
+    untainted(41)
+    untainted(load_config())
+
+
+def load_config():
+    return object()

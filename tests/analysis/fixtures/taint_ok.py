@@ -1,0 +1,42 @@
+"""Fixture: RNG constructions whose seeds all trace to taint sources.
+
+Every construction is reachable from a seed parameter, a sha256
+digest, a pinned literal, or a seed-ish attribute — REPRO21x stays
+silent.
+"""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def derived_seed(name: str) -> int:
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:8], "big")
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def spawn(material):
+    # "material" is not a seed-ish name: this is only clean because
+    # *every* call site below passes a provably tainted value.
+    return np.random.default_rng(material)
+
+
+class Harness:
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def fresh(self):
+        return np.random.default_rng(self.seed)
+
+
+def run(seed: int):
+    chained = make_rng(seed)
+    hashed = random.Random(derived_seed("run"))
+    pinned = np.random.default_rng(12345)
+    forked = spawn(seed + 1)
+    pinned_fork = spawn(derived_seed("fork"))
+    return chained, hashed, pinned, forked, pinned_fork

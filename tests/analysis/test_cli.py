@@ -9,9 +9,11 @@ import sys
 from .conftest import FIXTURES, GOLDEN_ARTIFACTS, GOLDEN_SCENARIOS, REPO_ROOT
 
 
-def run_cli(*args, cwd=None):
+def run_cli(*args, cwd=None, env_extra=None, pythonpath_extra=()):
     env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    path = [str(REPO_ROOT / "src"), *map(str, pythonpath_extra)]
+    env["PYTHONPATH"] = os.pathsep.join(path)
+    env.update(env_extra or {})
     return subprocess.run(
         [sys.executable, "-m", "repro", *args],
         capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT,
@@ -108,3 +110,103 @@ class TestAnalyze:
         payload = json.loads(result.stdout)
         assert payload["clean"] is True
         assert payload["files_analyzed"] == 1
+
+
+class TestDataflowFamilies:
+    """Each new rule family catches its deliberate violation with exit 1,
+    exactly as CI runs it."""
+
+    def plant(self, tmp_path, fixture, dest):
+        target = tmp_path / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text((FIXTURES / fixture).read_text())
+        return target
+
+    def test_unseeded_rng_exits_one(self, tmp_path):
+        self.plant(tmp_path, "taint_bad.py", "sim/rng.py")
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO21x",
+        )
+        assert result.returncode == 1
+        assert "REPRO210" in result.stdout
+        assert "REPRO211" in result.stdout
+
+    def test_out_of_lock_helper_mutation_exits_one(self, tmp_path):
+        self.plant(tmp_path, "escape_bad.py", "store/shared.py")
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO201,REPRO22x",
+        )
+        assert result.returncode == 1
+        assert "REPRO201" in result.stdout
+
+    def test_lock_order_cycle_exits_one(self, tmp_path):
+        self.plant(tmp_path, "lockorder_bad.py", "tuning/order.py")
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO22x",
+        )
+        assert result.returncode == 1
+        assert "REPRO220" in result.stdout
+
+    def test_raw_manifest_write_exits_one(self, tmp_path):
+        self.plant(tmp_path, "durability_bad.py", "store/writer.py")
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO23x",
+        )
+        assert result.returncode == 1
+        assert "REPRO230" in result.stdout
+        assert "REPRO231" in result.stdout
+
+    def test_lease_release_reorder_exits_one(self, tmp_path):
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO24x",
+            env_extra={
+                "REPRO_ANALYSIS_QUEUE_CLASS": "buggy_queue:ReorderQueue",
+            },
+            pythonpath_extra=[FIXTURES],
+        )
+        assert result.returncode == 1
+        assert "REPRO240" in result.stdout
+        assert "complete-postcondition" in result.stdout
+
+    def test_real_queue_model_check_exits_zero(self, tmp_path):
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO24x",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_all_families_on_clean_tree_exit_zero(self, tmp_path):
+        self.plant(tmp_path, "taint_ok.py", "sim/rng.py")
+        self.plant(tmp_path, "escape_ok.py", "store/shared.py")
+        self.plant(tmp_path, "lockorder_ok.py", "tuning/pair.py")
+        self.plant(tmp_path, "durability_ok.py", "store/writer.py")
+        result = run_cli(
+            "analyze", str(tmp_path), "--no-baseline", "--no-catalogs",
+            "--rules", "REPRO21x,REPRO22x,REPRO23x,REPRO24x,REPRO201",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_graph_dump_is_written(self, tmp_path):
+        self.plant(tmp_path, "taint_ok.py", "sim/rng.py")
+        graph_file = tmp_path / "callgraph.json"
+        result = run_cli(
+            "analyze", str(tmp_path / "sim"), "--no-baseline",
+            "--no-catalogs", "--graph", str(graph_file),
+        )
+        assert result.returncode == 0, result.stdout
+        assert f"call graph written to {graph_file}" in result.stderr
+        payload = json.loads(graph_file.read_text())
+        assert payload["schema"] == "repro.analysis-callgraph"
+        # Module names derive from paths relative to the repo root, so
+        # the tmp tree gets absolute-path-shaped names; the graph's
+        # content (functions and edges) is what matters here.
+        assert any(
+            fn["qualname"].endswith(".rng.spawn")
+            for fn in payload["functions"]
+        )
+        assert payload["edges"]

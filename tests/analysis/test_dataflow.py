@@ -1,0 +1,113 @@
+"""Tests for the REPRO21x interprocedural seed-taint pass."""
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.dataflow import check_seed_taint, is_seedish_name
+from repro.analysis.lint import LintContext
+
+from .conftest import build_graph
+
+
+def findings_for(tmp_path, plants):
+    return check_seed_taint(build_graph(tmp_path, plants))
+
+
+class TestSeedishNames:
+    def test_positives(self):
+        for name in ("seed", "base_seed", "seed_value", "rng", "entropy"):
+            assert is_seedish_name(name), name
+
+    def test_negatives(self):
+        for name in ("count", "index", "speedup", "arranger"):
+            assert not is_seedish_name(name), name
+
+
+class TestViolations:
+    def test_unseeded_rng_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, [("taint_bad.py", "sim/rng.py")])
+        assert "REPRO210" in {f.rule for f in findings}
+        unseeded = [f for f in findings if f.rule == "REPRO210"]
+        assert unseeded[0].symbol == "unseeded"
+
+    def test_untainted_call_site_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, [("taint_bad.py", "sim/rng.py")])
+        untainted = [f for f in findings if f.rule == "REPRO211"]
+        # One call site passes load_config() (unresolvable), so the
+        # parameter cannot be proven tainted.
+        assert len(untainted) == 1
+        assert untainted[0].symbol == "untainted"
+
+    def test_uncalled_function_param_is_unproven(self, tmp_path):
+        target = tmp_path / "sim" / "orphan.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\n"
+            "def forge(material):\n"
+            "    return np.random.default_rng(material)\n"
+        )
+        graph = build_call_graph(
+            [LintContext.for_file(target, "sim/orphan.py")]
+        )
+        findings = check_seed_taint(graph)
+        assert [f.rule for f in findings] == ["REPRO211"]
+
+
+class TestCleanCode:
+    def test_tainted_constructions_pass(self, tmp_path):
+        assert findings_for(tmp_path, [("taint_ok.py", "sim/rng.py")]) == []
+
+    def test_out_of_scope_modules_are_ignored(self, tmp_path):
+        # Same violating file, planted outside the deterministic parts.
+        assert findings_for(tmp_path, [("taint_bad.py", "docs/rng.py")]) == []
+
+    def test_cross_module_taint_chase(self, tmp_path):
+        maker = tmp_path / "sim" / "maker.py"
+        maker.parent.mkdir()
+        maker.write_text(
+            "import numpy as np\n"
+            "def forge(material):\n"
+            "    return np.random.default_rng(material)\n"
+        )
+        user = tmp_path / "sim" / "user.py"
+        user.write_text(
+            "from sim.maker import forge\n"
+            "def run(seed):\n"
+            "    return forge(seed)\n"
+        )
+        graph = build_call_graph([
+            LintContext.for_file(maker, "sim/maker.py"),
+            LintContext.for_file(user, "sim/user.py"),
+        ])
+        assert check_seed_taint(graph) == []
+
+
+class TestSuppression:
+    def test_pragma_silences_each_rule(self, tmp_path):
+        target = tmp_path / "sim" / "quiet.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\n"
+            "def a():\n"
+            "    return np.random.default_rng()"
+            "  # repro-analysis: ignore[REPRO210]\n"
+            "def b(material):\n"
+            "    return np.random.default_rng(material)"
+            "  # repro-analysis: ignore[REPRO211]\n"
+        )
+        graph = build_call_graph(
+            [LintContext.for_file(target, "sim/quiet.py")]
+        )
+        assert check_seed_taint(graph) == []
+
+    def test_multi_rule_pragma_on_one_line(self, tmp_path):
+        target = tmp_path / "sim" / "multi.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\n"
+            "def a():\n"
+            "    return np.random.default_rng()"
+            "  # repro-analysis: ignore[REPRO210,REPRO211]\n"
+        )
+        graph = build_call_graph(
+            [LintContext.for_file(target, "sim/multi.py")]
+        )
+        assert check_seed_taint(graph) == []

@@ -6,7 +6,10 @@ baseline with a justification — and the baseline carries no dead
 entries.
 """
 
+import subprocess
+
 from repro.analysis import Baseline, analyze_paths
+from repro.analysis.baseline import BaselineEntry
 
 from .conftest import REPO_ROOT
 
@@ -28,3 +31,39 @@ def test_every_baseline_entry_is_justified():
     for entry in baseline.entries:
         assert entry.justification
         assert "TODO" not in entry.justification, entry.fingerprint
+
+
+def test_baseline_carries_no_repro201_entries():
+    """Escape analysis proves the lock-held helpers instead of
+    baselining them — the REPRO201 entries PR 5 carried must be gone."""
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    assert not [e for e in baseline.entries if e.rule == "REPRO201"]
+
+
+def test_stale_entry_detection_fires():
+    """A fingerprint that matches nothing (here: a REPRO201 entry that
+    escape analysis obsoleted) must surface as stale, not vanish."""
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    ghost = BaselineEntry(
+        fingerprint="cc39168bb776d9e5",
+        rule="REPRO201",
+        path="src/repro/core/plan_cache.py",
+        symbol="PlanCache._load",
+        justification="obsoleted by the escape-analysis proof",
+    )
+    padded = Baseline(entries=[*baseline.entries, ghost])
+    report = analyze_paths(
+        [str(REPO_ROOT / "src")], baseline=padded, root=REPO_ROOT,
+    )
+    assert report.clean
+    assert [e.fingerprint for e in report.stale_baseline] == [ghost.fingerprint]
+
+
+def test_no_tracked_bytecode():
+    """``git ls-files '*.pyc'`` must stay empty (and __pycache__ dirs
+    untracked) — bytecode in the index breaks clean checkouts."""
+    tracked = subprocess.run(
+        ["git", "ls-files", "*.pyc", "**/__pycache__/*"],
+        capture_output=True, text=True, cwd=REPO_ROOT, check=True,
+    )
+    assert tracked.stdout.strip() == "", tracked.stdout
